@@ -1,0 +1,122 @@
+// §4.2.1 (claim C1): accuracy metrics disagree with system metrics. On the
+// same forecasts, AR wins on MAE for most apps (paper: 65.2%) while FFT
+// wins on RUM for most apps (paper: 68.9%) — so optimizing forecasters on
+// generic error metrics optimizes the wrong thing (Implication 6).
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/sim/fleet.h"
+
+namespace femux {
+namespace {
+
+double MeanAbsoluteError(const std::vector<double>& plan,
+                         const std::vector<double>& demand) {
+  double total = 0.0;
+  for (std::size_t t = 0; t < demand.size(); ++t) {
+    total += std::abs(plan[t] - demand[t]);
+  }
+  return demand.empty() ? 0.0 : total / static_cast<double>(demand.size());
+}
+
+void Run() {
+  PrintHeader("§4.2.1 (C1) — MAE vs RUM forecaster ranking",
+              "AR better for 65.2% of apps by MAE; FFT better for 68.9% "
+              "by RUM (metrics disagree)");
+  const Dataset dataset = BenchAzureDataset();
+  const BenchSplit split = BenchAzureSplit(dataset);
+  const Rum rum = Rum::Default();
+  const std::vector<std::string> names = {"ar", "fft"};
+  const std::vector<double> margins = {1.0, 1.25, 1.5};
+
+  // The paper tunes forecaster parameters on RUM (§4.3.3). Pick each
+  // forecaster's RUM-optimal scale margin on the training apps; MAE-based
+  // tuning would keep margin 1 (any scaling only increases MAE).
+  std::vector<double> best_margin(names.size(), 1.0);
+  {
+    std::vector<std::vector<double>> totals(names.size(),
+                                            std::vector<double>(margins.size(), 0.0));
+    for (int idx : split.train) {
+      const AppTrace& app = dataset.apps[idx];
+      SimOptions sim;
+      sim.memory_gb_per_unit = app.consumed_memory_mb / 1024.0;
+      const std::vector<double> demand = DemandSeries(app, sim.epoch_seconds);
+      const std::vector<double> arrivals = ArrivalSeries(app, sim.epoch_seconds);
+      const auto plans = SimulateForecasts(names, demand, /*refit_interval=*/20);
+      for (std::size_t f = 0; f < names.size(); ++f) {
+        for (std::size_t m = 0; m < margins.size(); ++m) {
+          std::vector<double> scaled(plans[f].size());
+          for (std::size_t t = 0; t < scaled.size(); ++t) {
+            scaled[t] = plans[f][t] * margins[m];
+          }
+          totals[f][m] += rum.Evaluate(SimulatePlan(demand, arrivals, scaled, sim));
+        }
+      }
+    }
+    for (std::size_t f = 0; f < names.size(); ++f) {
+      std::size_t best = 0;
+      for (std::size_t m = 1; m < margins.size(); ++m) {
+        if (totals[f][m] < totals[f][best]) {
+          best = m;
+        }
+      }
+      best_margin[f] = margins[best];
+      std::printf("RUM-tuned margin for %s: %.2f\n", names[f].c_str(),
+                  best_margin[f]);
+    }
+  }
+
+  int ar_wins_mae = 0;
+  int fft_wins_rum = 0;
+  int disagreements = 0;
+  int apps = 0;
+  for (int idx : split.test) {
+    const AppTrace& app = dataset.apps[idx];
+    SimOptions sim;
+    sim.memory_gb_per_unit = app.consumed_memory_mb / 1024.0;
+    const std::vector<double> demand = DemandSeries(app, sim.epoch_seconds);
+    const std::vector<double> arrivals = ArrivalSeries(app, sim.epoch_seconds);
+    const auto plans = SimulateForecasts(names, demand, /*refit_interval=*/20);
+
+    // MAE is computed on the raw forecasts (error-metric tuning would
+    // reject any scaling); RUM on the RUM-tuned ones.
+    const double mae_ar = MeanAbsoluteError(plans[0], demand);
+    const double mae_fft = MeanAbsoluteError(plans[1], demand);
+    std::vector<double> tuned_ar(plans[0].size());
+    std::vector<double> tuned_fft(plans[1].size());
+    for (std::size_t t = 0; t < tuned_ar.size(); ++t) {
+      tuned_ar[t] = plans[0][t] * best_margin[0];
+      tuned_fft[t] = plans[1][t] * best_margin[1];
+    }
+    const double rum_ar =
+        rum.Evaluate(SimulatePlan(demand, arrivals, tuned_ar, sim));
+    const double rum_fft =
+        rum.Evaluate(SimulatePlan(demand, arrivals, tuned_fft, sim));
+
+    ++apps;
+    const bool ar_mae = mae_ar <= mae_fft;
+    const bool fft_rum = rum_fft <= rum_ar;
+    ar_wins_mae += ar_mae;
+    fft_wins_rum += fft_rum;
+    disagreements += (ar_mae && fft_rum) || (!ar_mae && !fft_rum);
+  }
+  const double n = apps;
+  PrintRow("apps where AR wins on MAE", 0.652, ar_wins_mae / n);
+  PrintRow("apps where FFT wins on RUM", 0.689, fft_wins_rum / n);
+  // The portable form of the claim: switching the metric from MAE to RUM
+  // shifts a large fraction of apps toward FFT (paper: 34.8% -> 68.9%).
+  PrintRow("FFT win-share shift, MAE -> RUM", 0.341,
+           (fft_wins_rum - (apps - ar_wins_mae)) / n);
+  PrintRow("apps where the two metrics disagree", 0.50, disagreements / n,
+           "(paper: majority flips between metrics)");
+}
+
+}  // namespace
+}  // namespace femux
+
+int main() {
+  femux::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 1: 62-day fleet traffic. Weekday peak-to-trough span ~60 % of peak,
+// weekend span ~40 %, and a seasonal traffic increase in January.
+#include <algorithm>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/stats/descriptive.h"
+
+namespace femux {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 1 — fleet traffic over 62 days",
+              "weekday peak-to-trough span ~60% of peak, weekend ~40%, "
+              "January seasonal increase");
+  const Dataset dataset = BenchIbmDataset();
+  const std::vector<double> fleet = FleetMinuteCounts(dataset);
+
+  // Per-day peak/trough from hourly buckets (minute-level Poisson noise
+  // would exaggerate the trough).
+  std::vector<double> weekday_spans;
+  std::vector<double> weekend_spans;
+  std::vector<double> daily_totals;
+  for (int day = 0; day * kMinutesPerDay < static_cast<int>(fleet.size()); ++day) {
+    std::vector<double> hourly(24, 0.0);
+    double total = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      for (int m = 0; m < 60; ++m) {
+        hourly[h] += fleet[day * kMinutesPerDay + h * 60 + m];
+      }
+      total += hourly[h];
+    }
+    daily_totals.push_back(total);
+    const double peak = *std::max_element(hourly.begin(), hourly.end());
+    const double trough = *std::min_element(hourly.begin(), hourly.end());
+    if (peak <= 0.0) {
+      continue;
+    }
+    const double span = (peak - trough) / peak;
+    const int dow = day % 7;  // Day 0 is a Monday.
+    (dow >= 5 ? weekend_spans : weekday_spans).push_back(span);
+  }
+  PrintRow("weekday peak-to-trough span", 0.60, Mean(weekday_spans));
+  PrintRow("weekend peak-to-trough span", 0.40, Mean(weekend_spans));
+
+  // January (days 31..61) vs December (days 0..30) average daily volume.
+  double december = 0.0;
+  double january = 0.0;
+  int december_days = 0;
+  int january_days = 0;
+  for (std::size_t day = 0; day < daily_totals.size(); ++day) {
+    if (day < 31) {
+      december += daily_totals[day];
+      ++december_days;
+    } else {
+      january += daily_totals[day];
+      ++january_days;
+    }
+  }
+  const double bump =
+      (january / january_days) / (december / december_days) - 1.0;
+  PrintRow("January traffic increase vs December", 0.20, bump,
+           "(paper: visible seasonal increase)");
+  PrintNote("series: first week of fleet per-hour traffic follows");
+  for (int h = 0; h < 7 * 24; h += 6) {
+    double sum = 0.0;
+    for (int m = 0; m < 360; ++m) {
+      sum += fleet[h * 60 + m];
+    }
+    std::printf("hour=%3d traffic_6h=%.0f\n", h, sum);
+  }
+}
+
+}  // namespace
+}  // namespace femux
+
+int main() {
+  femux::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 4: within-app execution-time variability. Median of per-app average
+// execution time is ~10 ms while the median of per-app p99 execution time
+// is ~800 ms (§3.2).
+#include <algorithm>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/stats/descriptive.h"
+
+namespace femux {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 4 — execution-time variability",
+              "median per-app mean exec ~10 ms vs median per-app p99 "
+              "exec ~800 ms");
+  const Dataset dataset = BenchIbmDataset();
+
+  std::vector<double> means;
+  std::vector<double> p99s;
+  for (const AppTrace& app : dataset.apps) {
+    if (app.invocations.size() < 20) {
+      continue;
+    }
+    std::vector<double> exec;
+    exec.reserve(app.invocations.size());
+    for (const Invocation& inv : app.invocations) {
+      exec.push_back(inv.execution_ms);
+    }
+    means.push_back(Mean(exec));
+    std::sort(exec.begin(), exec.end());
+    p99s.push_back(QuantileSorted(exec, 0.99));
+  }
+  const double median_mean = Median(means);
+  const double median_p99 = Median(p99s);
+  PrintRow("median of per-app mean exec (ms)", 10.0, median_mean, "ms");
+  PrintRow("median of per-app p99 exec (ms)", 800.0, median_p99, "ms");
+  PrintRow("p99-to-mean spread (x)", 80.0, median_p99 / median_mean, "x");
+}
+
+}  // namespace
+}  // namespace femux
+
+int main() {
+  femux::Run();
+  return 0;
+}

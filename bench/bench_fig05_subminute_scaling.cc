@@ -1,0 +1,99 @@
+// Fig. 5: sub-minute predictive scaling on the IBM-style trace. FFT with a
+// 10-second timestep reduces total cold-start duration by ~60% vs the
+// 1-minute moving average (Knative's policy), ~38% vs a 5-minute
+// keep-alive, and ~11% vs FFT at a 60-second timestep, with <1% extra
+// allocation (§3.2, Implication 1).
+#include <memory>
+
+#include "bench/common.h"
+#include "src/forecast/fft_forecaster.h"
+#include "src/forecast/simple.h"
+#include "src/sim/fleet.h"
+
+namespace femux {
+namespace {
+
+struct Row {
+  const char* name;
+  SimMetrics metrics;
+};
+
+SimMetrics RunPolicy(const Dataset& dataset, const ScalingPolicy& prototype,
+                     double epoch_seconds) {
+  SimOptions options;
+  options.epoch_seconds = epoch_seconds;
+  // Respect user-configured minimum scale: the paper notes extra allocation
+  // of predictive policies stays under 1% because min-scale pods dominate.
+  return SimulateFleetUniform(dataset, prototype, options,
+                              /*respect_app_min_scale=*/true)
+      .total;
+}
+
+void Run() {
+  PrintHeader("Fig. 5 — sub-minute predictive scaling",
+              "FFT@10s cuts total cold-start time ~60% vs 1-min MA, ~38% vs "
+              "5-min keep-alive, ~11% vs FFT@60s; <1% extra allocation");
+  IbmGeneratorOptions options = BenchIbmOptions();
+  options.num_apps = 60;
+  options.duration_days = 3;  // Epochs at 10 s get long quickly.
+  options.detail_window_minutes = 0;
+  const Dataset dataset = GenerateIbmDataset(options);
+
+  // FFT at 10 s sees 6x the samples per minute; keep the window at two
+  // hours of wall-clock and stride the refits for speed. Predictive
+  // policies retain the reactive path as a floor (deployed predictive
+  // scalers never scale below observed demand; the paper's prototype keeps
+  // Knative's panic mode), so the forecast adds pre-warmed capacity ahead
+  // of rises instead of replacing reactive scaling.
+  // Same ~day-scale wall-clock window as the 60 s variant (7200 samples of
+  // 10 s = 20 h) so both see the diurnal cycle; only the control frequency
+  // differs.
+  const ForecasterPolicy fft10(std::make_unique<FftForecaster>(10, 60, 7200), 1.0,
+                               kDefaultHistoryMinutes, /*reactive_floor=*/true);
+  const SimMetrics fft_10s = RunPolicy(dataset, fft10, 10.0);
+
+  const ForecasterPolicy fft60(std::make_unique<FftForecaster>(10, 5, 2880), 1.0,
+                               kDefaultHistoryMinutes, /*reactive_floor=*/true);
+  const SimMetrics fft_60s = RunPolicy(dataset, fft60, 60.0);
+
+  const ForecasterPolicy ma(std::make_unique<MovingAverageForecaster>(6), 1.0);
+  const SimMetrics ma_10s = RunPolicy(dataset, ma, 10.0);  // 1-min window at 10 s.
+
+  const ForecasterPolicy ka(std::make_unique<KeepAliveForecaster>(30), 1.0);
+  const SimMetrics ka_5min = RunPolicy(dataset, ka, 10.0);  // 5 min at 10 s epochs.
+
+  std::printf("%-22s cold_s=%12.1f cold=%12.0f alloc_gbs=%14.0f\n", "fft@10s",
+              fft_10s.cold_start_seconds, fft_10s.cold_starts,
+              fft_10s.allocated_gb_seconds);
+  std::printf("%-22s cold_s=%12.1f cold=%12.0f alloc_gbs=%14.0f\n", "fft@60s",
+              fft_60s.cold_start_seconds, fft_60s.cold_starts,
+              fft_60s.allocated_gb_seconds);
+  std::printf("%-22s cold_s=%12.1f cold=%12.0f alloc_gbs=%14.0f\n", "1min-MA@10s",
+              ma_10s.cold_start_seconds, ma_10s.cold_starts,
+              ma_10s.allocated_gb_seconds);
+  std::printf("%-22s cold_s=%12.1f cold=%12.0f alloc_gbs=%14.0f\n", "5min-KA@10s",
+              ka_5min.cold_start_seconds, ka_5min.cold_starts,
+              ka_5min.allocated_gb_seconds);
+
+  PrintRow("FFT@10s cold-time reduction vs 1-min MA", 0.60,
+           1.0 - fft_10s.cold_start_seconds / ma_10s.cold_start_seconds);
+  PrintRow("FFT@10s cold-time reduction vs 5-min KA", 0.38,
+           1.0 - fft_10s.cold_start_seconds / ka_5min.cold_start_seconds);
+  PrintRow("FFT@10s cold-time reduction vs FFT@60s", 0.11,
+           1.0 - fft_10s.cold_start_seconds / fft_60s.cold_start_seconds);
+  PrintRow("extra allocation of FFT@10s vs 1-min MA", 0.01,
+           fft_10s.allocated_gb_seconds / ma_10s.allocated_gb_seconds - 1.0);
+  PrintNote("known substitution limit: the synthetic trace is minute-resolution "
+            "with uniform-in-minute arrivals, so a 10 s scaler sees no finer "
+            "signal than a 60 s one and coarse epochs act as implicit "
+            "keep-alive. The paper's gains come from real ms-level arrival "
+            "structure in the production trace (see EXPERIMENTS.md).");
+}
+
+}  // namespace
+}  // namespace femux
+
+int main() {
+  femux::Run();
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Fig. 18 (Appendix C): feature-combination ablation. More features help
+// with diminishing returns; every combination that includes the harmonics
+// feature outperforms its harmonics-free siblings; complementary features
+// beat individually-strong ones.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/classifier.h"
+#include "src/stats/scaler.h"
+
+namespace femux {
+namespace {
+
+std::vector<double> Project(const std::vector<double>& row,
+                            const std::vector<int>& columns) {
+  std::vector<double> out;
+  out.reserve(columns.size());
+  for (int c : columns) {
+    out.push_back(row[c]);
+  }
+  return out;
+}
+
+struct ComboResult {
+  std::string name;
+  std::size_t size = 0;
+  double rum = 0.0;
+  bool has_harmonics = false;
+};
+
+void Run() {
+  PrintHeader("Fig. 18 — feature-combination ablation",
+              "more features help with diminishing returns; combos with "
+              "harmonics win");
+  // Train/test block tables for the default RUM (cached).
+  const TrainedFemux trained = GetOrTrainFemux(Rum::Default());
+  const BlockTable eval_table = GetOrBuildEvalTable(Rum::Default());
+
+  // Flatten the training rows once.
+  std::vector<std::vector<double>> train_rows;
+  std::vector<std::vector<double>> train_rums;
+  for (std::size_t a = 0; a < trained.table.rum.size(); ++a) {
+    for (std::size_t b = 0; b < trained.table.rum[a].size(); ++b) {
+      train_rows.push_back(trained.table.features[a][b]);
+      train_rums.push_back(trained.table.rum[a][b]);
+    }
+  }
+  const std::size_t candidates = train_rums.front().size();
+  std::vector<double> totals(candidates, 0.0);
+  for (const auto& r : train_rums) {
+    for (std::size_t c = 0; c < candidates; ++c) {
+      totals[c] += r[c];
+    }
+  }
+  const int default_candidate = static_cast<int>(
+      std::min_element(totals.begin(), totals.end()) - totals.begin());
+
+  // Feature columns follow DefaultFeatureSet() order.
+  const char* names[] = {"stat", "lin", "harm", "dens"};
+  std::vector<ComboResult> results;
+  for (int mask = 1; mask < 16; ++mask) {
+    std::vector<int> columns;
+    std::string label;
+    for (int f = 0; f < 4; ++f) {
+      if (mask & (1 << f)) {
+        columns.push_back(f);
+        label += label.empty() ? names[f] : std::string("+") + names[f];
+      }
+    }
+    // Fit scaler + k-means on the projected training rows, assign clusters.
+    StandardScaler scaler;
+    std::vector<std::vector<double>> projected;
+    projected.reserve(train_rows.size());
+    for (const auto& row : train_rows) {
+      projected.push_back(Project(row, columns));
+    }
+    scaler.Fit(projected);
+    const auto scaled = scaler.Transform(projected);
+    KMeans kmeans;
+    kmeans.Fit(scaled, 10, 11);
+    std::vector<std::vector<double>> cluster_totals(
+        kmeans.cluster_count(), std::vector<double>(candidates, 0.0));
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      const std::size_t c = kmeans.Predict(scaled[i]);
+      for (std::size_t cand = 0; cand < candidates; ++cand) {
+        cluster_totals[c][cand] += train_rums[i][cand];
+      }
+    }
+    std::vector<int> cluster_to_candidate(kmeans.cluster_count());
+    for (std::size_t c = 0; c < kmeans.cluster_count(); ++c) {
+      cluster_to_candidate[c] = static_cast<int>(
+          std::min_element(cluster_totals[c].begin(), cluster_totals[c].end()) -
+          cluster_totals[c].begin());
+    }
+    const double rum = EvaluateBlockSelection(
+        eval_table,
+        [&](const std::vector<double>& raw) {
+          const auto s = scaler.Transform(Project(raw, columns));
+          return cluster_to_candidate[kmeans.Predict(s)];
+        },
+        default_candidate);
+    results.push_back({label, columns.size(), rum, (mask & 4) != 0});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const ComboResult& a, const ComboResult& b) { return a.rum < b.rum; });
+  for (const ComboResult& r : results) {
+    std::printf("%-22s features=%zu rum=%12.1f%s\n", r.name.c_str(), r.size, r.rum,
+                r.has_harmonics ? "  [harmonics]" : "");
+  }
+
+  // Aggregate shape checks.
+  double avg_with_h = 0.0;
+  double avg_without_h = 0.0;
+  int with_h = 0;
+  int without_h = 0;
+  double best_single = 1e300;
+  double best_overall = results.front().rum;
+  double best_pair = 1e300;
+  for (const ComboResult& r : results) {
+    (r.has_harmonics ? avg_with_h : avg_without_h) += r.rum;
+    (r.has_harmonics ? with_h : without_h) += 1;
+    if (r.size == 1) {
+      best_single = std::min(best_single, r.rum);
+    }
+    if (r.size == 2) {
+      best_pair = std::min(best_pair, r.rum);
+    }
+  }
+  PrintRow("harmonics combos beat the rest on average (1=yes)", 1.0,
+           avg_with_h / with_h < avg_without_h / without_h ? 1.0 : 0.0);
+  PrintRow("best pair improves on best single (ratio)", 0.97,
+           best_pair / best_single);
+  PrintRow("best combo improves on best single (ratio)", 0.95,
+           best_overall / best_single);
+}
+
+}  // namespace
+}  // namespace femux
+
+int main() {
+  femux::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 2: no consensus on lifetime-management metrics. This bench shows
+// the point operationally: one simulation run of each prior system's policy
+// is scored under every metric of Table 2, and the per-metric winner
+// differs — the motivation for RUM (§4.1).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/baselines/baselines.h"
+#include "src/sim/fleet.h"
+
+namespace femux {
+namespace {
+
+void Run() {
+  PrintHeader("Table 2 — metric disagreement across systems",
+              "different Table-2 metrics crown different policies on the "
+              "same run (why RUM exists)");
+  const Dataset dataset = BenchAzureDataset();
+
+  struct Entry {
+    std::string name;
+    SimMetrics metrics;
+  };
+  std::vector<Entry> entries;
+  const auto add = [&](const std::string& name, std::unique_ptr<ScalingPolicy> p) {
+    entries.push_back({name, SimulateFleetUniform(dataset, *p, SimOptions{}).total});
+  };
+  add("knative_default", MakeKnativeDefaultPolicy());
+  add("keep_alive_5min", MakeKeepAlivePolicy(5));
+  add("keep_alive_10min", MakeKeepAlivePolicy(10));
+  add("icebreaker_fft", MakeIceBreakerPolicy());
+
+  std::printf("%-18s %14s %12s %14s %16s %14s\n", "policy", "cold_starts",
+              "cold_%", "service_s", "wasted_gbs", "alloc_gbs");
+  for (const Entry& e : entries) {
+    std::printf("%-18s %14.0f %12.3f %14.0f %16.0f %14.0f\n", e.name.c_str(),
+                e.metrics.cold_starts, e.metrics.ColdStartPercent(),
+                e.metrics.service_seconds, e.metrics.wasted_gb_seconds,
+                e.metrics.allocated_gb_seconds);
+  }
+
+  const auto winner = [&](auto metric) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      if (metric(entries[i].metrics) < metric(entries[best].metrics)) {
+        best = i;
+      }
+    }
+    return entries[best].name;
+  };
+  std::printf("\nwinner by cold starts:      %s\n",
+              winner([](const SimMetrics& m) { return m.cold_starts; }).c_str());
+  std::printf("winner by service time:     %s\n",
+              winner([](const SimMetrics& m) { return m.service_seconds; }).c_str());
+  std::printf("winner by wasted memory:    %s\n",
+              winner([](const SimMetrics& m) { return m.wasted_gb_seconds; }).c_str());
+  std::printf("winner by allocated memory: %s\n",
+              winner([](const SimMetrics& m) { return m.allocated_gb_seconds; }).c_str());
+  PrintNote("the paper's Table 2 shows each prior system optimizes a "
+            "different subset of these columns.");
+}
+
+}  // namespace
+}  // namespace femux
+
+int main() {
+  femux::Run();
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace femux {
+namespace {
+
+constexpr char kCacheDir[] = "bench_cache";
+
+std::string CachePath(const Rum& rum, const char* suffix) {
+  return std::string(kCacheDir) + "/" + rum.label() + suffix;
+}
+
+}  // namespace
+
+AzureGeneratorOptions BenchAzureOptions() {
+  AzureGeneratorOptions options;
+  options.num_apps = 60;
+  options.duration_days = 6;
+  options.seed = 7;
+  return options;
+}
+
+Dataset BenchAzureDataset() { return GenerateAzureDataset(BenchAzureOptions()); }
+
+IbmGeneratorOptions BenchIbmOptions() {
+  IbmGeneratorOptions options;
+  options.num_apps = 300;
+  options.duration_days = 62;
+  options.detail_window_minutes = 120;
+  options.seed = 42;
+  return options;
+}
+
+Dataset BenchIbmDataset() { return GenerateIbmDataset(BenchIbmOptions()); }
+
+BenchSplit BenchAzureSplit(const Dataset& dataset) {
+  const DatasetSplit split = SplitDataset(dataset, 1);
+  BenchSplit out;
+  out.train = split.train;
+  out.train.insert(out.train.end(), split.validation.begin(), split.validation.end());
+  out.test = split.test;
+  return out;
+}
+
+TrainerOptions BenchTrainerOptions() {
+  TrainerOptions options;
+  options.clusters = 10;
+  options.refit_interval = 20;
+  return options;
+}
+
+TrainedFemux GetOrTrainFemux(const Rum& rum) {
+  TrainedFemux out;
+  std::filesystem::create_directories(kCacheDir);
+  const std::string model_path = CachePath(rum, ".model");
+  const std::string table_path = CachePath(rum, ".table");
+
+  auto model = std::make_shared<FemuxModel>();
+  if (LoadModelFile(model_path, model.get()) &&
+      LoadBlockTableFile(table_path, &out.table)) {
+    out.model = std::move(model);
+    out.from_cache = true;
+    return out;
+  }
+
+  const Dataset dataset = BenchAzureDataset();
+  const BenchSplit split = BenchAzureSplit(dataset);
+  TrainerOptions trainer = BenchTrainerOptions();
+  if (rum.kind() == RumKind::kExecutionAware) {
+    trainer.features.push_back(Feature::kExecTime);
+  }
+  const TrainResult trained = TrainFemux(dataset, split.train, rum, trainer);
+  out.model = std::make_shared<FemuxModel>(trained.model);
+  out.table = trained.table;
+  out.train_seconds = trained.forecast_sim_seconds;
+  out.feature_seconds = trained.feature_extraction_seconds;
+  out.cluster_seconds = trained.clustering_seconds;
+  SaveModelFile(*out.model, model_path);
+  SaveBlockTableFile(out.table, table_path);
+  std::printf("[train] rum=%s forecast_sim=%.1fs features=%.1fs clustering=%.1fs\n",
+              rum.label().c_str(), out.train_seconds, out.feature_seconds,
+              out.cluster_seconds);
+  return out;
+}
+
+BlockTable GetOrBuildEvalTable(const Rum& rum) {
+  std::filesystem::create_directories(kCacheDir);
+  const std::string path = CachePath(rum, "_test.table");
+  BlockTable table;
+  if (LoadBlockTableFile(path, &table)) {
+    return table;
+  }
+  const Dataset dataset = BenchAzureDataset();
+  const BenchSplit split = BenchAzureSplit(dataset);
+  TrainerOptions trainer = BenchTrainerOptions();
+  if (rum.kind() == RumKind::kExecutionAware) {
+    trainer.features.push_back(Feature::kExecTime);
+  }
+  // Reuse the trainer's table-building pass on the test apps; the model it
+  // fits is discarded.
+  const TrainResult result = TrainFemux(dataset, split.test, rum, trainer);
+  SaveBlockTableFile(result.table, path);
+  return result.table;
+}
+
+double EvaluateBlockSelection(
+    const BlockTable& eval_table,
+    const std::function<int(const std::vector<double>&)>& select,
+    int default_candidate) {
+  double total = 0.0;
+  for (std::size_t a = 0; a < eval_table.rum.size(); ++a) {
+    int current = default_candidate;
+    for (std::size_t b = 0; b < eval_table.rum[a].size(); ++b) {
+      const auto& rums = eval_table.rum[a][b];
+      if (current < 0 || static_cast<std::size_t>(current) >= rums.size()) {
+        current = 0;
+      }
+      total += rums[current];
+      // Select for the next block from this block's features.
+      current = select(eval_table.features[a][b]);
+    }
+  }
+  return total;
+}
+
+std::unique_ptr<Forecaster> BenchForecaster(const std::string& name) {
+  FemuxModel stub;
+  stub.forecaster_names = {name};
+  stub.refit_interval = BenchTrainerOptions().refit_interval;
+  return stub.MakeForecaster(0);
+}
+
+void PrintHeader(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("----------------------------------------------------------------\n");
+}
+
+void PrintRow(const std::string& label, double paper, double measured,
+              const std::string& unit) {
+  std::printf("%-44s paper=%10.3f  measured=%10.3f %s\n", label.c_str(), paper,
+              measured, unit.c_str());
+}
+
+void PrintNote(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+}  // namespace femux

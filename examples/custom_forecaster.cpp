@@ -1,0 +1,77 @@
+// Extensibility example: implement a custom forecaster against the public
+// Forecaster interface and benchmark it in the platform simulator next to
+// the built-in set. Providers plug their own models into FeMux this way
+// (§4.3.3: "Providers can use their preferred set of forecasters").
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/rum.h"
+#include "src/forecast/forecaster.h"
+#include "src/forecast/registry.h"
+#include "src/sim/fleet.h"
+#include "src/trace/azure_generator.h"
+
+namespace {
+
+using namespace femux;
+
+// A seasonal-naive forecaster: predicts the value observed one day earlier
+// (a classic baseline the paper's set does not include).
+class SeasonalNaiveForecaster final : public Forecaster {
+ public:
+  explicit SeasonalNaiveForecaster(std::size_t season = 1440) : season_(season) {}
+
+  std::string_view name() const override { return "seasonal_naive"; }
+
+  std::vector<double> Forecast(std::span<const double> history,
+                               std::size_t horizon) override {
+    std::vector<double> out(horizon, 0.0);
+    for (std::size_t h = 0; h < horizon; ++h) {
+      if (history.size() + h >= season_) {
+        const std::size_t idx = history.size() + h - season_;
+        out[h] = ClampPrediction(idx < history.size() ? history[idx]
+                                                      : history.back());
+      } else if (!history.empty()) {
+        out[h] = ClampPrediction(history.back());
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<Forecaster> Clone() const override {
+    return std::make_unique<SeasonalNaiveForecaster>(season_);
+  }
+
+  // Needs to see a full season plus context.
+  std::size_t preferred_history() const override { return season_ + 120; }
+
+ private:
+  std::size_t season_;
+};
+
+}  // namespace
+
+int main() {
+  AzureGeneratorOptions workload;
+  workload.num_apps = 30;
+  workload.duration_days = 3;
+  const Dataset dataset = GenerateAzureDataset(workload);
+  const Rum rum = Rum::Default();
+
+  const auto evaluate = [&](std::unique_ptr<Forecaster> forecaster) {
+    const std::string name(forecaster->name());
+    ForecasterPolicy policy(std::move(forecaster));
+    const FleetResult result = SimulateFleetUniform(dataset, policy, SimOptions{});
+    std::printf("%-16s RUM=%10.1f cold_starts=%9.0f wasted_gbs=%12.0f\n",
+                name.c_str(), rum.Evaluate(result.total), result.total.cold_starts,
+                result.total.wasted_gb_seconds);
+  };
+
+  evaluate(std::make_unique<SeasonalNaiveForecaster>());
+  evaluate(MakeForecasterByName("exp_smoothing"));
+  evaluate(MakeForecasterByName("moving_average_1"));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Knative deployment example: replay a small workload through the Knative
+// Serving deployment model twice — with the default reactive autoscaler and
+// with a predictive hook — and report the difference, plus the FeMux
+// forecasting-service capacity numbers for this machine.
+#include <cstdio>
+#include <memory>
+
+#include "src/core/rum.h"
+#include "src/forecast/registry.h"
+#include "src/knative/femux_service.h"
+#include "src/knative/serving_sim.h"
+#include "src/sim/policy.h"
+#include "src/trace/azure_generator.h"
+
+int main() {
+  using namespace femux;
+
+  AzureGeneratorOptions workload;
+  workload.num_apps = 20;
+  workload.duration_days = 1;
+  const Dataset dataset = GenerateAzureDataset(workload);
+
+  ServingOptions serving;
+  serving.replay_minutes = 12 * 60;
+
+  const ServingResult reactive = SimulateServing(dataset, serving);
+
+  // Predictive mode: exponential smoothing per app (swap in a trained
+  // FemuxPolicy for the full system; see bench_fig14_knative.cc).
+  ForecasterPolicy prototype(MakeForecasterByName("exp_smoothing"));
+  const PredictiveHook hook = MakePolicyHook(prototype, dataset.apps.size());
+  const ServingResult predictive = SimulateServing(dataset, serving, hook);
+
+  const Rum rum = Rum::Default();
+  std::printf("reactive:   %s RUM=%.1f\n", FormatMetrics(reactive.total).c_str(),
+              rum.Evaluate(reactive.total));
+  std::printf("predictive: %s RUM=%.1f\n", FormatMetrics(predictive.total).c_str(),
+              rum.Evaluate(predictive.total));
+
+  // Forecasting-service capacity on this machine.
+  FemuxModel model;
+  model.forecaster_names = {"ar", "fft", "exp_smoothing", "markov_chain"};
+  FemuxServiceOptions service;
+  service.request_count = 2000;
+  const FemuxServiceReport report = EvaluateFemuxService(model, service);
+  std::printf("forecast service: mean=%.3fms p99=%.3fms apps_per_pod=%.0f\n",
+              report.mean_latency_ms, report.p99_latency_ms, report.apps_per_pod);
+  return 0;
+}

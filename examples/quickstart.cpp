@@ -1,0 +1,63 @@
+// Quickstart: generate a synthetic Azure-'19-style workload, train FeMux
+// offline, and compare it against Knative's default reactive autoscaling
+// policy on the held-out test applications.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "src/baselines/baselines.h"
+#include "src/core/femux.h"
+#include "src/core/trainer.h"
+#include "src/sim/fleet.h"
+#include "src/trace/azure_generator.h"
+#include "src/trace/split.h"
+
+int main() {
+  using namespace femux;
+
+  // 1. Workload: 60 applications, 4 days of per-minute invocation counts.
+  AzureGeneratorOptions workload;
+  workload.num_apps = 60;
+  workload.duration_days = 4;
+  const Dataset dataset = GenerateAzureDataset(workload);
+  std::printf("dataset: %zu apps, %lld invocations over %d days\n",
+              dataset.apps.size(),
+              static_cast<long long>(dataset.TotalInvocations()),
+              dataset.duration_days);
+
+  // 2. Split apps 70/30 into train and test.
+  const DatasetSplit split = SplitDataset(dataset);
+  std::vector<int> train = split.train;
+  train.insert(train.end(), split.validation.begin(), split.validation.end());
+
+  // 3. Train FeMux for the default RUM (1 cold-start second ~ 99.7 GB-s).
+  TrainerOptions trainer;
+  trainer.clusters = 10;
+  trainer.refit_interval = 20;  // AR/SETAR/FFT refit stride (speed knob).
+  const TrainResult trained = TrainFemux(dataset, train, Rum::Default(), trainer);
+  std::printf("trained: %zu clusters, default forecaster = %s\n",
+              trained.model.kmeans.cluster_count(),
+              trained.model.forecaster_names[trained.model.default_forecaster].c_str());
+
+  // 4. Evaluate on the test apps against Knative's reactive default.
+  const Dataset test = Subset(dataset, split.test);
+  auto model = std::make_shared<FemuxModel>(trained.model);
+  const FemuxPolicy femux(model);
+  const FleetResult femux_result = SimulateFleetUniform(test, femux, SimOptions{});
+  const FleetResult knative_result =
+      SimulateFleetUniform(test, *MakeKnativeDefaultPolicy(), SimOptions{});
+
+  const Rum rum = Rum::Default();
+  const double femux_rum = rum.Evaluate(femux_result.total);
+  const double knative_rum = rum.Evaluate(knative_result.total);
+  std::printf("FeMux:   %s  RUM=%.1f\n", FormatMetrics(femux_result.total).c_str(),
+              femux_rum);
+  std::printf("Knative: %s  RUM=%.1f\n", FormatMetrics(knative_result.total).c_str(),
+              knative_rum);
+  std::printf("RUM reduction vs Knative default: %.1f%%\n",
+              100.0 * (1.0 - femux_rum / knative_rum));
+  return 0;
+}

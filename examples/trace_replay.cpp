@@ -1,0 +1,49 @@
+// Trace replay: load a dataset from CSV (your own traces, or the files
+// written by examples/characterize_trace) and compare lifetime-management
+// policies on it. Usage:
+//   ./trace_replay [configs.csv counts.csv]
+// With no arguments a small synthetic dataset is generated in-memory.
+#include <cstdio>
+#include <memory>
+
+#include "src/baselines/baselines.h"
+#include "src/core/rum.h"
+#include "src/forecast/registry.h"
+#include "src/sim/fleet.h"
+#include "src/trace/azure_generator.h"
+#include "src/trace/csv_io.h"
+
+int main(int argc, char** argv) {
+  using namespace femux;
+
+  Dataset dataset;
+  if (argc == 3) {
+    dataset = ReadDatasetCsvFiles(argv[1], argv[2]);
+    if (dataset.apps.empty()) {
+      std::fprintf(stderr, "failed to load %s / %s\n", argv[1], argv[2]);
+      return 1;
+    }
+    std::printf("loaded %zu apps (%d days) from CSV\n", dataset.apps.size(),
+                dataset.duration_days);
+  } else {
+    AzureGeneratorOptions options;
+    options.num_apps = 40;
+    options.duration_days = 2;
+    dataset = GenerateAzureDataset(options);
+    std::printf("no CSV given; generated %zu synthetic apps\n", dataset.apps.size());
+  }
+
+  const Rum rum = Rum::Default();
+  const auto evaluate = [&](const char* label, std::unique_ptr<ScalingPolicy> policy) {
+    const FleetResult result = SimulateFleetUniform(dataset, *policy, SimOptions{});
+    std::printf("%-22s %s RUM=%.1f\n", label, FormatMetrics(result.total).c_str(),
+                rum.Evaluate(result.total));
+  };
+  evaluate("knative_default", MakeKnativeDefaultPolicy());
+  evaluate("keep_alive_5min", MakeKeepAlivePolicy(5));
+  evaluate("keep_alive_10min", MakeKeepAlivePolicy(10));
+  evaluate("icebreaker_fft", MakeIceBreakerPolicy());
+  evaluate("exp_smoothing",
+           std::make_unique<ForecasterPolicy>(MakeForecasterByName("exp_smoothing")));
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "src/baselines/baselines.h"
+
+#include <chrono>
+#include <vector>
+
+#include "src/forecast/fft_forecaster.h"
+#include "src/forecast/lstm.h"
+#include "src/forecast/simple.h"
+#include "src/sim/fleet.h"
+
+namespace femux {
+
+std::unique_ptr<ScalingPolicy> MakeKnativeDefaultPolicy() {
+  return std::make_unique<ForecasterPolicy>(
+      std::make_unique<MovingAverageForecaster>(1));
+}
+
+std::unique_ptr<ScalingPolicy> MakeKeepAlivePolicy(std::size_t minutes) {
+  return std::make_unique<ForecasterPolicy>(
+      std::make_unique<KeepAliveForecaster>(minutes));
+}
+
+std::unique_ptr<ScalingPolicy> MakeIceBreakerPolicy() {
+  return std::make_unique<ForecasterPolicy>(std::make_unique<FftForecaster>(10));
+}
+
+std::unique_ptr<ScalingPolicy> MakeAquatopePolicy(const AppTrace& app,
+                                                  const AquatopeOptions& options,
+                                                  AquatopePolicyStats* stats) {
+  LstmOptions lstm_options;
+  lstm_options.hidden = options.hidden;
+  lstm_options.epochs = options.epochs;
+  auto lstm = std::make_unique<LstmForecaster>(lstm_options);
+
+  const std::vector<double> demand = DemandSeries(app, 60.0);
+  const std::size_t train_minutes = std::min(
+      demand.size(), static_cast<std::size_t>(options.train_days) * kMinutesPerDay);
+
+  const auto start = std::chrono::steady_clock::now();
+  const double mse =
+      lstm->TrainOnSeries(std::span<const double>(demand).first(train_minutes));
+  if (stats != nullptr) {
+    stats->train_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    stats->final_train_mse = mse;
+  }
+  return std::make_unique<ForecasterPolicy>(std::move(lstm), options.uncertainty_margin,
+                                            /*history_len=*/48);
+}
+
+}  // namespace femux

@@ -1,0 +1,48 @@
+// Policy constructors for the remaining prior-work baselines (§5.1.1).
+//
+//  * Knative default — reactive scaling to the last observed concurrency
+//    (Knative's stable-mode 1-minute sliding average at minute data).
+//  * Fixed keep-alive — 1/5/10-minute keep-alive policies (Huawei, AWS, and
+//    the 10-minute normalization baseline used by IceBreaker/Aquatope).
+//  * IceBreaker — a single FFT forecaster for every application; the paper
+//    evaluates its adaptive lifetime policy on homogeneous resources.
+//  * Aquatope — a per-application LSTM trained on the first 7 days of each
+//    trace (§5.1.1); heavyweight training/inference by construction.
+#ifndef SRC_BASELINES_BASELINES_H_
+#define SRC_BASELINES_BASELINES_H_
+
+#include <memory>
+
+#include "src/sim/policy.h"
+#include "src/trace/trace.h"
+
+namespace femux {
+
+std::unique_ptr<ScalingPolicy> MakeKnativeDefaultPolicy();
+std::unique_ptr<ScalingPolicy> MakeKeepAlivePolicy(std::size_t minutes);
+std::unique_ptr<ScalingPolicy> MakeIceBreakerPolicy();
+
+struct AquatopeOptions {
+  // Training horizon: the first `train_days` of the trace.
+  int train_days = 7;
+  std::size_t hidden = 16;
+  std::size_t epochs = 3;
+  // Aquatope is QoS-and-uncertainty-aware: it pads predictions with an
+  // uncertainty buffer, which is what drives its high memory allocation.
+  double uncertainty_margin = 2.0;
+};
+
+struct AquatopePolicyStats {
+  double train_seconds = 0.0;
+  double final_train_mse = 0.0;
+};
+
+// Trains one Aquatope LSTM on `app`'s demand series and returns the policy.
+// `stats`, when non-null, receives training cost measurements.
+std::unique_ptr<ScalingPolicy> MakeAquatopePolicy(const AppTrace& app,
+                                                  const AquatopeOptions& options,
+                                                  AquatopePolicyStats* stats = nullptr);
+
+}  // namespace femux
+
+#endif  // SRC_BASELINES_BASELINES_H_

@@ -1,0 +1,131 @@
+#include "src/baselines/faascache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/sim/fleet.h"
+
+namespace femux {
+namespace {
+
+struct AppState {
+  std::vector<double> demand;    // Units required per epoch.
+  std::vector<double> arrivals;  // Invocations per epoch.
+  double memory_gb = 0.15;       // Per container.
+  double warm_units = 0.0;       // Currently cached containers.
+  double frequency = 0.0;        // GDSF access count.
+  double priority = 0.0;
+  double current_demand = 0.0;   // Busy floor for this epoch.
+};
+
+}  // namespace
+
+FaasCacheResult SimulateFaasCache(const Dataset& dataset,
+                                  const FaasCacheOptions& options) {
+  FaasCacheResult result;
+  const std::size_t n = dataset.apps.size();
+  result.per_app.resize(n);
+
+  std::vector<AppState> apps(n);
+  std::size_t epochs = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    apps[a].demand = DemandSeries(dataset.apps[a], options.epoch_seconds);
+    apps[a].arrivals = ArrivalSeries(dataset.apps[a], options.epoch_seconds);
+    apps[a].memory_gb = dataset.apps[a].consumed_memory_mb > 0.0
+                            ? dataset.apps[a].consumed_memory_mb / 1024.0
+                            : 0.15;
+    epochs = std::max(epochs, apps[a].demand.size());
+  }
+
+  double clock = 0.0;
+  double used_gb = 0.0;
+
+  // Frees at least `need_gb` by evicting idle containers in GDSF priority
+  // order. Returns the amount actually freed.
+  auto evict = [&](double need_gb) {
+    double freed = 0.0;
+    while (freed < need_gb) {
+      std::size_t victim = n;
+      double victim_priority = std::numeric_limits<double>::infinity();
+      for (std::size_t a = 0; a < n; ++a) {
+        const double idle = apps[a].warm_units - apps[a].current_demand;
+        if (idle >= 1.0 && apps[a].priority < victim_priority) {
+          victim_priority = apps[a].priority;
+          victim = a;
+        }
+      }
+      if (victim == n) {
+        break;  // Nothing evictable (everything is busy).
+      }
+      apps[victim].warm_units -= 1.0;
+      used_gb -= apps[victim].memory_gb;
+      freed += apps[victim].memory_gb;
+      clock = std::max(clock, victim_priority);  // Greedy-dual aging.
+    }
+    return freed;
+  };
+
+  for (std::size_t t = 0; t < epochs; ++t) {
+    // Phase 1: record this epoch's busy floors so eviction never removes a
+    // container that is serving.
+    for (std::size_t a = 0; a < n; ++a) {
+      apps[a].current_demand =
+          t < apps[a].demand.size() ? std::ceil(apps[a].demand[t] - 1e-9) : 0.0;
+    }
+
+    for (std::size_t a = 0; a < n; ++a) {
+      AppState& app = apps[a];
+      SimMetrics& m = result.per_app[a];
+      const double demand = t < app.demand.size() ? std::max(0.0, app.demand[t]) : 0.0;
+      const double demand_units = app.current_demand;
+      const double arrivals = t < app.arrivals.size() ? app.arrivals[t] : 0.0;
+      m.invocations += arrivals;
+
+      double cold = std::max(0.0, demand_units - app.warm_units);
+      double transient = 0.0;  // Cold units the cache refused to admit.
+      if (cold > 0.0) {
+        m.cold_starts += cold;
+        m.cold_start_seconds += cold * options.cold_start_seconds;
+        if (demand_units > 0.0) {
+          m.cold_invocations += arrivals * cold / demand_units;
+        }
+        // Admit into the cache, evicting idle low-priority containers.
+        double need_gb = cold * app.memory_gb;
+        const double free_gb = options.cache_size_gb - used_gb;
+        if (need_gb > free_gb) {
+          evict(need_gb - free_gb);
+        }
+        double admit = std::min(
+            cold, std::floor((options.cache_size_gb - used_gb) / app.memory_gb));
+        admit = std::max(0.0, admit);
+        transient = cold - admit;
+        app.warm_units += admit;
+        used_gb += admit * app.memory_gb;
+      }
+
+      app.frequency += arrivals > 0.0 ? arrivals : (demand_units > 0.0 ? 1.0 : 0.0);
+      if (demand_units > 0.0) {
+        // GDSF priority: clock + frequency * cost / size.
+        app.priority = clock + app.frequency * options.priority_cost_seconds /
+                                   std::max(1e-6, app.memory_gb);
+      }
+
+      const double alive = app.warm_units + transient;
+      const double busy = std::min(alive, demand);
+      m.wasted_gb_seconds +=
+          (alive - busy) * options.epoch_seconds * app.memory_gb;
+      m.allocated_gb_seconds += alive * options.epoch_seconds * app.memory_gb;
+      m.execution_seconds += busy * options.epoch_seconds;
+      m.service_seconds +=
+          busy * options.epoch_seconds + cold * options.cold_start_seconds;
+    }
+  }
+
+  for (const SimMetrics& m : result.per_app) {
+    result.total += m;
+  }
+  return result;
+}
+
+}  // namespace femux

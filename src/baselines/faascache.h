@@ -1,0 +1,43 @@
+// FaasCache baseline (Fuerst & Sharma, ASPLOS '21).
+//
+// FaasCache models serverless keep-alive as a caching problem: warm
+// containers live in a fixed-size memory cache and are evicted with a
+// Greedy-Dual-Size-Frequency policy (priority = clock + frequency * cost /
+// size). Unlike FeMux it cannot adapt its capacity to traffic, which is the
+// axis of the Fig.-11-Left comparison: a too-small cache thrashes (cold
+// starts), a too-large one wastes memory.
+//
+// This is a fleet-level simulator (the cache couples applications), unlike
+// the per-app simulator in src/sim.
+#ifndef SRC_BASELINES_FAASCACHE_H_
+#define SRC_BASELINES_FAASCACHE_H_
+
+#include <vector>
+
+#include "src/sim/metrics.h"
+#include "src/trace/trace.h"
+
+namespace femux {
+
+struct FaasCacheOptions {
+  double cache_size_gb = 270.0;     // Fixed warm-container budget.
+  double epoch_seconds = 60.0;
+  double cold_start_seconds = 0.808;
+  // Per-container warm-up cost used in the GDSF priority (seconds).
+  double priority_cost_seconds = 0.808;
+};
+
+struct FaasCacheResult {
+  SimMetrics total;
+  std::vector<SimMetrics> per_app;
+};
+
+// Replays the dataset through the greedy-dual cache. Container memory per
+// app comes from `consumed_memory_mb`. Apps whose demand exceeds what the
+// cache admits cold-start every epoch they overflow.
+FaasCacheResult SimulateFaasCache(const Dataset& dataset,
+                                  const FaasCacheOptions& options);
+
+}  // namespace femux
+
+#endif  // SRC_BASELINES_FAASCACHE_H_

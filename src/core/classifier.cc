@@ -1,0 +1,320 @@
+#include "src/core/classifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/stats/rng.h"
+
+namespace femux {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+int MajorityLabel(const std::vector<int>& labels,
+                  const std::vector<std::size_t>& indices) {
+  std::vector<int> counts;
+  for (std::size_t idx : indices) {
+    const int label = labels[idx];
+    if (static_cast<std::size_t>(label) >= counts.size()) {
+      counts.resize(label + 1, 0);
+    }
+    ++counts[label];
+  }
+  int best = 0;
+  for (std::size_t l = 1; l < counts.size(); ++l) {
+    if (counts[l] > counts[best]) {
+      best = static_cast<int>(l);
+    }
+  }
+  return best;
+}
+
+double Gini(const std::vector<int>& counts, double total) {
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  double sum_sq = 0.0;
+  for (int c : counts) {
+    const double p = static_cast<double>(c) / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void KMeans::Fit(const std::vector<std::vector<double>>& rows, std::size_t k,
+                 std::uint64_t seed, std::size_t max_iterations) {
+  centroids_.clear();
+  inertia_ = 0.0;
+  if (rows.empty() || k == 0) {
+    return;
+  }
+  k = std::min(k, rows.size());
+  Rng rng(seed);
+
+  // k-means++ seeding.
+  centroids_.push_back(rows[rng.UniformInt(0, static_cast<std::int64_t>(rows.size()) - 1)]);
+  std::vector<double> dist2(rows.size(), std::numeric_limits<double>::infinity());
+  while (centroids_.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      dist2[i] = std::min(dist2[i], SquaredDistance(rows[i], centroids_.back()));
+      total += dist2[i];
+    }
+    if (total <= 0.0) {
+      break;  // Fewer distinct points than k.
+    }
+    double pick = rng.Uniform(0.0, total);
+    std::size_t chosen = rows.size() - 1;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      pick -= dist2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids_.push_back(rows[chosen]);
+  }
+
+  // Lloyd iterations.
+  std::vector<std::size_t> assignment(rows.size(), 0);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < centroids_.size(); ++c) {
+        const double d = SquaredDistance(rows[i], centroids_[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) {
+      break;
+    }
+    // Recompute centroids; empty clusters keep their previous position.
+    std::vector<std::vector<double>> sums(centroids_.size(),
+                                          std::vector<double>(rows.front().size(), 0.0));
+    std::vector<std::size_t> counts(centroids_.size(), 0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ++counts[assignment[i]];
+      for (std::size_t d = 0; d < rows[i].size(); ++d) {
+        sums[assignment[i]][d] += rows[i][d];
+      }
+    }
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+      if (counts[c] == 0) {
+        continue;
+      }
+      for (std::size_t d = 0; d < centroids_[c].size(); ++d) {
+        centroids_[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    inertia_ += SquaredDistance(rows[i], centroids_[assignment[i]]);
+  }
+}
+
+std::size_t KMeans::Predict(const std::vector<double>& row) const {
+  assert(!centroids_.empty());
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = SquaredDistance(row, centroids_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+int DecisionTree::Build(const std::vector<std::vector<double>>& rows,
+                        const std::vector<int>& labels,
+                        std::vector<std::size_t>& indices, std::size_t depth,
+                        const Options& options, std::uint64_t node_seed) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].label = MajorityLabel(labels, indices);
+
+  // Stop conditions: depth, size, purity.
+  bool pure = true;
+  for (std::size_t idx : indices) {
+    if (labels[idx] != labels[indices.front()]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= options.max_depth || indices.size() < options.min_samples_split) {
+    return node_index;
+  }
+
+  const std::size_t dims = rows.front().size();
+  std::vector<std::size_t> candidates(dims);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  if (options.feature_subsample > 0 && options.feature_subsample < dims) {
+    Rng rng(node_seed);
+    std::shuffle(candidates.begin(), candidates.end(), rng.engine());
+    candidates.resize(options.feature_subsample);
+  }
+
+  int max_label = 0;
+  for (std::size_t idx : indices) {
+    max_label = std::max(max_label, labels[idx]);
+  }
+
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const double total = static_cast<double>(indices.size());
+
+  std::vector<int> parent_counts(max_label + 1, 0);
+  for (std::size_t idx : indices) {
+    ++parent_counts[labels[idx]];
+  }
+  const double parent_gini = Gini(parent_counts, total);
+
+  std::vector<std::pair<double, int>> sorted_values;
+  for (std::size_t feature : candidates) {
+    sorted_values.clear();
+    sorted_values.reserve(indices.size());
+    for (std::size_t idx : indices) {
+      sorted_values.emplace_back(rows[idx][feature], labels[idx]);
+    }
+    std::sort(sorted_values.begin(), sorted_values.end());
+    std::vector<int> left_counts(max_label + 1, 0);
+    std::vector<int> right_counts = parent_counts;
+    for (std::size_t i = 0; i + 1 < sorted_values.size(); ++i) {
+      ++left_counts[sorted_values[i].second];
+      --right_counts[sorted_values[i].second];
+      if (sorted_values[i].first == sorted_values[i + 1].first) {
+        continue;  // Can't split between equal values.
+      }
+      const double nl = static_cast<double>(i + 1);
+      const double nr = total - nl;
+      const double gain = parent_gini - (nl / total) * Gini(left_counts, nl) -
+                          (nr / total) * Gini(right_counts, nr);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5 * (sorted_values[i].first + sorted_values[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) {
+    return node_index;
+  }
+
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  for (std::size_t idx : indices) {
+    (rows[idx][best_feature] <= best_threshold ? left : right).push_back(idx);
+  }
+  if (left.empty() || right.empty()) {
+    return node_index;
+  }
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const int l = Build(rows, labels, left, depth + 1, options, node_seed * 2 + 1);
+  nodes_[node_index].left = l;
+  const int r = Build(rows, labels, right, depth + 1, options, node_seed * 2 + 2);
+  nodes_[node_index].right = r;
+  return node_index;
+}
+
+void DecisionTree::Fit(const std::vector<std::vector<double>>& rows,
+                       const std::vector<int>& labels, const Options& options) {
+  nodes_.clear();
+  if (rows.empty() || rows.size() != labels.size()) {
+    return;
+  }
+  std::vector<std::size_t> indices(rows.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(rows, labels, indices, 0, options, options.seed + 1);
+}
+
+int DecisionTree::Predict(const std::vector<double>& row) const {
+  if (nodes_.empty()) {
+    return 0;
+  }
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold ? nodes_[node].left
+                                                               : nodes_[node].right;
+  }
+  return nodes_[node].label;
+}
+
+void RandomForest::Fit(const std::vector<std::vector<double>>& rows,
+                       const std::vector<int>& labels, const Options& options) {
+  trees_.clear();
+  label_count_ = 0;
+  if (rows.empty() || rows.size() != labels.size()) {
+    return;
+  }
+  for (int l : labels) {
+    label_count_ = std::max(label_count_, l + 1);
+  }
+  const std::size_t dims = rows.front().size();
+  Rng rng(options.seed);
+  trees_.resize(options.trees);
+  for (std::size_t t = 0; t < options.trees; ++t) {
+    // Bootstrap sample.
+    std::vector<std::vector<double>> sample_rows;
+    std::vector<int> sample_labels;
+    sample_rows.reserve(rows.size());
+    sample_labels.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(rows.size()) - 1));
+      sample_rows.push_back(rows[pick]);
+      sample_labels.push_back(labels[pick]);
+    }
+    DecisionTree::Options tree_options = options.tree;
+    tree_options.feature_subsample =
+        std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(static_cast<double>(dims))));
+    tree_options.seed = options.seed + 1000 * (t + 1);
+    trees_[t].Fit(sample_rows, sample_labels, tree_options);
+  }
+}
+
+int RandomForest::Predict(const std::vector<double>& row) const {
+  if (trees_.empty()) {
+    return 0;
+  }
+  std::vector<int> votes(std::max(label_count_, 1), 0);
+  for (const DecisionTree& tree : trees_) {
+    const int label = tree.Predict(row);
+    if (static_cast<std::size_t>(label) >= votes.size()) {
+      votes.resize(label + 1, 0);
+    }
+    ++votes[label];
+  }
+  int best = 0;
+  for (std::size_t l = 1; l < votes.size(); ++l) {
+    if (votes[l] > votes[best]) {
+      best = static_cast<int>(l);
+    }
+  }
+  return best;
+}
+
+}  // namespace femux

@@ -1,0 +1,100 @@
+// Block classifiers (§4.3.4).
+//
+// FeMux maps block features to forecasters with K-means: blocks are
+// clustered, then each cluster is assigned the forecaster with the lowest
+// total RUM over its member blocks. The paper reports this beats supervised
+// labeling (decision trees / random forests) by >15 % RUM because
+// clustering tolerates mislabeled individual blocks; both supervised
+// models are implemented here for that comparison.
+#ifndef SRC_CORE_CLASSIFIER_H_
+#define SRC_CORE_CLASSIFIER_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace femux {
+
+class KMeans {
+ public:
+  // Lloyd's algorithm with k-means++ seeding. `rows` must be non-empty and
+  // rectangular. Effective k is min(k, #distinct rows encountered).
+  void Fit(const std::vector<std::vector<double>>& rows, std::size_t k,
+           std::uint64_t seed = 0, std::size_t max_iterations = 100);
+
+  std::size_t Predict(const std::vector<double>& row) const;
+
+  std::size_t cluster_count() const { return centroids_.size(); }
+  const std::vector<std::vector<double>>& centroids() const { return centroids_; }
+  // Restores a fitted state from persisted centroids (deserialization).
+  void SetCentroids(std::vector<std::vector<double>> centroids) {
+    centroids_ = std::move(centroids);
+  }
+  // Within-cluster sum of squared distances from the final fit.
+  double inertia() const { return inertia_; }
+
+ private:
+  std::vector<std::vector<double>> centroids_;
+  double inertia_ = 0.0;
+};
+
+// CART-style decision tree for classification (Gini impurity, axis-aligned
+// splits). Labels are small non-negative integers.
+class DecisionTree {
+ public:
+  struct Options {
+    std::size_t max_depth = 8;
+    std::size_t min_samples_split = 8;
+    // Number of feature candidates per split; 0 = all (random forests pass
+    // sqrt(d)).
+    std::size_t feature_subsample = 0;
+    std::uint64_t seed = 0;
+  };
+
+  void Fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<int>& labels, const Options& options);
+
+  int Predict(const std::vector<double>& row) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 marks a leaf.
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int label = 0;          // Majority label (leaves).
+  };
+
+  int Build(const std::vector<std::vector<double>>& rows,
+            const std::vector<int>& labels, std::vector<std::size_t>& indices,
+            std::size_t depth, const Options& options, std::uint64_t node_seed);
+
+  std::vector<Node> nodes_;
+};
+
+// Bagged ensemble of decision trees with feature subsampling.
+class RandomForest {
+ public:
+  struct Options {
+    std::size_t trees = 30;
+    DecisionTree::Options tree;
+    std::uint64_t seed = 0;
+  };
+
+  void Fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<int>& labels, const Options& options);
+
+  int Predict(const std::vector<double>& row) const;
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int label_count_ = 0;
+};
+
+}  // namespace femux
+
+#endif  // SRC_CORE_CLASSIFIER_H_

@@ -1,0 +1,113 @@
+#include "src/core/features.h"
+
+#include <cmath>
+
+#include "src/forecast/ar.h"
+#include "src/stats/adf.h"
+#include "src/stats/bds.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/fft.h"
+#include "src/stats/ols.h"
+
+namespace femux {
+namespace {
+
+// Residuals of a light AR(5) fit; the BDS test is run on these so that
+// linear structure is removed first (§4.3.2).
+std::vector<double> ArResiduals(std::span<const double> block) {
+  constexpr std::size_t kLags = 5;
+  if (block.size() <= kLags + 4 || Variance(block) == 0.0) {
+    return {};
+  }
+  const std::size_t rows = block.size() - kLags;
+  Matrix x(rows, kLags + 1);
+  std::vector<double> y(rows);
+  for (std::size_t t = kLags; t < block.size(); ++t) {
+    const std::size_t r = t - kLags;
+    y[r] = block[t];
+    x(r, 0) = 1.0;
+    for (std::size_t k = 1; k <= kLags; ++k) {
+      x(r, k) = block[t - k];
+    }
+  }
+  OlsResult fit = FitOls(x, y);
+  if (!fit.ok) {
+    return {};
+  }
+  return std::move(fit.residuals);
+}
+
+}  // namespace
+
+std::string FeatureName(Feature feature) {
+  switch (feature) {
+    case Feature::kStationarity:
+      return "stationarity";
+    case Feature::kLinearity:
+      return "linearity";
+    case Feature::kHarmonics:
+      return "harmonics";
+    case Feature::kDensity:
+      return "density";
+    case Feature::kExecTime:
+      return "exec_time";
+  }
+  return "unknown";
+}
+
+std::vector<Feature> DefaultFeatureSet() {
+  return {Feature::kStationarity, Feature::kLinearity, Feature::kHarmonics,
+          Feature::kDensity};
+}
+
+FeatureExtractor::FeatureExtractor(std::vector<Feature> features)
+    : features_(std::move(features)) {}
+
+std::vector<double> FeatureExtractor::Extract(std::span<const double> block,
+                                              double mean_execution_ms) const {
+  std::vector<double> out;
+  out.reserve(features_.size());
+  for (Feature f : features_) {
+    switch (f) {
+      case Feature::kStationarity: {
+        // Fixed small lag keeps extraction under the paper's 5 ms budget.
+        const AdfResult adf = AdfTest(block, /*lags=*/4);
+        // Clamp: extremely stationary series produce huge negative stats.
+        out.push_back(adf.ok ? std::max(adf.statistic, -50.0) : 0.0);
+        break;
+      }
+      case Feature::kLinearity: {
+        const std::vector<double> residuals = ArResiduals(block);
+        const BdsResult bds = BdsTest(residuals, /*dimension=*/2);
+        out.push_back(bds.ok ? std::min(std::abs(bds.statistic), 50.0) : 0.0);
+        break;
+      }
+      case Feature::kHarmonics:
+        out.push_back(SpectralConcentration(block, /*k=*/10));
+        break;
+      case Feature::kDensity: {
+        double total = 0.0;
+        for (double v : block) {
+          total += v;
+        }
+        out.push_back(std::log10(1.0 + total));
+        break;
+      }
+      case Feature::kExecTime:
+        out.push_back(std::log10(1.0 + std::max(0.0, mean_execution_ms)));
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t BlockCount(std::size_t n, std::size_t block_size) {
+  return block_size == 0 ? 0 : n / block_size;
+}
+
+std::span<const double> BlockSlice(std::span<const double> series, std::size_t b,
+                                   std::size_t block_size) {
+  return series.subspan(b * block_size, block_size);
+}
+
+}  // namespace femux

@@ -1,0 +1,65 @@
+// Block partitioning and per-block feature extraction (§4.3.2).
+//
+// FeMux divides each application's concurrency series into fixed-size
+// blocks (504 minutes by default — the BDS linearity test needs >= 400
+// points, and 504 divides the 14-day Azure trace into 40 blocks). Once per
+// completed block it computes a small feature vector:
+//   stationarity  — ADF t-statistic (more negative = more stationary)
+//   linearity     — |BDS statistic| on AR residuals (larger = less linear)
+//   harmonics     — top-10 spectral energy concentration in [0, 1]
+//   density       — log10(1 + total invocations-equivalent in the block)
+//   exec_time     — log10 of the app's mean execution time (only when the
+//                   exec-aware RUM is in use, §5.1.3)
+#ifndef SRC_CORE_FEATURES_H_
+#define SRC_CORE_FEATURES_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace femux {
+
+inline constexpr std::size_t kDefaultBlockMinutes = 504;
+
+// Feature identifiers; also the ablation axis of Fig. 18.
+enum class Feature {
+  kStationarity,
+  kLinearity,
+  kHarmonics,
+  kDensity,
+  kExecTime,
+};
+
+std::string FeatureName(Feature feature);
+
+// The paper's default feature set (exec time is added only for FeMux-Exec).
+std::vector<Feature> DefaultFeatureSet();
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(std::vector<Feature> features = DefaultFeatureSet());
+
+  // Extracts the configured features from one block of the concurrency
+  // series. `mean_execution_ms` is used by Feature::kExecTime.
+  // Inexpensive by design: <5 ms per block (§4.3.2).
+  std::vector<double> Extract(std::span<const double> block,
+                              double mean_execution_ms = 0.0) const;
+
+  const std::vector<Feature>& features() const { return features_; }
+  std::size_t dimension() const { return features_.size(); }
+
+ private:
+  std::vector<Feature> features_;
+};
+
+// Number of complete blocks in a series of `n` samples.
+std::size_t BlockCount(std::size_t n, std::size_t block_size = kDefaultBlockMinutes);
+
+// The b-th complete block of `series` as a subspan.
+std::span<const double> BlockSlice(std::span<const double> series, std::size_t b,
+                                   std::size_t block_size = kDefaultBlockMinutes);
+
+}  // namespace femux
+
+#endif  // SRC_CORE_FEATURES_H_

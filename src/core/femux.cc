@@ -1,0 +1,61 @@
+#include "src/core/femux.h"
+
+namespace femux {
+
+FemuxPolicy::FemuxPolicy(std::shared_ptr<const FemuxModel> model,
+                         double mean_execution_ms, double margin)
+    : model_(std::move(model)), extractor_(model_->features),
+      mean_execution_ms_(mean_execution_ms), margin_(margin) {
+  block_buffer_.reserve(model_->block_minutes);
+  current_index_ = model_->default_forecaster;
+  forecaster_ = model_->MakeForecaster(current_index_);
+  if (!model_->margins.empty()) {
+    selected_margin_ =
+        model_->margins[static_cast<std::size_t>(model_->default_margin)];
+  }
+}
+
+void FemuxPolicy::CompleteBlock() {
+  const std::vector<double> raw =
+      extractor_.Extract(block_buffer_, mean_execution_ms_);
+  const FemuxModel::Selection selected = model_->Select(raw);
+  ++blocks_per_forecaster_[model_->forecaster_names[static_cast<std::size_t>(
+      selected.forecaster)]];
+  if (selected.forecaster != current_index_) {
+    current_index_ = selected.forecaster;
+    forecaster_ = model_->MakeForecaster(selected.forecaster);
+    ++switch_count_;
+  }
+  selected_margin_ = selected.margin;
+  block_buffer_.clear();
+}
+
+double FemuxPolicy::TargetUnits(std::span<const double> demand_history) {
+  if (!demand_history.empty()) {
+    // The simulator advances one epoch per call, so the newest history
+    // entry is exactly one unseen sample.
+    block_buffer_.push_back(demand_history.back());
+    if (block_buffer_.size() >= model_->block_minutes) {
+      CompleteBlock();
+    }
+  }
+  if (demand_history.empty()) {
+    return 0.0;
+  }
+  const std::size_t window =
+      std::max(kDefaultHistoryMinutes, forecaster_->preferred_history());
+  const std::size_t start =
+      demand_history.size() > window ? demand_history.size() - window : 0;
+  return ForecastOne(*forecaster_, demand_history.subspan(start)) * margin_ *
+         selected_margin_;
+}
+
+std::unique_ptr<ScalingPolicy> FemuxPolicy::Clone() const {
+  return std::make_unique<FemuxPolicy>(model_, mean_execution_ms_, margin_);
+}
+
+int FemuxPolicy::distinct_forecasters_used() const {
+  return static_cast<int>(blocks_per_forecaster_.size());
+}
+
+}  // namespace femux

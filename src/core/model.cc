@@ -1,0 +1,79 @@
+#include "src/core/model.h"
+
+#include "src/forecast/ar.h"
+#include "src/forecast/fft_forecaster.h"
+#include "src/forecast/registry.h"
+
+namespace femux {
+
+FemuxModel::Selection FemuxModel::Select(const std::vector<double>& raw_features) const {
+  Selection selection;
+  selection.forecaster = default_forecaster;
+  selection.margin =
+      margins.empty() ? 1.0 : margins[static_cast<std::size_t>(default_margin)];
+  if (!scaler.fitted() || forecaster_names.empty()) {
+    return selection;
+  }
+  const std::vector<double> scaled = scaler.Transform(raw_features);
+  int forecaster = default_forecaster;
+  int margin = default_margin;
+  switch (classifier) {
+    case ClassifierKind::kKMeans: {
+      if (kmeans.cluster_count() == 0) {
+        return selection;
+      }
+      const std::size_t cluster = kmeans.Predict(scaled);
+      if (cluster < cluster_to_forecaster.size()) {
+        forecaster = cluster_to_forecaster[cluster];
+      }
+      if (cluster < cluster_to_margin.size()) {
+        margin = cluster_to_margin[cluster];
+      }
+      break;
+    }
+    case ClassifierKind::kDecisionTree:
+    case ClassifierKind::kRandomForest: {
+      // Supervised labels encode (forecaster, margin) pairs.
+      const int label = classifier == ClassifierKind::kDecisionTree
+                            ? (tree.fitted() ? tree.Predict(scaled) : -1)
+                            : (forest.tree_count() > 0 ? forest.Predict(scaled) : -1);
+      if (label >= 0) {
+        const int margin_count = static_cast<int>(std::max<std::size_t>(1, margins.size()));
+        forecaster = label / margin_count;
+        margin = label % margin_count;
+      }
+      break;
+    }
+  }
+  if (forecaster < 0 ||
+      static_cast<std::size_t>(forecaster) >= forecaster_names.size()) {
+    forecaster = default_forecaster;
+    margin = default_margin;
+  }
+  selection.forecaster = forecaster;
+  if (!margins.empty() && margin >= 0 &&
+      static_cast<std::size_t>(margin) < margins.size()) {
+    selection.margin = margins[static_cast<std::size_t>(margin)];
+  }
+  return selection;
+}
+
+std::unique_ptr<Forecaster> FemuxModel::MakeForecaster(int index) const {
+  if (index < 0 || static_cast<std::size_t>(index) >= forecaster_names.size()) {
+    index = default_forecaster;
+  }
+  const std::string& name = forecaster_names[static_cast<std::size_t>(index)];
+  // AR-family and FFT forecasters honor the model's refit stride.
+  if (name == "ar") {
+    return std::make_unique<ArForecaster>(10, refit_interval);
+  }
+  if (name == "setar") {
+    return std::make_unique<SetarForecaster>(10, 2, refit_interval);
+  }
+  if (name == "fft") {
+    return std::make_unique<FftForecaster>(10, refit_interval);
+  }
+  return MakeForecasterByName(name);
+}
+
+}  // namespace femux

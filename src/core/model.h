@@ -1,0 +1,68 @@
+// The trained FeMux model: feature scaler, block classifier, and the
+// cluster-to-forecaster assignment. Produced offline by the trainer
+// (§4.3.4) and shared read-only by every application's FemuxPolicy.
+#ifndef SRC_CORE_MODEL_H_
+#define SRC_CORE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/classifier.h"
+#include "src/core/features.h"
+#include "src/core/rum.h"
+#include "src/forecast/forecaster.h"
+#include "src/stats/scaler.h"
+
+namespace femux {
+
+enum class ClassifierKind { kKMeans, kDecisionTree, kRandomForest };
+
+struct FemuxModel {
+  // Index space for forecasters (names resolvable by the registry).
+  std::vector<std::string> forecaster_names;
+  // AR/SETAR coefficient-refit stride used when instantiating forecasters.
+  std::size_t refit_interval = 5;
+
+  std::vector<Feature> features = DefaultFeatureSet();
+  std::size_t block_minutes = kDefaultBlockMinutes;
+  Rum rum = Rum::Default();
+
+  // Forecast scale margins tried during training (§4.3.3: forecaster
+  // parameters are tuned on RUM, whose asymmetric costs favor upward bias).
+  std::vector<double> margins = {1.0};
+
+  ClassifierKind classifier = ClassifierKind::kKMeans;
+  StandardScaler scaler;
+  KMeans kmeans;
+  // K-means path: per-cluster (forecaster, margin) choice. The margin
+  // entries index into `margins`.
+  std::vector<int> cluster_to_forecaster;
+  std::vector<int> cluster_to_margin;
+  DecisionTree tree;  // Supervised paths label (forecaster, margin) pairs
+  RandomForest forest;  // encoded as f * margins.size() + m.
+  // Used before the first block completes, or when classification fails:
+  // the (forecaster, margin) with the lowest total RUM across all blocks.
+  int default_forecaster = 0;
+  int default_margin = 0;
+
+  struct Selection {
+    int forecaster = 0;
+    double margin = 1.0;
+  };
+
+  // Maps a raw (unscaled) feature vector to a forecaster + margin.
+  Selection Select(const std::vector<double>& raw_features) const;
+
+  // Backwards-friendly wrapper returning only the forecaster index.
+  int SelectForecaster(const std::vector<double>& raw_features) const {
+    return Select(raw_features).forecaster;
+  }
+
+  // Instantiates forecaster `index` (fresh state, model's refit stride).
+  std::unique_ptr<Forecaster> MakeForecaster(int index) const;
+};
+
+}  // namespace femux
+
+#endif  // SRC_CORE_MODEL_H_

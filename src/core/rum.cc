@@ -1,0 +1,45 @@
+#include "src/core/rum.h"
+
+#include <cmath>
+#include <utility>
+
+namespace femux {
+
+Rum::Rum(RumKind kind, double w1, double w2, std::string label)
+    : kind_(kind), w1_(w1), w2_(w2), label_(std::move(label)) {}
+
+Rum Rum::Default() {
+  return Rum(RumKind::kDefault, 1.0, 1.0 / kGbSecondsPerColdStartSecond,
+             "rum_default");
+}
+
+Rum Rum::ColdStartFocused() {
+  return Rum(RumKind::kDefault, 4.0, 1.0 / kGbSecondsPerColdStartSecond, "rum_cs");
+}
+
+Rum Rum::MemoryFocused() {
+  return Rum(RumKind::kDefault, 1.0, 4.0 / kGbSecondsPerColdStartSecond, "rum_mem");
+}
+
+Rum Rum::ExecutionAware() {
+  return Rum(RumKind::kExecutionAware, 1.0, 1.0 / kGbSecondsPerColdStartSecond,
+             "rum_exec");
+}
+
+double Rum::Evaluate(const SimMetrics& metrics) const {
+  switch (kind_) {
+    case RumKind::kDefault:
+      return w1_ * metrics.cold_start_seconds + w2_ * metrics.wasted_gb_seconds;
+    case RumKind::kExecutionAware: {
+      // Guard against idle blocks: with no execution time the cold-start
+      // term is defined as zero (there were no requests to delay).
+      const double ratio = metrics.execution_seconds > 0.0
+                               ? metrics.cold_start_seconds / metrics.execution_seconds
+                               : 0.0;
+      return w1_ * std::sqrt(ratio) + w2_ * metrics.wasted_gb_seconds;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace femux

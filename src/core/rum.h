@@ -1,0 +1,59 @@
+// Representative Unified Metric (RUM, §4.1).
+//
+// A RUM is a tunable objective that encodes the performance/efficiency
+// trade-off and is used both to optimize FeMux's components (forecaster
+// selection, cluster assignment) and to evaluate whole-system runs —
+// aligning component-level and platform-level optimization, which prior
+// systems decouple (Table 2).
+//
+// Two formulations from the paper:
+//   Eq. 1 (default):     w1 * coldStartSeconds + w2 * wastedGBSeconds
+//   Eq. 2 (exec-aware):  w1 * sqrt(coldStartSeconds / executionSeconds)
+//                          + w2 * wastedGBSeconds
+//
+// Default weights are derived from public cloud data: providers waste
+// ~99.7 GB-s of memory per cold-start second, so w1 = 1, w2 = 1/99.7.
+#ifndef SRC_CORE_RUM_H_
+#define SRC_CORE_RUM_H_
+
+#include <string>
+
+#include "src/sim/metrics.h"
+
+namespace femux {
+
+inline constexpr double kGbSecondsPerColdStartSecond = 99.7;
+
+enum class RumKind {
+  kDefault,         // Eq. 1.
+  kExecutionAware,  // Eq. 2.
+};
+
+class Rum {
+ public:
+  Rum() = default;
+  Rum(RumKind kind, double w1, double w2, std::string label);
+
+  // The paper's named variants (§5.1.1).
+  static Rum Default();          // w1 = 1, w2 = 1/99.7.
+  static Rum ColdStartFocused(); // FeMux-CS: 4x cold-start weight.
+  static Rum MemoryFocused();    // FeMux-Mem: 4x wasted-memory weight.
+  static Rum ExecutionAware();   // FeMux-Exec: Eq. 2 with default weights.
+
+  double Evaluate(const SimMetrics& metrics) const;
+
+  RumKind kind() const { return kind_; }
+  double w1() const { return w1_; }
+  double w2() const { return w2_; }
+  const std::string& label() const { return label_; }
+
+ private:
+  RumKind kind_ = RumKind::kDefault;
+  double w1_ = 1.0;
+  double w2_ = 1.0 / kGbSecondsPerColdStartSecond;
+  std::string label_ = "rum_default";
+};
+
+}  // namespace femux
+
+#endif  // SRC_CORE_RUM_H_

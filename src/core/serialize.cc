@@ -1,0 +1,221 @@
+#include "src/core/serialize.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace femux {
+namespace {
+
+constexpr char kModelMagic[] = "femux-model-v1";
+constexpr char kTableMagic[] = "femux-table-v1";
+
+void WriteVector(std::ostream& out, const std::vector<double>& v) {
+  out << v.size();
+  for (double x : v) {
+    out << ' ' << x;
+  }
+  out << '\n';
+}
+
+bool ReadVector(std::istream& in, std::vector<double>* v) {
+  std::size_t n = 0;
+  if (!(in >> n) || n > (1u << 28)) {
+    return false;
+  }
+  v->resize(n);
+  for (double& x : *v) {
+    if (!(in >> x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteIntVector(std::ostream& out, const std::vector<int>& v) {
+  out << v.size();
+  for (int x : v) {
+    out << ' ' << x;
+  }
+  out << '\n';
+}
+
+bool ReadIntVector(std::istream& in, std::vector<int>* v) {
+  std::size_t n = 0;
+  if (!(in >> n) || n > (1u << 28)) {
+    return false;
+  }
+  v->resize(n);
+  for (int& x : *v) {
+    if (!(in >> x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void SaveModel(const FemuxModel& model, std::ostream& out) {
+  out.precision(17);
+  out << kModelMagic << '\n';
+  out << model.forecaster_names.size() << '\n';
+  for (const std::string& name : model.forecaster_names) {
+    out << name << '\n';
+  }
+  out << model.refit_interval << ' ' << model.block_minutes << ' '
+      << model.default_forecaster << ' ' << model.default_margin << '\n';
+  WriteIntVector(out, [&] {
+    std::vector<int> features;
+    for (Feature f : model.features) {
+      features.push_back(static_cast<int>(f));
+    }
+    return features;
+  }());
+  WriteVector(out, model.margins);
+  out << static_cast<int>(model.rum.kind()) << ' ' << model.rum.w1() << ' '
+      << model.rum.w2() << ' ' << model.rum.label() << '\n';
+  WriteVector(out, model.scaler.means());
+  WriteVector(out, model.scaler.stddevs());
+  out << model.kmeans.cluster_count() << '\n';
+  for (const auto& centroid : model.kmeans.centroids()) {
+    WriteVector(out, centroid);
+  }
+  WriteIntVector(out, model.cluster_to_forecaster);
+  WriteIntVector(out, model.cluster_to_margin);
+}
+
+bool LoadModel(std::istream& in, FemuxModel* model) {
+  std::string magic;
+  if (!(in >> magic) || magic != kModelMagic) {
+    return false;
+  }
+  std::size_t names = 0;
+  if (!(in >> names) || names > 1024) {
+    return false;
+  }
+  model->forecaster_names.resize(names);
+  for (std::string& name : model->forecaster_names) {
+    if (!(in >> name)) {
+      return false;
+    }
+  }
+  if (!(in >> model->refit_interval >> model->block_minutes >>
+        model->default_forecaster >> model->default_margin)) {
+    return false;
+  }
+  std::vector<int> feature_ints;
+  if (!ReadIntVector(in, &feature_ints)) {
+    return false;
+  }
+  model->features.clear();
+  for (int f : feature_ints) {
+    model->features.push_back(static_cast<Feature>(f));
+  }
+  if (!ReadVector(in, &model->margins)) {
+    return false;
+  }
+  int rum_kind = 0;
+  double w1 = 0.0;
+  double w2 = 0.0;
+  std::string label;
+  if (!(in >> rum_kind >> w1 >> w2 >> label)) {
+    return false;
+  }
+  model->rum = Rum(static_cast<RumKind>(rum_kind), w1, w2, label);
+  std::vector<double> means;
+  std::vector<double> stddevs;
+  if (!ReadVector(in, &means) || !ReadVector(in, &stddevs)) {
+    return false;
+  }
+  model->scaler.Set(std::move(means), std::move(stddevs));
+  std::size_t clusters = 0;
+  if (!(in >> clusters) || clusters > 4096) {
+    return false;
+  }
+  std::vector<std::vector<double>> centroids(clusters);
+  for (auto& centroid : centroids) {
+    if (!ReadVector(in, &centroid)) {
+      return false;
+    }
+  }
+  model->kmeans.SetCentroids(std::move(centroids));
+  if (!ReadIntVector(in, &model->cluster_to_forecaster) ||
+      !ReadIntVector(in, &model->cluster_to_margin)) {
+    return false;
+  }
+  model->classifier = ClassifierKind::kKMeans;
+  return true;
+}
+
+void SaveBlockTable(const BlockTable& table, std::ostream& out) {
+  out.precision(17);
+  out << kTableMagic << '\n';
+  out << table.rum.size() << '\n';
+  for (std::size_t a = 0; a < table.rum.size(); ++a) {
+    out << table.rum[a].size() << '\n';
+    for (std::size_t b = 0; b < table.rum[a].size(); ++b) {
+      WriteVector(out, table.rum[a][b]);
+      WriteVector(out, table.features[a][b]);
+    }
+  }
+}
+
+bool LoadBlockTable(std::istream& in, BlockTable* table) {
+  std::string magic;
+  if (!(in >> magic) || magic != kTableMagic) {
+    return false;
+  }
+  std::size_t apps = 0;
+  if (!(in >> apps) || apps > (1u << 24)) {
+    return false;
+  }
+  table->rum.assign(apps, {});
+  table->features.assign(apps, {});
+  for (std::size_t a = 0; a < apps; ++a) {
+    std::size_t blocks = 0;
+    if (!(in >> blocks) || blocks > (1u << 24)) {
+      return false;
+    }
+    table->rum[a].resize(blocks);
+    table->features[a].resize(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      if (!ReadVector(in, &table->rum[a][b]) ||
+          !ReadVector(in, &table->features[a][b])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SaveModelFile(const FemuxModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  SaveModel(model, out);
+  return out.good();
+}
+
+bool LoadModelFile(const std::string& path, FemuxModel* model) {
+  std::ifstream in(path);
+  return in && LoadModel(in, model);
+}
+
+bool SaveBlockTableFile(const BlockTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  SaveBlockTable(table, out);
+  return out.good();
+}
+
+bool LoadBlockTableFile(const std::string& path, BlockTable* table) {
+  std::ifstream in(path);
+  return in && LoadBlockTable(in, table);
+}
+
+}  // namespace femux

@@ -1,0 +1,35 @@
+// Text serialization for trained FeMux models and block tables.
+//
+// Training is the expensive phase (§4.3.6), so the bench harness trains
+// once per RUM and caches the result on disk; later bench binaries reload
+// it. The format is a simple line-oriented text format: stable, diffable,
+// and good enough for models of a few kilobytes.
+//
+// Only the K-means classifier is serialized (FeMux's default); supervised
+// classifiers are cheap to re-fit from the block table.
+#ifndef SRC_CORE_SERIALIZE_H_
+#define SRC_CORE_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/trainer.h"
+
+namespace femux {
+
+void SaveModel(const FemuxModel& model, std::ostream& out);
+// Returns false (and leaves `model` unspecified) on parse failure.
+bool LoadModel(std::istream& in, FemuxModel* model);
+
+void SaveBlockTable(const BlockTable& table, std::ostream& out);
+bool LoadBlockTable(std::istream& in, BlockTable* table);
+
+// File wrappers; return false on IO or parse failure.
+bool SaveModelFile(const FemuxModel& model, const std::string& path);
+bool LoadModelFile(const std::string& path, FemuxModel* model);
+bool SaveBlockTableFile(const BlockTable& table, const std::string& path);
+bool LoadBlockTableFile(const std::string& path, BlockTable* table);
+
+}  // namespace femux
+
+#endif  // SRC_CORE_SERIALIZE_H_

@@ -1,0 +1,261 @@
+#include "src/core/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "src/forecast/registry.h"
+#include "src/sim/fleet.h"
+#include "src/sim/parallel.h"
+
+namespace femux {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::vector<std::string> DefaultNames() {
+  std::vector<std::string> names;
+  for (const auto& f : MakeFemuxForecasterSet()) {
+    names.emplace_back(f->name());
+  }
+  return names;
+}
+
+// Applies the trainer options to a fresh model configuration.
+void ConfigureModel(const Rum& rum, const TrainerOptions& options, FemuxModel* model) {
+  model->forecaster_names =
+      options.forecaster_names.empty() ? DefaultNames() : options.forecaster_names;
+  model->refit_interval = options.refit_interval;
+  model->features = options.features;
+  model->block_minutes = options.block_minutes;
+  model->rum = rum;
+  model->classifier = options.classifier;
+  model->margins =
+      options.margins.empty() ? std::vector<double>{1.0} : options.margins;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> SimulateForecasts(
+    const std::vector<std::string>& forecaster_names,
+    const std::vector<double>& demand, std::size_t refit_interval) {
+  std::vector<std::vector<double>> plans;
+  plans.reserve(forecaster_names.size());
+  for (const std::string& name : forecaster_names) {
+    std::unique_ptr<Forecaster> forecaster = MakeForecasterByName(name);
+    if (forecaster == nullptr) {
+      plans.emplace_back(demand.size(), 0.0);
+      continue;
+    }
+    // Recreate stride-aware forecasters with the requested refit interval.
+    if (name == "ar" || name == "setar" || name == "fft") {
+      FemuxModel stub;
+      stub.forecaster_names = {name};
+      stub.refit_interval = refit_interval;
+      forecaster = stub.MakeForecaster(0);
+    }
+    plans.push_back(RollingForecast(*forecaster, demand));
+  }
+  return plans;
+}
+
+double BlockRum(const Rum& rum, std::span<const double> demand_block,
+                std::span<const double> arrivals_block,
+                std::span<const double> plan_block, const SimOptions& options) {
+  const SimMetrics metrics =
+      SimulatePlan(demand_block, arrivals_block, plan_block, options);
+  return rum.Evaluate(metrics);
+}
+
+BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_indices,
+                           const Rum& rum, const TrainerOptions& options,
+                           FemuxModel* model_config) {
+  FemuxModel local;
+  FemuxModel& model = model_config != nullptr ? *model_config : local;
+  ConfigureModel(rum, options, &model);
+
+  const std::size_t num_apps = app_indices.size();
+  const std::size_t num_forecasters = model.forecaster_names.size();
+  const std::size_t num_margins = model.margins.size();
+  const std::size_t num_candidates = num_forecasters * num_margins;
+
+  BlockTable table;
+  table.rum.resize(num_apps);
+  table.features.resize(num_apps);
+
+  const bool exec_aware =
+      std::find(model.features.begin(), model.features.end(), Feature::kExecTime) !=
+      model.features.end();
+  const FeatureExtractor extractor(model.features);
+
+  ParallelFor(
+      num_apps,
+      [&](std::size_t a) {
+        const AppTrace& app = dataset.apps[static_cast<std::size_t>(app_indices[a])];
+        SimOptions sim = options.sim;
+        sim.min_scale = 0;
+        sim.memory_gb_per_unit = app.consumed_memory_mb > 0.0
+                                     ? app.consumed_memory_mb / 1024.0
+                                     : sim.memory_gb_per_unit;
+        const std::vector<double> demand = DemandSeries(app, sim.epoch_seconds);
+        const std::vector<double> arrivals = ArrivalSeries(app, sim.epoch_seconds);
+        const auto plans =
+            SimulateForecasts(model.forecaster_names, demand, options.refit_interval);
+
+        const std::size_t blocks = BlockCount(demand.size(), options.block_minutes);
+        table.rum[a].assign(blocks, std::vector<double>(num_candidates, 0.0));
+        table.features[a].resize(blocks);
+        const std::span<const double> demand_span(demand);
+        const std::span<const double> arrivals_span(arrivals);
+        std::vector<double> scaled_plan(options.block_minutes);
+        for (std::size_t b = 0; b < blocks; ++b) {
+          const auto demand_block = BlockSlice(demand_span, b, options.block_minutes);
+          const auto arrivals_block =
+              BlockSlice(arrivals_span, b, options.block_minutes);
+          for (std::size_t f = 0; f < num_forecasters; ++f) {
+            const auto plan_block =
+                BlockSlice(std::span<const double>(plans[f]), b, options.block_minutes);
+            for (std::size_t m = 0; m < num_margins; ++m) {
+              for (std::size_t i = 0; i < plan_block.size(); ++i) {
+                scaled_plan[i] = plan_block[i] * model.margins[m];
+              }
+              table.rum[a][b][f * num_margins + m] =
+                  BlockRum(rum, demand_block, arrivals_block, scaled_plan, sim);
+            }
+          }
+          table.features[a][b] = extractor.Extract(
+              demand_block, exec_aware ? app.mean_execution_ms : 0.0);
+        }
+      },
+      options.threads);
+  return table;
+}
+
+void FitFromTable(const BlockTable& table, const TrainerOptions& options,
+                  FemuxModel* model, std::vector<std::size_t>* cluster_sizes) {
+  const std::size_t num_margins = model->margins.size();
+
+  // Flatten block rows.
+  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<double>> row_rums;
+  for (std::size_t a = 0; a < table.rum.size(); ++a) {
+    for (std::size_t b = 0; b < table.rum[a].size(); ++b) {
+      rows.push_back(table.features[a][b]);
+      row_rums.push_back(table.rum[a][b]);
+    }
+  }
+  if (rows.empty()) {
+    return;
+  }
+  const std::size_t num_candidates = row_rums.front().size();
+
+  // Default candidate: lowest total RUM across all blocks.
+  std::vector<double> totals(num_candidates, 0.0);
+  for (const auto& r : row_rums) {
+    for (std::size_t c = 0; c < num_candidates; ++c) {
+      totals[c] += r[c];
+    }
+  }
+  const std::size_t default_pair = static_cast<std::size_t>(
+      std::min_element(totals.begin(), totals.end()) - totals.begin());
+  model->default_forecaster = static_cast<int>(default_pair / num_margins);
+  model->default_margin = static_cast<int>(default_pair % num_margins);
+
+  model->scaler.Fit(rows);
+  const std::vector<std::vector<double>> scaled = model->scaler.Transform(rows);
+  switch (options.classifier) {
+    case ClassifierKind::kKMeans: {
+      model->kmeans.Fit(scaled, options.clusters, options.seed);
+      const std::size_t k = model->kmeans.cluster_count();
+      // Assign each cluster the candidate with the lowest summed RUM.
+      std::vector<std::vector<double>> cluster_totals(
+          k, std::vector<double>(num_candidates, 0.0));
+      std::vector<std::size_t> sizes(k, 0);
+      for (std::size_t i = 0; i < scaled.size(); ++i) {
+        const std::size_t c = model->kmeans.Predict(scaled[i]);
+        ++sizes[c];
+        for (std::size_t pair = 0; pair < num_candidates; ++pair) {
+          cluster_totals[c][pair] += row_rums[i][pair];
+        }
+      }
+      model->cluster_to_forecaster.resize(k);
+      model->cluster_to_margin.resize(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        std::size_t best = default_pair;
+        if (sizes[c] != 0) {
+          best = static_cast<std::size_t>(
+              std::min_element(cluster_totals[c].begin(), cluster_totals[c].end()) -
+              cluster_totals[c].begin());
+        }
+        model->cluster_to_forecaster[c] = static_cast<int>(best / num_margins);
+        model->cluster_to_margin[c] = static_cast<int>(best % num_margins);
+      }
+      if (cluster_sizes != nullptr) {
+        *cluster_sizes = std::move(sizes);
+      }
+      break;
+    }
+    case ClassifierKind::kDecisionTree:
+    case ClassifierKind::kRandomForest: {
+      // Supervised label: per-block argmin candidate.
+      std::vector<int> labels(scaled.size());
+      for (std::size_t i = 0; i < scaled.size(); ++i) {
+        labels[i] = static_cast<int>(
+            std::min_element(row_rums[i].begin(), row_rums[i].end()) -
+            row_rums[i].begin());
+      }
+      if (options.classifier == ClassifierKind::kDecisionTree) {
+        DecisionTree::Options tree_options;
+        tree_options.seed = options.seed;
+        model->tree.Fit(scaled, labels, tree_options);
+      } else {
+        RandomForest::Options forest_options;
+        forest_options.seed = options.seed;
+        model->forest.Fit(scaled, labels, forest_options);
+      }
+      break;
+    }
+  }
+}
+
+void MergeBlockTables(BlockTable* base, const BlockTable& extra) {
+  base->rum.insert(base->rum.end(), extra.rum.begin(), extra.rum.end());
+  base->features.insert(base->features.end(), extra.features.begin(),
+                        extra.features.end());
+}
+
+TrainResult TrainFemux(const Dataset& dataset, const std::vector<int>& app_indices,
+                       const Rum& rum, const TrainerOptions& options) {
+  TrainResult result;
+  const auto sim_start = std::chrono::steady_clock::now();
+  result.table = BuildBlockTable(dataset, app_indices, rum, options, &result.model);
+  result.forecast_sim_seconds = SecondsSince(sim_start);
+
+  const auto cluster_start = std::chrono::steady_clock::now();
+  FitFromTable(result.table, options, &result.model, &result.cluster_sizes);
+  result.clustering_seconds = SecondsSince(cluster_start);
+  return result;
+}
+
+TrainResult RetrainWithNewApps(const TrainResult& previous, const Dataset& dataset,
+                               const std::vector<int>& new_app_indices,
+                               const Rum& rum, const TrainerOptions& options) {
+  TrainResult result;
+  result.model = previous.model;  // Keep configuration; classifier refits.
+  result.table = previous.table;
+
+  const auto sim_start = std::chrono::steady_clock::now();
+  const BlockTable extra =
+      BuildBlockTable(dataset, new_app_indices, rum, options, nullptr);
+  result.forecast_sim_seconds = SecondsSince(sim_start);
+  MergeBlockTables(&result.table, extra);
+
+  const auto cluster_start = std::chrono::steady_clock::now();
+  FitFromTable(result.table, options, &result.model, &result.cluster_sizes);
+  result.clustering_seconds = SecondsSince(cluster_start);
+  return result;
+}
+
+}  // namespace femux

@@ -1,0 +1,101 @@
+// Offline FeMux training (§4.3.4, §4.3.6).
+//
+// Pipeline: for every training application, simulate each candidate
+// forecaster's rolling one-step forecasts over its concurrency series,
+// score every (block, forecaster) pair with the RUM by replaying the block
+// through the platform simulator, extract per-block features, standardize
+// them, cluster with K-means, and assign each cluster the forecaster with
+// the lowest total RUM among its member blocks. Decision-tree and
+// random-forest classifiers (trained on per-block argmin labels) are
+// available for the supervised-baseline comparison.
+#ifndef SRC_CORE_TRAINER_H_
+#define SRC_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/model.h"
+#include "src/sim/simulator.h"
+#include "src/trace/trace.h"
+
+namespace femux {
+
+struct TrainerOptions {
+  std::size_t block_minutes = kDefaultBlockMinutes;
+  std::size_t clusters = 10;
+  std::size_t refit_interval = 5;       // AR/SETAR coefficient-refit stride.
+  std::vector<Feature> features = DefaultFeatureSet();
+  ClassifierKind classifier = ClassifierKind::kKMeans;
+  SimOptions sim;                       // Epoch length, cold-start cost, ...
+  std::size_t threads = 0;
+  std::uint64_t seed = 11;
+  // Candidate forecasters; empty = the paper's default set.
+  std::vector<std::string> forecaster_names;
+  // Candidate forecast scale margins, tuned per cluster on the RUM
+  // (the paper tunes forecaster parameters on RUM; asymmetric cold-start
+  // vs memory costs reward upward-biased forecasts).
+  std::vector<double> margins = {1.0, 1.25, 1.5};
+};
+
+// Per-app, per-block, per-candidate RUM values plus per-block features.
+// Candidates are (forecaster, margin) pairs flattened as
+// f * margins.size() + m. Kept by the trainer and reused by analysis
+// benches (forecaster-switching statistics, ablations).
+struct BlockTable {
+  // rum[app][block][candidate]; apps follow the order of `app_indices`
+  // passed to TrainFemux.
+  std::vector<std::vector<std::vector<double>>> rum;
+  std::vector<std::vector<std::vector<double>>> features;
+};
+
+struct TrainResult {
+  FemuxModel model;
+  BlockTable table;
+  std::vector<std::size_t> cluster_sizes;
+  double forecast_sim_seconds = 0.0;
+  double feature_extraction_seconds = 0.0;
+  double clustering_seconds = 0.0;
+};
+
+TrainResult TrainFemux(const Dataset& dataset, const std::vector<int>& app_indices,
+                       const Rum& rum, const TrainerOptions& options);
+
+// Builds only the block table (plans, per-block RUMs, features) without
+// fitting a classifier. TrainFemux = BuildBlockTable + FitFromTable.
+BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_indices,
+                           const Rum& rum, const TrainerOptions& options,
+                           FemuxModel* model_config);
+
+// (Re)fits the classifier of `model` from a block table. This is the cheap
+// phase (§4.3.6: clustering takes minutes even at fleet scale), which makes
+// incremental retraining possible: merge new blocks into the table and
+// refit.
+void FitFromTable(const BlockTable& table, const TrainerOptions& options,
+                  FemuxModel* model, std::vector<std::size_t>* cluster_sizes);
+
+// Appends `extra`'s apps/blocks to `base` (incremental data collection).
+void MergeBlockTables(BlockTable* base, const BlockTable& extra);
+
+// Incremental retraining: extend a previous training result with newly
+// collected apps and refit the classifier, without re-simulating the old
+// apps' forecasts.
+TrainResult RetrainWithNewApps(const TrainResult& previous, const Dataset& dataset,
+                               const std::vector<int>& new_app_indices,
+                               const Rum& rum, const TrainerOptions& options);
+
+// Rolling one-step forecasts for every named forecaster over one app's
+// demand series (compute units per epoch). plans[f][t] is forecaster f's
+// prediction for epoch t. Shared by the trainer and the analysis benches.
+std::vector<std::vector<double>> SimulateForecasts(
+    const std::vector<std::string>& forecaster_names,
+    const std::vector<double>& demand, std::size_t refit_interval);
+
+// RUM of one (block, plan) pair: replays the block slice through the
+// simulator under `options` and evaluates `rum`.
+double BlockRum(const Rum& rum, std::span<const double> demand_block,
+                std::span<const double> arrivals_block,
+                std::span<const double> plan_block, const SimOptions& options);
+
+}  // namespace femux
+
+#endif  // SRC_CORE_TRAINER_H_

@@ -1,0 +1,232 @@
+#include "src/forecast/ar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/ols.h"
+
+namespace femux {
+namespace {
+
+// Evaluates an AR coefficient vector (intercept, lag1..lagp) on the most
+// recent `p` values of `recent` (ordered oldest-first).
+double PredictAr(const std::vector<double>& coefficients,
+                 std::span<const double> recent) {
+  double value = coefficients[0];
+  const std::size_t p = coefficients.size() - 1;
+  for (std::size_t k = 1; k <= p; ++k) {
+    value += coefficients[k] * recent[recent.size() - k];
+  }
+  return value;
+}
+
+// Fits AR(p) by OLS over the row subset selected by `use_row` (pass nullptr
+// for all rows). Rows index the target positions t in [p, n). Returns an
+// empty vector when the design is unusable.
+std::vector<double> FitAr(std::span<const double> y, std::size_t p,
+                          const std::vector<bool>* use_row) {
+  if (y.size() <= p + 2) {
+    return {};
+  }
+  std::size_t rows = 0;
+  for (std::size_t t = p; t < y.size(); ++t) {
+    if (use_row == nullptr || (*use_row)[t - p]) {
+      ++rows;
+    }
+  }
+  if (rows <= p + 2) {
+    return {};
+  }
+  Matrix x(rows, p + 1);
+  std::vector<double> target(rows);
+  std::size_t r = 0;
+  for (std::size_t t = p; t < y.size(); ++t) {
+    if (use_row != nullptr && !(*use_row)[t - p]) {
+      continue;
+    }
+    target[r] = y[t];
+    x(r, 0) = 1.0;
+    for (std::size_t k = 1; k <= p; ++k) {
+      x(r, k) = y[t - k];
+    }
+    ++r;
+  }
+  const OlsResult fit = FitOls(x, target);
+  if (!fit.ok) {
+    return {};
+  }
+  return fit.coefficients;
+}
+
+// Recursively rolls a one-step prediction function forward `horizon` steps.
+// Predictions are bounded by a multiple of the history's peak: an estimated
+// AR root slightly outside the unit circle otherwise explodes within a few
+// recursive steps, which in the scaling domain means provisioning absurd
+// capacity from a fit artifact.
+std::vector<double> RollForward(
+    std::span<const double> history, std::size_t horizon, std::size_t p,
+    const std::function<double(std::span<const double>)>& step) {
+  double peak = 0.0;
+  for (double v : history) {
+    peak = std::max(peak, v);
+  }
+  const double bound = 3.0 * peak + 1.0;
+  std::vector<double> extended(history.begin(), history.end());
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    const double value = std::min(
+        bound, ClampPrediction(step(std::span<const double>(extended).last(p))));
+    out.push_back(value);
+    extended.push_back(value);
+  }
+  return out;
+}
+
+std::vector<double> FallbackMean(std::span<const double> history, std::size_t horizon) {
+  const double mu = ClampPrediction(Mean(history));
+  return std::vector<double>(horizon, mu);
+}
+
+}  // namespace
+
+ArForecaster::ArForecaster(std::size_t lags, std::size_t refit_interval)
+    : lags_(std::max<std::size_t>(1, lags)),
+      refit_interval_(std::max<std::size_t>(1, refit_interval)) {}
+
+std::vector<double> ArForecaster::Forecast(std::span<const double> history,
+                                           std::size_t horizon) {
+  if (history.size() <= lags_ + 3) {
+    return FallbackMean(history, horizon);
+  }
+  const bool stale =
+      cached_coefficients_.empty() || calls_since_fit_ >= refit_interval_;
+  if (stale) {
+    if (Variance(history) == 0.0) {
+      cached_coefficients_.clear();
+      calls_since_fit_ = 0;
+      return FallbackMean(history, horizon);
+    }
+    cached_coefficients_ = FitAr(history, lags_, nullptr);
+    calls_since_fit_ = 0;
+  }
+  ++calls_since_fit_;
+  if (cached_coefficients_.empty()) {
+    return FallbackMean(history, horizon);
+  }
+  return RollForward(history, horizon, lags_,
+                     [this](std::span<const double> recent) {
+                       return PredictAr(cached_coefficients_, recent);
+                     });
+}
+
+std::unique_ptr<Forecaster> ArForecaster::Clone() const {
+  return std::make_unique<ArForecaster>(lags_, refit_interval_);
+}
+
+SetarForecaster::SetarForecaster(std::size_t lags, std::size_t max_thresholds,
+                                 std::size_t refit_interval)
+    : lags_(std::max<std::size_t>(1, lags)),
+      max_thresholds_(std::clamp<std::size_t>(max_thresholds, 1, 2)),
+      refit_interval_(std::max<std::size_t>(1, refit_interval)) {}
+
+std::vector<double> SetarForecaster::Forecast(std::span<const double> history,
+                                              std::size_t horizon) {
+  const std::size_t p = lags_;
+  if (history.size() <= 4 * p || Variance(history) == 0.0) {
+    // Too short to fit per-regime models; fall back to plain AR behavior.
+    ArForecaster ar(p);
+    return ar.Forecast(history, horizon);
+  }
+
+  const bool stale = cached_regimes_.empty() || calls_since_fit_ >= refit_interval_;
+  if (stale) {
+    calls_since_fit_ = 0;
+    cached_regimes_.clear();
+    cached_thresholds_.clear();
+
+    // Candidate threshold grid from history quantiles.
+    std::vector<double> sorted(history.begin(), history.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double q25 = QuantileSorted(sorted, 0.25);
+    const double q50 = QuantileSorted(sorted, 0.50);
+    const double q75 = QuantileSorted(sorted, 0.75);
+
+    std::vector<std::vector<double>> candidates = {{q25}, {q50}, {q75}};
+    if (max_thresholds_ >= 2 && q25 < q75) {
+      candidates.push_back({q25, q75});
+      if (q25 < q50 && q50 < q75) {
+        candidates.push_back({q25, q50});
+        candidates.push_back({q50, q75});
+      }
+    }
+
+    const std::size_t rows = history.size() - p;
+    double best_sse = std::numeric_limits<double>::infinity();
+    for (const auto& thresholds : candidates) {
+      const std::size_t regime_count = thresholds.size() + 1;
+      // Regime of row t-p is chosen by the previous observation y[t-1].
+      std::vector<std::vector<bool>> masks(regime_count,
+                                           std::vector<bool>(rows, false));
+      for (std::size_t t = p; t < history.size(); ++t) {
+        const double pivot = history[t - 1];
+        std::size_t regime = 0;
+        while (regime < thresholds.size() && pivot > thresholds[regime]) {
+          ++regime;
+        }
+        masks[regime][t - p] = true;
+      }
+      std::vector<std::vector<double>> regimes(regime_count);
+      bool all_ok = true;
+      for (std::size_t g = 0; g < regime_count; ++g) {
+        regimes[g] = FitAr(history, p, &masks[g]);
+        if (regimes[g].empty()) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (!all_ok) {
+        continue;
+      }
+      double sse = 0.0;
+      for (std::size_t t = p; t < history.size(); ++t) {
+        const double pivot = history[t - 1];
+        std::size_t regime = 0;
+        while (regime < thresholds.size() && pivot > thresholds[regime]) {
+          ++regime;
+        }
+        const double pred = PredictAr(regimes[regime], history.subspan(0, t).last(p));
+        const double err = history[t] - pred;
+        sse += err * err;
+      }
+      if (sse < best_sse) {
+        best_sse = sse;
+        cached_thresholds_ = thresholds;
+        cached_regimes_ = std::move(regimes);
+      }
+    }
+  }
+  ++calls_since_fit_;
+
+  if (cached_regimes_.empty()) {
+    ArForecaster ar(p);
+    return ar.Forecast(history, horizon);
+  }
+  return RollForward(history, horizon, p, [this](std::span<const double> recent) {
+    const double pivot = recent.back();
+    std::size_t regime = 0;
+    while (regime < cached_thresholds_.size() && pivot > cached_thresholds_[regime]) {
+      ++regime;
+    }
+    return PredictAr(cached_regimes_[regime], recent);
+  });
+}
+
+std::unique_ptr<Forecaster> SetarForecaster::Clone() const {
+  return std::make_unique<SetarForecaster>(lags_, max_thresholds_, refit_interval_);
+}
+
+}  // namespace femux

@@ -1,0 +1,62 @@
+// Autoregressive forecasters: AR(p) (Yule '27) for stationary, linear
+// series, and SETAR (Self-Exciting Threshold AutoRegressive; Clements &
+// Smith '97) for piecewise-linear, non-stationary series. The paper tunes
+// both to 10 lags with up to two SETAR thresholds (§4.3.3).
+//
+// Both forecasters support a `refit_interval`: coefficients are re-estimated
+// only every N calls and reused in between, which keeps offline simulation
+// over billions of app-minutes tractable (the model changes slowly at
+// minute granularity). refit_interval == 1 refits on every call.
+#ifndef SRC_FORECAST_AR_H_
+#define SRC_FORECAST_AR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/forecast/forecaster.h"
+
+namespace femux {
+
+class ArForecaster final : public Forecaster {
+ public:
+  explicit ArForecaster(std::size_t lags = 10, std::size_t refit_interval = 1);
+
+  std::string_view name() const override { return "ar"; }
+  std::vector<double> Forecast(std::span<const double> history,
+                               std::size_t horizon) override;
+  std::unique_ptr<Forecaster> Clone() const override;
+
+  std::size_t lags() const { return lags_; }
+
+ private:
+  std::size_t lags_;
+  std::size_t refit_interval_;
+  std::size_t calls_since_fit_ = 0;
+  std::vector<double> cached_coefficients_;  // intercept, lag1..lagp.
+};
+
+class SetarForecaster final : public Forecaster {
+ public:
+  // `max_thresholds` in {1, 2}: the series is split into up to
+  // max_thresholds + 1 regimes on the previous value, each with its own AR
+  // fit. Thresholds are chosen from history quantiles by in-sample SSE.
+  explicit SetarForecaster(std::size_t lags = 10, std::size_t max_thresholds = 2,
+                           std::size_t refit_interval = 1);
+
+  std::string_view name() const override { return "setar"; }
+  std::vector<double> Forecast(std::span<const double> history,
+                               std::size_t horizon) override;
+  std::unique_ptr<Forecaster> Clone() const override;
+
+ private:
+  std::size_t lags_;
+  std::size_t max_thresholds_;
+  std::size_t refit_interval_;
+  std::size_t calls_since_fit_ = 0;
+  std::vector<double> cached_thresholds_;
+  std::vector<std::vector<double>> cached_regimes_;  // Coefficients per regime.
+};
+
+}  // namespace femux
+
+#endif  // SRC_FORECAST_AR_H_

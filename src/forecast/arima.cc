@@ -1,0 +1,154 @@
+#include "src/forecast/arima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/ols.h"
+
+namespace femux {
+namespace {
+
+// Applies d-th order differencing.
+std::vector<double> Difference(std::span<const double> y, std::size_t d) {
+  std::vector<double> out(y.begin(), y.end());
+  for (std::size_t i = 0; i < d; ++i) {
+    out = Diff(out);
+  }
+  return out;
+}
+
+}  // namespace
+
+ArimaForecaster::ArimaForecaster(std::size_t p, std::size_t d, std::size_t q,
+                                 std::size_t refit_interval)
+    : p_(std::max<std::size_t>(1, p)), d_(std::min<std::size_t>(2, d)),
+      q_(q), refit_interval_(std::max<std::size_t>(1, refit_interval)) {}
+
+std::vector<double> ArimaForecaster::Forecast(std::span<const double> history,
+                                              std::size_t horizon) {
+  const std::size_t need = p_ + q_ + d_ + 12;
+  if (history.size() < 3 * need || Variance(history) == 0.0) {
+    const double mu = ClampPrediction(Mean(history));
+    return std::vector<double>(horizon, mu);
+  }
+  const std::vector<double> w = Difference(history, d_);
+
+  const bool stale = coefficients_.empty() || calls_since_fit_ >= refit_interval_;
+  if (stale) {
+    calls_since_fit_ = 0;
+    coefficients_.clear();
+
+    // Stage 1: long AR fit for residual estimates.
+    const std::size_t long_p = std::min<std::size_t>(w.size() / 4, p_ + q_ + 6);
+    std::vector<double> residuals(w.size(), 0.0);
+    {
+      const std::size_t rows = w.size() - long_p;
+      Matrix x(rows, long_p + 1);
+      std::vector<double> target(rows);
+      for (std::size_t t = long_p; t < w.size(); ++t) {
+        const std::size_t r = t - long_p;
+        target[r] = w[t];
+        x(r, 0) = 1.0;
+        for (std::size_t k = 1; k <= long_p; ++k) {
+          x(r, k) = w[t - k];
+        }
+      }
+      const OlsResult fit = FitOls(x, target);
+      if (!fit.ok) {
+        const double mu = ClampPrediction(Mean(history));
+        return std::vector<double>(horizon, mu);
+      }
+      for (std::size_t t = long_p; t < w.size(); ++t) {
+        residuals[t] = fit.residuals[t - long_p];
+      }
+    }
+
+    // Stage 2: regress w_t on p lags of w and q lags of the residuals.
+    const std::size_t start = std::max(p_, q_) + (q_ > 0 ? 1 : 0);
+    const std::size_t rows = w.size() - start;
+    if (rows <= p_ + q_ + 2) {
+      const double mu = ClampPrediction(Mean(history));
+      return std::vector<double>(horizon, mu);
+    }
+    Matrix x(rows, 1 + p_ + q_);
+    std::vector<double> target(rows);
+    for (std::size_t t = start; t < w.size(); ++t) {
+      const std::size_t r = t - start;
+      target[r] = w[t];
+      x(r, 0) = 1.0;
+      for (std::size_t k = 1; k <= p_; ++k) {
+        x(r, k) = w[t - k];
+      }
+      for (std::size_t k = 1; k <= q_; ++k) {
+        x(r, p_ + k) = residuals[t - k];
+      }
+    }
+    const OlsResult fit = FitOls(x, target);
+    if (!fit.ok) {
+      const double mu = ClampPrediction(Mean(history));
+      return std::vector<double>(horizon, mu);
+    }
+    coefficients_ = fit.coefficients;
+  }
+  ++calls_since_fit_;
+
+  // Rebuild in-sample residuals for the MA recursion, then roll forward.
+  std::vector<double> extended(w);
+  std::vector<double> residuals(w.size(), 0.0);
+  const std::size_t start = std::max(p_, q_) + (q_ > 0 ? 1 : 0);
+  for (std::size_t t = start; t < w.size(); ++t) {
+    double pred = coefficients_[0];
+    for (std::size_t k = 1; k <= p_; ++k) {
+      pred += coefficients_[k] * w[t - k];
+    }
+    for (std::size_t k = 1; k <= q_; ++k) {
+      pred += coefficients_[p_ + k] * residuals[t - k];
+    }
+    residuals[t] = w[t] - pred;
+  }
+
+  // Bound forecasts by the history peak (AR-root explosions, as in ar.cc).
+  double peak = 0.0;
+  for (double v : history) {
+    peak = std::max(peak, v);
+  }
+  const double bound = 3.0 * peak + 1.0;
+
+  std::vector<double> out;
+  out.reserve(horizon);
+  // Integration state: the last d levels of the original series.
+  std::vector<double> level(history.end() - static_cast<std::ptrdiff_t>(d_ + 1),
+                            history.end());
+  for (std::size_t h = 0; h < horizon; ++h) {
+    double wpred = coefficients_[0];
+    for (std::size_t k = 1; k <= p_; ++k) {
+      wpred += coefficients_[k] * extended[extended.size() - k];
+    }
+    for (std::size_t k = 1; k <= q_; ++k) {
+      // In-sample residuals feed the first steps; appended future
+      // residuals are zero in expectation.
+      wpred += coefficients_[p_ + k] * residuals[residuals.size() - k];
+    }
+    extended.push_back(wpred);
+    residuals.push_back(0.0);
+    // Undo the differencing: integrate d times.
+    double value = wpred;
+    if (d_ >= 1) {
+      value += level.back();
+    }
+    if (d_ >= 2) {
+      value += level.back() - level[level.size() - 2];
+    }
+    value = std::min(bound, ClampPrediction(value));
+    out.push_back(value);
+    level.push_back(value);
+  }
+  return out;
+}
+
+std::unique_ptr<Forecaster> ArimaForecaster::Clone() const {
+  return std::make_unique<ArimaForecaster>(p_, d_, q_, refit_interval_);
+}
+
+}  // namespace femux

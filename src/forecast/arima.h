@@ -1,0 +1,42 @@
+// ARIMA(p, d, q) forecaster (Shumway & Stoffer). Shahrad et al.'s hybrid
+// policy falls back to ARIMA for applications whose idle-time histogram is
+// not representative; this implementation makes that baseline available and
+// rounds out the forecaster zoo for providers who want it in FeMux's set.
+//
+// Estimation uses the Hannan-Rissanen two-stage procedure: a long AR fit
+// produces residual estimates, then the series is regressed on its own lags
+// and lagged residuals. Forecasting rolls the fitted recursion forward,
+// re-integrating the d-th differences.
+#ifndef SRC_FORECAST_ARIMA_H_
+#define SRC_FORECAST_ARIMA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/forecast/forecaster.h"
+
+namespace femux {
+
+class ArimaForecaster final : public Forecaster {
+ public:
+  ArimaForecaster(std::size_t p = 3, std::size_t d = 1, std::size_t q = 2,
+                  std::size_t refit_interval = 1);
+
+  std::string_view name() const override { return "arima"; }
+  std::vector<double> Forecast(std::span<const double> history,
+                               std::size_t horizon) override;
+  std::unique_ptr<Forecaster> Clone() const override;
+
+ private:
+  std::size_t p_;
+  std::size_t d_;
+  std::size_t q_;
+  std::size_t refit_interval_;
+  std::size_t calls_since_fit_ = 0;
+  // Fitted coefficients: intercept, p AR terms, q MA terms (empty = no fit).
+  std::vector<double> coefficients_;
+};
+
+}  // namespace femux
+
+#endif  // SRC_FORECAST_ARIMA_H_

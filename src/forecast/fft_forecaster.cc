@@ -1,0 +1,49 @@
+#include "src/forecast/fft_forecaster.h"
+
+#include <algorithm>
+
+namespace femux {
+
+FftForecaster::FftForecaster(std::size_t harmonics, std::size_t refit_interval,
+                             std::size_t history_minutes)
+    : harmonics_(std::max<std::size_t>(1, harmonics)),
+      refit_interval_(std::max<std::size_t>(1, refit_interval)),
+      history_minutes_(std::max<std::size_t>(8, history_minutes)) {}
+
+std::vector<double> FftForecaster::Forecast(std::span<const double> history,
+                                            std::size_t horizon) {
+  if (history.size() < 8) {
+    const double last = history.empty() ? 0.0 : history.back();
+    return std::vector<double>(horizon, ClampPrediction(last));
+  }
+  // The cached model stays phase-aligned as long as the window advanced by
+  // exactly one sample per call — either growing (size = fit size + calls)
+  // or sliding at constant size (size = fit size). Anything else means the
+  // caller jumped in time and the fit must be redone.
+  const bool aligned = history.size() == cached_length_ + calls_since_fit_ ||
+                       history.size() == cached_length_;
+  const bool stale =
+      cached_model_.empty() || calls_since_fit_ >= refit_interval_ || !aligned;
+  if (stale) {
+    cached_model_ = TopHarmonics(history, harmonics_);
+    cached_length_ = history.size();
+    calls_since_fit_ = 0;
+  }
+  ++calls_since_fit_;
+  // Between refits the window has slid by `calls_since_fit_ - 1` samples;
+  // the model's time axis is anchored at the fit window's start.
+  const double base = static_cast<double>(cached_length_ + calls_since_fit_ - 1);
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    out.push_back(ClampPrediction(
+        EvaluateHarmonics(cached_model_, base + static_cast<double>(h), cached_length_)));
+  }
+  return out;
+}
+
+std::unique_ptr<Forecaster> FftForecaster::Clone() const {
+  return std::make_unique<FftForecaster>(harmonics_, refit_interval_, history_minutes_);
+}
+
+}  // namespace femux

@@ -1,0 +1,45 @@
+// FFT harmonic forecaster (IceBreaker-style; Joosen et al. found FFT beats
+// most ML models on serverless traffic). Extracts the top-k harmonics of
+// the history window and extrapolates the harmonic model into the future.
+//
+// Unlike the local forecasters, FFT needs to observe whole pattern periods:
+// its preferred history is two days of minutes so daily cycles land inside
+// the window. Because long-window spectra change slowly, the harmonic model
+// is re-fitted only every `refit_interval` calls and phase-advanced in
+// between.
+#ifndef SRC_FORECAST_FFT_FORECASTER_H_
+#define SRC_FORECAST_FFT_FORECASTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/forecast/forecaster.h"
+#include "src/stats/fft.h"
+
+namespace femux {
+
+class FftForecaster final : public Forecaster {
+ public:
+  explicit FftForecaster(std::size_t harmonics = 10, std::size_t refit_interval = 1,
+                         std::size_t history_minutes = 2 * 1440);
+
+  std::string_view name() const override { return "fft"; }
+  std::vector<double> Forecast(std::span<const double> history,
+                               std::size_t horizon) override;
+  std::unique_ptr<Forecaster> Clone() const override;
+  std::size_t preferred_history() const override { return history_minutes_; }
+
+  std::size_t harmonics() const { return harmonics_; }
+
+ private:
+  std::size_t harmonics_;
+  std::size_t refit_interval_;
+  std::size_t history_minutes_;
+  std::vector<Harmonic> cached_model_;
+  std::size_t cached_length_ = 0;
+  std::size_t calls_since_fit_ = 0;
+};
+
+}  // namespace femux
+
+#endif  // SRC_FORECAST_FFT_FORECASTER_H_

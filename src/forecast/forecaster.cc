@@ -1,0 +1,33 @@
+#include "src/forecast/forecaster.h"
+
+#include <algorithm>
+
+namespace femux {
+
+double ForecastOne(Forecaster& forecaster, std::span<const double> history) {
+  const auto out = forecaster.Forecast(history, 1);
+  return out.empty() ? 0.0 : out.front();
+}
+
+std::vector<double> RollingForecast(Forecaster& forecaster,
+                                    std::span<const double> series,
+                                    std::size_t history_len, std::size_t warmup) {
+  history_len = std::max(history_len, forecaster.preferred_history());
+  std::vector<double> predictions(series.size(), 0.0);
+  for (std::size_t t = warmup; t < series.size(); ++t) {
+    const std::size_t start = t > history_len ? t - history_len : 0;
+    const std::span<const double> history = series.subspan(start, t - start);
+    predictions[t] = ForecastOne(forecaster, history);
+  }
+  return predictions;
+}
+
+double ClampPrediction(double value) {
+  // Guard against NaN propagating out of ill-conditioned fits.
+  if (!(value > 0.0)) {
+    return 0.0;
+  }
+  return std::min(value, 1e9);
+}
+
+}  // namespace femux

@@ -1,0 +1,67 @@
+// Traffic forecaster interface (§4.3.3).
+//
+// A forecaster receives the recent average-concurrency history of one
+// application (the Knative data representation, §4.3.1) and predicts the
+// next `horizon` samples. FeMux multiplexes among implementations of this
+// interface; providers can register their own.
+//
+// Implementations must: (1) be robust to degenerate histories (all zeros,
+// constant values, very short windows), (2) return non-negative predictions,
+// and (3) be cheap — FeMux's design budget is single-digit milliseconds per
+// forecast (§5.2).
+#ifndef SRC_FORECAST_FORECASTER_H_
+#define SRC_FORECAST_FORECASTER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace femux {
+
+// Default window sizes from the paper: two hours of history, one minute of
+// horizon, both provider-adjustable.
+inline constexpr std::size_t kDefaultHistoryMinutes = 120;
+inline constexpr std::size_t kDefaultHorizonMinutes = 1;
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Predicts the next `horizon` values following `history`. `history` is
+  // ordered oldest-first. Returns `horizon` non-negative values.
+  virtual std::vector<double> Forecast(std::span<const double> history,
+                                       std::size_t horizon) = 0;
+
+  // Fresh instance with the same configuration (forecasters may keep
+  // per-application state, so each application gets its own clone).
+  virtual std::unique_ptr<Forecaster> Clone() const = 0;
+
+  // History window (samples) this forecaster wants. Pattern-based models
+  // need to see whole periods (e.g. FFT wants multiple days at minute
+  // granularity); local models are happier with the 2-hour default.
+  virtual std::size_t preferred_history() const { return kDefaultHistoryMinutes; }
+};
+
+// Convenience: one-step forecast.
+double ForecastOne(Forecaster& forecaster, std::span<const double> history);
+
+// Rolling one-step-ahead forecasts over a full series: for each index
+// t >= warmup, predicts series[t] from the preceding `history_len` samples
+// (fewer at the start). out[t] is the prediction for series[t]; entries
+// before `warmup` are zero. This is the offline "simulated forecast"
+// the paper uses for training and evaluation.
+std::vector<double> RollingForecast(Forecaster& forecaster,
+                                    std::span<const double> series,
+                                    std::size_t history_len = kDefaultHistoryMinutes,
+                                    std::size_t warmup = 10);
+
+// Clamps a prediction to the physically meaningful range.
+double ClampPrediction(double value);
+
+}  // namespace femux
+
+#endif  // SRC_FORECAST_FORECASTER_H_

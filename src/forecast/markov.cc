@@ -1,0 +1,95 @@
+#include "src/forecast/markov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+
+namespace femux {
+
+MarkovChainForecaster::MarkovChainForecaster(std::size_t states)
+    : states_(std::clamp<std::size_t>(states, 2, 16)) {}
+
+std::vector<double> MarkovChainForecaster::Forecast(std::span<const double> history,
+                                                    std::size_t horizon) {
+  if (history.size() < states_ + 2 || Variance(history) == 0.0) {
+    const double last = history.empty() ? 0.0 : history.back();
+    return std::vector<double>(horizon, ClampPrediction(last));
+  }
+
+  // Quantile bin boundaries; a dedicated zero state captures idle periods,
+  // which dominate sparse serverless traffic.
+  std::vector<double> sorted(history.begin(), history.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> bounds;  // Upper bound of state s (last state open).
+  bounds.reserve(states_ - 1);
+  for (std::size_t s = 1; s < states_; ++s) {
+    const double q = static_cast<double>(s) / static_cast<double>(states_);
+    bounds.push_back(QuantileSorted(sorted, q));
+  }
+  auto state_of = [&bounds](double v) {
+    std::size_t s = 0;
+    while (s < bounds.size() && v > bounds[s]) {
+      ++s;
+    }
+    return s;
+  };
+
+  // Transition counts with add-one smoothing, and per-state level means.
+  std::vector<std::vector<double>> transitions(states_,
+                                               std::vector<double>(states_, 1.0));
+  std::vector<double> level_sum(states_, 0.0);
+  std::vector<double> level_count(states_, 0.0);
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    const std::size_t s = state_of(history[t]);
+    level_sum[s] += history[t];
+    level_count[s] += 1.0;
+    if (t + 1 < history.size()) {
+      transitions[s][state_of(history[t + 1])] += 1.0;
+    }
+  }
+  for (auto& row : transitions) {
+    double total = 0.0;
+    for (double v : row) {
+      total += v;
+    }
+    for (double& v : row) {
+      v /= total;
+    }
+  }
+  std::vector<double> level(states_);
+  for (std::size_t s = 0; s < states_; ++s) {
+    level[s] = level_count[s] > 0.0 ? level_sum[s] / level_count[s] : 0.0;
+  }
+
+  // Propagate the state distribution and read out the expected level.
+  std::vector<double> dist(states_, 0.0);
+  dist[state_of(history.back())] = 1.0;
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    std::vector<double> next(states_, 0.0);
+    for (std::size_t s = 0; s < states_; ++s) {
+      if (dist[s] == 0.0) {
+        continue;
+      }
+      for (std::size_t t = 0; t < states_; ++t) {
+        next[t] += dist[s] * transitions[s][t];
+      }
+    }
+    dist = std::move(next);
+    double expectation = 0.0;
+    for (std::size_t s = 0; s < states_; ++s) {
+      expectation += dist[s] * level[s];
+    }
+    out.push_back(ClampPrediction(expectation));
+  }
+  return out;
+}
+
+std::unique_ptr<Forecaster> MarkovChainForecaster::Clone() const {
+  return std::make_unique<MarkovChainForecaster>(states_);
+}
+
+}  // namespace femux

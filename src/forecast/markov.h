@@ -1,0 +1,32 @@
+// Markov-chain forecaster (Hamilton '96; CloudInsight-style) for repetitive
+// invocation patterns. History values are quantized into `states` levels
+// (quantile bins), a transition matrix is estimated from the window, and
+// the forecast is the expected level after propagating the current state
+// distribution `horizon` steps.
+#ifndef SRC_FORECAST_MARKOV_H_
+#define SRC_FORECAST_MARKOV_H_
+
+#include <cstddef>
+
+#include "src/forecast/forecaster.h"
+
+namespace femux {
+
+class MarkovChainForecaster final : public Forecaster {
+ public:
+  explicit MarkovChainForecaster(std::size_t states = 4);
+
+  std::string_view name() const override { return "markov_chain"; }
+  std::vector<double> Forecast(std::span<const double> history,
+                               std::size_t horizon) override;
+  std::unique_ptr<Forecaster> Clone() const override;
+
+  std::size_t states() const { return states_; }
+
+ private:
+  std::size_t states_;
+};
+
+}  // namespace femux
+
+#endif  // SRC_FORECAST_MARKOV_H_

@@ -1,0 +1,27 @@
+// Factory for the paper's forecaster set (§4.3.3) and name-based lookup.
+#ifndef SRC_FORECAST_REGISTRY_H_
+#define SRC_FORECAST_REGISTRY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/forecast/forecaster.h"
+
+namespace femux {
+
+// FeMux's default Forecaster Unit: AR(10), SETAR(10, 2 thresholds),
+// FFT(top-10 harmonics), Exponential Smoothing, Holt, Markov Chain(4).
+// `refit_interval` controls how often AR/SETAR re-estimate coefficients
+// (1 = every call; offline simulation uses a larger stride for speed).
+std::vector<std::unique_ptr<Forecaster>> MakeFemuxForecasterSet(
+    std::size_t refit_interval = 1);
+
+// Builds a forecaster by name: "ar", "setar", "fft", "exp_smoothing",
+// "holt", "markov_chain", "moving_average_<w>", "keep_alive_<w>min",
+// "lstm". Returns nullptr for unknown names.
+std::unique_ptr<Forecaster> MakeForecasterByName(std::string_view name);
+
+}  // namespace femux
+
+#endif  // SRC_FORECAST_REGISTRY_H_

@@ -1,0 +1,49 @@
+#include "src/forecast/simple.h"
+
+#include <algorithm>
+
+namespace femux {
+
+MovingAverageForecaster::MovingAverageForecaster(std::size_t window)
+    : window_(window == 0 ? 1 : window),
+      name_("moving_average_" + std::to_string(window_)) {}
+
+std::vector<double> MovingAverageForecaster::Forecast(std::span<const double> history,
+                                                      std::size_t horizon) {
+  double value = 0.0;
+  if (!history.empty()) {
+    const std::size_t n = std::min(window_, history.size());
+    double sum = 0.0;
+    for (std::size_t i = history.size() - n; i < history.size(); ++i) {
+      sum += history[i];
+    }
+    value = sum / static_cast<double>(n);
+  }
+  return std::vector<double>(horizon, ClampPrediction(value));
+}
+
+std::unique_ptr<Forecaster> MovingAverageForecaster::Clone() const {
+  return std::make_unique<MovingAverageForecaster>(window_);
+}
+
+KeepAliveForecaster::KeepAliveForecaster(std::size_t window_minutes)
+    : window_(window_minutes == 0 ? 1 : window_minutes),
+      name_("keep_alive_" + std::to_string(window_) + "min") {}
+
+std::vector<double> KeepAliveForecaster::Forecast(std::span<const double> history,
+                                                  std::size_t horizon) {
+  double value = 0.0;
+  if (!history.empty()) {
+    const std::size_t n = std::min(window_, history.size());
+    for (std::size_t i = history.size() - n; i < history.size(); ++i) {
+      value = std::max(value, history[i]);
+    }
+  }
+  return std::vector<double>(horizon, ClampPrediction(value));
+}
+
+std::unique_ptr<Forecaster> KeepAliveForecaster::Clone() const {
+  return std::make_unique<KeepAliveForecaster>(window_);
+}
+
+}  // namespace femux

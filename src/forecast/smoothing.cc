@@ -1,0 +1,112 @@
+#include "src/forecast/smoothing.h"
+
+#include <array>
+#include <limits>
+
+namespace femux {
+namespace {
+
+constexpr std::array<double, 9> kAlphaGrid = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                              0.6, 0.7, 0.8, 0.9};
+
+// One-step-ahead SSE of simple exponential smoothing with parameter alpha.
+double SesSse(std::span<const double> y, double alpha, double* out_level) {
+  double level = y.front();
+  double sse = 0.0;
+  for (std::size_t t = 1; t < y.size(); ++t) {
+    const double err = y[t] - level;
+    sse += err * err;
+    level += alpha * err;
+  }
+  if (out_level != nullptr) {
+    *out_level = level;
+  }
+  return sse;
+}
+
+// One-step-ahead SSE of Holt's linear method; outputs final level/trend.
+double HoltSse(std::span<const double> y, double alpha, double beta,
+               double* out_level, double* out_trend) {
+  double level = y.front();
+  double trend = y.size() > 1 ? y[1] - y[0] : 0.0;
+  double sse = 0.0;
+  for (std::size_t t = 1; t < y.size(); ++t) {
+    const double pred = level + trend;
+    const double err = y[t] - pred;
+    sse += err * err;
+    const double new_level = pred + alpha * err;
+    trend += alpha * beta * err;
+    level = new_level;
+  }
+  if (out_level != nullptr) {
+    *out_level = level;
+  }
+  if (out_trend != nullptr) {
+    *out_trend = trend;
+  }
+  return sse;
+}
+
+}  // namespace
+
+std::vector<double> ExponentialSmoothingForecaster::Forecast(
+    std::span<const double> history, std::size_t horizon) {
+  if (history.empty()) {
+    return std::vector<double>(horizon, 0.0);
+  }
+  if (history.size() == 1) {
+    return std::vector<double>(horizon, ClampPrediction(history.front()));
+  }
+  double best_level = history.back();
+  double best_sse = std::numeric_limits<double>::infinity();
+  for (double alpha : kAlphaGrid) {
+    double level = 0.0;
+    const double sse = SesSse(history, alpha, &level);
+    if (sse < best_sse) {
+      best_sse = sse;
+      best_level = level;
+    }
+  }
+  // SES is flat beyond one step.
+  return std::vector<double>(horizon, ClampPrediction(best_level));
+}
+
+std::unique_ptr<Forecaster> ExponentialSmoothingForecaster::Clone() const {
+  return std::make_unique<ExponentialSmoothingForecaster>();
+}
+
+std::vector<double> HoltForecaster::Forecast(std::span<const double> history,
+                                             std::size_t horizon) {
+  if (history.size() < 3) {
+    const double last = history.empty() ? 0.0 : history.back();
+    return std::vector<double>(horizon, ClampPrediction(last));
+  }
+  double best_level = history.back();
+  double best_trend = 0.0;
+  double best_sse = std::numeric_limits<double>::infinity();
+  constexpr std::array<double, 4> kBetaGrid = {0.05, 0.1, 0.3, 0.5};
+  for (double alpha : kAlphaGrid) {
+    for (double beta : kBetaGrid) {
+      double level = 0.0;
+      double trend = 0.0;
+      const double sse = HoltSse(history, alpha, beta, &level, &trend);
+      if (sse < best_sse) {
+        best_sse = sse;
+        best_level = level;
+        best_trend = trend;
+      }
+    }
+  }
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (std::size_t h = 1; h <= horizon; ++h) {
+    out.push_back(ClampPrediction(best_level + static_cast<double>(h) * best_trend));
+  }
+  return out;
+}
+
+std::unique_ptr<Forecaster> HoltForecaster::Clone() const {
+  return std::make_unique<HoltForecaster>();
+}
+
+}  // namespace femux

@@ -1,0 +1,35 @@
+// Exponential-smoothing family: simple exponential smoothing (Gardner '85)
+// for dense, trendless traffic, and Holt's double exponential smoothing
+// (Chatfield & Yar '88) for trending traffic. Both select their smoothing
+// parameters dynamically per call by minimizing in-sample one-step error
+// over a small grid ("dynamic parameter selection", §4.3.3).
+#ifndef SRC_FORECAST_SMOOTHING_H_
+#define SRC_FORECAST_SMOOTHING_H_
+
+#include "src/forecast/forecaster.h"
+
+namespace femux {
+
+class ExponentialSmoothingForecaster final : public Forecaster {
+ public:
+  ExponentialSmoothingForecaster() = default;
+
+  std::string_view name() const override { return "exp_smoothing"; }
+  std::vector<double> Forecast(std::span<const double> history,
+                               std::size_t horizon) override;
+  std::unique_ptr<Forecaster> Clone() const override;
+};
+
+class HoltForecaster final : public Forecaster {
+ public:
+  HoltForecaster() = default;
+
+  std::string_view name() const override { return "holt"; }
+  std::vector<double> Forecast(std::span<const double> history,
+                               std::size_t horizon) override;
+  std::unique_ptr<Forecaster> Clone() const override;
+};
+
+}  // namespace femux
+
+#endif  // SRC_FORECAST_SMOOTHING_H_

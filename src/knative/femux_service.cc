@@ -1,0 +1,125 @@
+#include "src/knative/femux_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/rng.h"
+
+namespace femux {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// Synthetic but non-degenerate concurrency history (diurnal + noise) so the
+// forecasters do real work.
+std::vector<double> MakeHistory(std::size_t minutes, Rng& rng) {
+  std::vector<double> history(minutes);
+  const double level = rng.Uniform(0.5, 20.0);
+  for (std::size_t m = 0; m < minutes; ++m) {
+    const double cycle =
+        1.0 + 0.5 * std::sin(2.0 * std::numbers::pi * static_cast<double>(m) / 120.0);
+    history[m] = std::max(0.0, level * cycle + rng.Normal(0.0, level * 0.2));
+  }
+  return history;
+}
+
+}  // namespace
+
+FemuxServiceReport EvaluateFemuxService(const FemuxModel& model,
+                                        const FemuxServiceOptions& options) {
+  FemuxServiceReport report;
+  Rng rng(options.seed);
+
+  // Measure real service times: one forecast per request, cycling through
+  // the model's forecaster set the way mixed app populations would.
+  std::vector<std::unique_ptr<Forecaster>> forecasters;
+  for (std::size_t f = 0; f < model.forecaster_names.size(); ++f) {
+    forecasters.push_back(model.MakeForecaster(static_cast<int>(f)));
+  }
+  if (forecasters.empty()) {
+    return report;
+  }
+  const std::size_t measure_count = std::min<std::size_t>(options.request_count, 512);
+  std::vector<double> service_ms;
+  service_ms.reserve(measure_count);
+  // Each forecaster sees histories of its own preferred window length
+  // (e.g. FFT reads two days of minutes), so the measured service times
+  // reflect real per-request work.
+  std::vector<std::vector<std::vector<double>>> histories(forecasters.size());
+  for (std::size_t f = 0; f < forecasters.size(); ++f) {
+    const std::size_t length =
+        std::max(options.history_minutes, forecasters[f]->preferred_history());
+    for (std::size_t i = 0; i < 4; ++i) {
+      histories[f].push_back(MakeHistory(length, rng));
+    }
+  }
+  for (std::size_t i = 0; i < measure_count; ++i) {
+    const std::size_t f = i % forecasters.size();
+    const auto& history = histories[f][i % histories[f].size()];
+    const auto start = Clock::now();
+    forecasters[f]->Forecast(history, 1);
+    service_ms.push_back(ElapsedMs(start));
+  }
+  report.mean_service_ms = Mean(service_ms);
+
+  // Block-completion path: feature extraction + classification.
+  {
+    const FeatureExtractor extractor(model.features);
+    std::vector<double> block = MakeHistory(model.block_minutes, rng);
+    const auto start = Clock::now();
+    const std::vector<double> raw = extractor.Extract(block, 100.0);
+    model.SelectForecaster(raw);
+    report.classify_latency_ms = ElapsedMs(start);
+  }
+
+  // Queueing model: Poisson arrivals, round-robin across pods, FIFO per
+  // pod, service times resampled from the measured set.
+  const double rate_per_pod =
+      options.requests_per_second / static_cast<double>(std::max<std::size_t>(1, options.pods));
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(options.request_count);
+  double busy_ms_total = 0.0;
+  double horizon_ms = 0.0;
+  for (std::size_t pod = 0; pod < std::max<std::size_t>(1, options.pods); ++pod) {
+    double now_ms = 0.0;
+    double free_at_ms = 0.0;
+    const std::size_t per_pod = options.request_count / std::max<std::size_t>(1, options.pods);
+    for (std::size_t i = 0; i < per_pod; ++i) {
+      now_ms += rng.Exponential(rate_per_pod / 1000.0);  // Inter-arrival, ms.
+      const double service =
+          service_ms[static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(service_ms.size()) - 1))];
+      const double begin = std::max(now_ms, free_at_ms);
+      free_at_ms = begin + service;
+      busy_ms_total += service;
+      latencies_ms.push_back(free_at_ms - now_ms);
+    }
+    horizon_ms = std::max(horizon_ms, free_at_ms);
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  report.mean_latency_ms = Mean(latencies_ms);
+  report.p50_latency_ms = QuantileSorted(latencies_ms, 0.50);
+  report.p99_latency_ms = QuantileSorted(latencies_ms, 0.99);
+  report.utilization =
+      horizon_ms > 0.0
+          ? busy_ms_total /
+                (horizon_ms * static_cast<double>(std::max<std::size_t>(1, options.pods)))
+          : 0.0;
+
+  // Apps per pod: one forecast per app per minute; cap pod utilization at
+  // 70 % of wall-clock.
+  if (report.mean_service_ms > 0.0) {
+    report.apps_per_pod = 0.7 * 60000.0 / report.mean_service_ms;
+  }
+  return report;
+}
+
+}  // namespace femux

@@ -1,0 +1,45 @@
+// FeMux forecasting-service model (§5.2 scalability study).
+//
+// In the prototype, FeMux runs as a microservice: each application has a
+// forecasting thread inside a FeMux pod, the metrics collector posts
+// per-minute concurrency, and the pod returns the forecast target. This
+// model measures *real* forecast latencies of the trained model's
+// forecasters on this machine, then replays a Poisson request stream
+// through an N-pod FIFO queueing model to report mean/p50/p99 service
+// latency, utilization, and the apps-per-pod capacity (each app issues one
+// forecast per minute).
+#ifndef SRC_KNATIVE_FEMUX_SERVICE_H_
+#define SRC_KNATIVE_FEMUX_SERVICE_H_
+
+#include <cstdint>
+
+#include "src/core/model.h"
+
+namespace femux {
+
+struct FemuxServiceOptions {
+  std::size_t pods = 1;
+  double requests_per_second = 20.0;  // The paper's single-pod load point.
+  std::size_t request_count = 5000;
+  std::size_t history_minutes = kDefaultHistoryMinutes;
+  std::uint64_t seed = 5;
+};
+
+struct FemuxServiceReport {
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double mean_service_ms = 0.0;   // Pure forecast compute, no queueing.
+  double utilization = 0.0;       // Busy fraction per pod.
+  double classify_latency_ms = 0.0;  // Feature extraction + classification
+                                     // for one completed block.
+  double apps_per_pod = 0.0;      // Sustainable apps at 1 forecast/min
+                                  // keeping utilization <= 70 %.
+};
+
+FemuxServiceReport EvaluateFemuxService(const FemuxModel& model,
+                                        const FemuxServiceOptions& options);
+
+}  // namespace femux
+
+#endif  // SRC_KNATIVE_FEMUX_SERVICE_H_

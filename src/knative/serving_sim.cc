@@ -1,0 +1,225 @@
+#include "src/knative/serving_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "src/sim/parallel.h"
+
+namespace femux {
+namespace {
+
+// Per-app deployment state machine at 2-second ticks.
+class AppDeployment {
+ public:
+  AppDeployment(const AppTrace& app, const ServingOptions& options, int app_index,
+                const PredictiveHook* hook)
+      : app_(app), options_(options), app_index_(app_index), hook_(hook),
+        concurrency_limit_(std::max(1, app.config.container_concurrency)),
+        ticks_per_minute_(static_cast<std::size_t>(
+            std::llround(60.0 / options.tick_seconds))) {}
+
+  ServingAppResult Run() {
+    const int end_minute =
+        std::min(options_.start_minute + options_.replay_minutes,
+                 static_cast<int>(app_.minute_counts.size()));
+    for (int minute = options_.start_minute; minute < end_minute; ++minute) {
+      BeginMinute(minute);
+      for (std::size_t tick = 0; tick < ticks_per_minute_; ++tick) {
+        Step();
+      }
+    }
+    return result_;
+  }
+
+ private:
+  // Demand for the current minute in concurrency terms (Little's law;
+  // invocations are uniform within the minute).
+  void BeginMinute(int minute) {
+    const double count = app_.minute_counts[static_cast<std::size_t>(minute)];
+    concurrency_ = count * app_.mean_execution_ms / 1000.0 / 60.0;
+    arrivals_per_tick_ = count / static_cast<double>(ticks_per_minute_);
+    minute_units_.push_back(concurrency_ / concurrency_limit_);
+    if (hook_ != nullptr && *hook_ != nullptr) {
+      const double predicted = (*hook_)(app_index_, minute_units_);
+      // The FeMux API returns a provisioning target directly (its trained
+      // margins already encode headroom), so it is not divided by the
+      // reactive path's target utilization.
+      predictive_pods_ = predicted < 0.0 ? -1.0 : std::ceil(predicted - 1e-9);
+      if (predictive_pods_ >= 0.0) {
+        // The forecast was produced during the previous minute, so the
+        // prototype initiates the scale-up before this minute's demand
+        // lands: predictively-started pods are already warm here and their
+        // startup latency is never user-visible.
+        const double alive = ready_pods_ + static_cast<double>(starting_.size());
+        if (predictive_pods_ > alive) {
+          ready_pods_ += predictive_pods_ - alive;
+        }
+      }
+    }
+  }
+
+  void Step() {
+    const double tick_s = options_.tick_seconds;
+    const std::size_t stable_ticks = static_cast<std::size_t>(
+        std::llround(options_.stable_window_seconds / tick_s));
+    const std::size_t panic_ticks = static_cast<std::size_t>(
+        std::llround(options_.panic_window_seconds / tick_s));
+
+    // Queue-proxy metric push.
+    window_.push_back(concurrency_);
+    if (window_.size() > stable_ticks) {
+      window_.pop_front();
+    }
+
+    // Pods finishing their cold start become ready.
+    while (!starting_.empty() && starting_.front() <= now_ticks_) {
+      starting_.pop_front();
+      ready_pods_ += 1.0;
+    }
+
+    // Autoscaler decision.
+    const double stable_avg = WindowAverage(window_.size());
+    const double panic_avg = WindowAverage(std::min(panic_ticks, window_.size()));
+    const double capacity = ready_pods_ * concurrency_limit_;
+    const bool panic = capacity > 0.0
+                           ? panic_avg > options_.panic_threshold * capacity
+                           : panic_avg > 0.0;
+    const double reactive_basis = panic ? std::max(stable_avg, panic_avg) : stable_avg;
+    const double reactive_pods = std::ceil(
+        reactive_basis / concurrency_limit_ / options_.target_utilization - 1e-9);
+    double desired = reactive_pods;
+    if (predictive_pods_ >= 0.0) {
+      // FeMux override, with reactive panic as a safety net.
+      desired = panic ? std::max(predictive_pods_, reactive_pods) : predictive_pods_;
+    }
+    desired = std::max(desired, static_cast<double>(app_.config.min_scale));
+
+    // Demand overflow before any new pods are ready: cold-experiencing work.
+    const double overflow = std::max(0.0, concurrency_ - capacity);
+
+    // Scale up.
+    const double alive = ready_pods_ + static_cast<double>(starting_.size());
+    if (desired > alive) {
+      const double to_start = desired - alive;
+      const std::size_t ready_at =
+          now_ticks_ + static_cast<std::size_t>(
+                           std::ceil(options_.cold_start_seconds / tick_s));
+      for (double k = 0.0; k < to_start; k += 1.0) {
+        starting_.push_back(ready_at);
+      }
+      if (overflow > 0.0) {
+        // Starts triggered while demand is waiting are cold starts.
+        const double overflow_pods = std::ceil(overflow / concurrency_limit_ - 1e-9);
+        const double cold = std::min(to_start, overflow_pods);
+        result_.metrics.cold_starts += cold;
+        result_.metrics.cold_start_seconds += cold * options_.cold_start_seconds;
+      }
+    }
+
+    // Scale down: only after `scale_down_delay_seconds` of continuously
+    // lower desired counts (the default 1-minute keep-alive).
+    desired_window_.push_back(desired);
+    const std::size_t delay_ticks = static_cast<std::size_t>(
+        std::llround(options_.scale_down_delay_seconds / tick_s));
+    if (desired_window_.size() > delay_ticks) {
+      desired_window_.pop_front();
+    }
+    double floor = 0.0;
+    for (double d : desired_window_) {
+      floor = std::max(floor, d);
+    }
+    if (ready_pods_ > floor && desired_window_.size() >= delay_ticks) {
+      ready_pods_ = floor;
+    }
+
+    // Accounting.
+    const double served = std::min(concurrency_, ready_pods_ * concurrency_limit_);
+    const double busy_pods = concurrency_limit_ > 0
+                                 ? served / concurrency_limit_
+                                 : 0.0;
+    const double idle_pods = std::max(0.0, ready_pods_ - busy_pods);
+    result_.metrics.invocations += arrivals_per_tick_;
+    if (concurrency_ > 0.0) {
+      result_.metrics.cold_invocations +=
+          arrivals_per_tick_ * overflow / concurrency_;
+    }
+    result_.metrics.wasted_gb_seconds +=
+        idle_pods * options_.memory_gb_per_pod * tick_s;
+    result_.metrics.allocated_gb_seconds +=
+        ready_pods_ * options_.memory_gb_per_pod * tick_s;
+    result_.metrics.execution_seconds += served * tick_s;
+    result_.metrics.service_seconds += served * tick_s + overflow * tick_s;
+    result_.peak_pods = std::max(result_.peak_pods, ready_pods_);
+    ++now_ticks_;
+  }
+
+  double WindowAverage(std::size_t n) const {
+    if (n == 0 || window_.empty()) {
+      return 0.0;
+    }
+    n = std::min(n, window_.size());
+    double sum = 0.0;
+    for (std::size_t i = window_.size() - n; i < window_.size(); ++i) {
+      sum += window_[i];
+    }
+    return sum / static_cast<double>(n);
+  }
+
+  const AppTrace& app_;
+  const ServingOptions& options_;
+  int app_index_;
+  const PredictiveHook* hook_;
+  double concurrency_limit_;
+  std::size_t ticks_per_minute_;
+
+  double concurrency_ = 0.0;
+  double arrivals_per_tick_ = 0.0;
+  std::vector<double> minute_units_;
+  double predictive_pods_ = -1.0;
+  double ready_pods_ = 0.0;
+  std::deque<std::size_t> starting_;  // Ready-at tick per starting pod.
+  std::deque<double> window_;         // Concurrency samples (stable window).
+  std::deque<double> desired_window_;
+  std::size_t now_ticks_ = 0;
+  ServingAppResult result_;
+};
+
+}  // namespace
+
+ServingResult SimulateServing(const Dataset& dataset, const ServingOptions& options,
+                              const PredictiveHook& hook, std::size_t threads) {
+  ServingResult result;
+  result.per_app.resize(dataset.apps.size());
+  ParallelFor(
+      dataset.apps.size(),
+      [&](std::size_t i) {
+        AppDeployment deployment(dataset.apps[i], options, static_cast<int>(i),
+                                 hook ? &hook : nullptr);
+        result.per_app[i] = deployment.Run();
+      },
+      threads);
+  for (const ServingAppResult& app : result.per_app) {
+    result.total += app.metrics;
+  }
+  return result;
+}
+
+PredictiveHook MakePolicyHook(const ScalingPolicy& prototype, std::size_t app_count) {
+  auto policies = std::make_shared<std::vector<std::unique_ptr<ScalingPolicy>>>();
+  policies->reserve(app_count);
+  for (std::size_t i = 0; i < app_count; ++i) {
+    policies->push_back(prototype.Clone());
+  }
+  return [policies](int app_index, std::span<const double> minute_units) {
+    if (app_index < 0 || static_cast<std::size_t>(app_index) >= policies->size()) {
+      return -1.0;
+    }
+    // The newest sample is the minute that is just starting; the policy's
+    // history must end at the last *completed* minute.
+    const std::span<const double> history = minute_units.first(minute_units.size() - 1);
+    return (*policies)[static_cast<std::size_t>(app_index)]->TargetUnits(history);
+  };
+}
+
+}  // namespace femux

@@ -1,0 +1,71 @@
+// Knative Serving deployment model (Fig. 13, §5.2).
+//
+// Models the component plumbing the simulator in src/sim abstracts away:
+// queue-proxies push per-app concurrency to the Autoscaler every 2 seconds;
+// the Autoscaler recomputes desired pod counts per tick from a 60-second
+// stable window (with a panic window for bursts); pods take a cold-start
+// delay to become ready; the Activator buffers demand that exceeds ready
+// capacity; scale-down follows the default 1-minute keep-alive.
+//
+// In FeMux mode, the FeMux service intercepts the concurrency stream,
+// batches it to per-minute samples, and returns a predictive scaling target
+// that overrides the reactive stable-window logic for the next minute —
+// exactly the integration of the paper's prototype. Reactive panic scaling
+// still applies as a safety net (pods started reactively count their cold
+// starts).
+#ifndef SRC_KNATIVE_SERVING_SIM_H_
+#define SRC_KNATIVE_SERVING_SIM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/metrics.h"
+#include "src/sim/policy.h"
+#include "src/trace/trace.h"
+
+namespace femux {
+
+struct ServingOptions {
+  double tick_seconds = 2.0;        // Autoscaler/queue-proxy period.
+  double stable_window_seconds = 60.0;
+  double panic_window_seconds = 6.0;
+  double panic_threshold = 2.0;     // Panic when demand > 2x capacity.
+  double target_utilization = 0.7;  // Knative's container-concurrency target.
+  double scale_down_delay_seconds = 60.0;  // Default 1-minute keep-alive.
+  double cold_start_seconds = 0.808;       // Pod readiness delay.
+  double memory_gb_per_pod = 0.15;
+  // Hours of the trace to replay, and the starting minute.
+  int replay_minutes = 24 * 60;
+  int start_minute = 0;
+};
+
+struct ServingAppResult {
+  SimMetrics metrics;
+  double peak_pods = 0.0;
+};
+
+struct ServingResult {
+  SimMetrics total;
+  std::vector<ServingAppResult> per_app;
+};
+
+// Per-app predictive override: called once per minute with the app's
+// per-minute concurrency history; returns the concurrency target to
+// provision for (< 0 means "no override", i.e. pure reactive Knative).
+using PredictiveHook =
+    std::function<double(int app_index, std::span<const double> minute_concurrency)>;
+
+// Replays `dataset` through the deployment model. `hook` may be null for
+// the default (reactive) configuration.
+ServingResult SimulateServing(const Dataset& dataset, const ServingOptions& options,
+                              const PredictiveHook& hook = nullptr,
+                              std::size_t threads = 0);
+
+// Adapts a ScalingPolicy prototype (e.g. FemuxPolicy) into a PredictiveHook;
+// one policy clone is maintained per app. The returned hook owns the clones.
+PredictiveHook MakePolicyHook(const ScalingPolicy& prototype, std::size_t app_count);
+
+}  // namespace femux
+
+#endif  // SRC_KNATIVE_SERVING_SIM_H_

@@ -1,0 +1,220 @@
+#include "src/sim/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/stats/rng.h"
+
+namespace femux {
+
+FixedIdlePolicy::FixedIdlePolicy(double keep_alive_ms)
+    : keep_alive_ms_(keep_alive_ms) {}
+
+IdleDecision FixedIdlePolicy::OnContainerIdle() {
+  return {.keep_alive_ms = keep_alive_ms_, .prewarm_after_ms = -1.0};
+}
+
+std::unique_ptr<IdlePolicy> FixedIdlePolicy::Clone() const {
+  return std::make_unique<FixedIdlePolicy>(keep_alive_ms_);
+}
+
+HybridHistogramPolicy::HybridHistogramPolicy() : HybridHistogramPolicy(Options()) {}
+
+HybridHistogramPolicy::HybridHistogramPolicy(Options options)
+    : options_(options), counts_(options.buckets + 1, 0) {}
+
+void HybridHistogramPolicy::ObserveArrival(double idle_gap_ms) {
+  if (idle_gap_ms < 0.0) {
+    return;
+  }
+  std::size_t bucket = static_cast<std::size_t>(idle_gap_ms / options_.bucket_ms);
+  bucket = std::min(bucket, counts_.size() - 1);
+  ++counts_[bucket];
+  ++count_;
+  sum_ += idle_gap_ms;
+  sum_sq_ += idle_gap_ms * idle_gap_ms;
+}
+
+double HybridHistogramPolicy::Quantile(double q) const {
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cumulative += static_cast<double>(counts_[b]);
+    if (cumulative >= target) {
+      // Lower bucket edge: callers add a bucket when they need the upper
+      // edge (head estimates must not overshoot the true idle time, or
+      // pre-warmed containers arrive after the request they were meant
+      // to serve).
+      return static_cast<double>(b) * options_.bucket_ms;
+    }
+  }
+  return static_cast<double>(counts_.size()) * options_.bucket_ms;
+}
+
+IdleDecision HybridHistogramPolicy::OnContainerIdle() {
+  if (count_ < options_.min_observations) {
+    return {.keep_alive_ms = options_.fallback_keep_alive_ms, .prewarm_after_ms = -1.0};
+  }
+  const double mean = sum_ / static_cast<double>(count_);
+  const double variance =
+      std::max(0.0, sum_sq_ / static_cast<double>(count_) - mean * mean);
+  const double cv = mean > 0.0 ? std::sqrt(variance) / mean : 0.0;
+  const double head = Quantile(options_.head_quantile);
+  const double tail = Quantile(options_.tail_quantile) + 2.0 * options_.bucket_ms;
+  if (cv <= options_.predictable_cv && head > 2.0 * options_.bucket_ms) {
+    // Predictable idle times with a meaningful head: release immediately
+    // and pre-warm just before the earliest plausible next arrival.
+    return {.keep_alive_ms = tail, .prewarm_after_ms = head - options_.bucket_ms};
+  }
+  return {.keep_alive_ms = tail, .prewarm_after_ms = -1.0};
+}
+
+std::unique_ptr<IdlePolicy> HybridHistogramPolicy::Clone() const {
+  return std::make_unique<HybridHistogramPolicy>(options_);
+}
+
+namespace {
+
+struct Container {
+  double created_ms = 0.0;
+  double free_at_ms = 0.0;    // Busy until this time.
+  double expire_at_ms = 0.0;  // Idle expiry (only meaningful when idle).
+  double busy_ms = 0.0;
+};
+
+struct Prewarm {
+  double available_at_ms = 0.0;
+  double expire_at_ms = 0.0;
+};
+
+}  // namespace
+
+SimMetrics SimulateEvents(std::span<const Invocation> invocations,
+                          IdlePolicy& policy, const EventSimOptions& options) {
+  SimMetrics metrics;
+  std::vector<Container> warm;
+  std::vector<Prewarm> prewarms;
+
+  const auto retire = [&](const Container& c, double now_ms) {
+    const double alive_ms = std::min(c.expire_at_ms, now_ms) - c.created_ms;
+    metrics.allocated_gb_seconds += alive_ms / 1000.0 * options.memory_gb;
+    metrics.wasted_gb_seconds +=
+        std::max(0.0, alive_ms - c.busy_ms) / 1000.0 * options.memory_gb;
+  };
+
+  double previous_arrival_ms = -1.0;
+  for (const Invocation& inv : invocations) {
+    const double t = static_cast<double>(inv.arrival_ms);
+    policy.ObserveArrival(previous_arrival_ms < 0.0 ? -1.0 : t - previous_arrival_ms);
+    previous_arrival_ms = t;
+
+    // Materialize pre-warmed containers whose window has opened.
+    for (std::size_t i = 0; i < prewarms.size();) {
+      if (prewarms[i].available_at_ms <= t) {
+        if (prewarms[i].expire_at_ms > t) {
+          warm.push_back({prewarms[i].available_at_ms, prewarms[i].available_at_ms,
+                          prewarms[i].expire_at_ms, 0.0});
+        }
+        prewarms[i] = prewarms.back();
+        prewarms.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    // Expire idle containers.
+    for (std::size_t i = 0; i < warm.size();) {
+      if (warm[i].free_at_ms <= t && warm[i].expire_at_ms <= t) {
+        retire(warm[i], t);
+        warm[i] = warm.back();
+        warm.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    // Most-recently-used warm container that is free.
+    Container* chosen = nullptr;
+    for (Container& c : warm) {
+      if (c.free_at_ms <= t && (chosen == nullptr || c.free_at_ms > chosen->free_at_ms)) {
+        chosen = &c;
+      }
+    }
+
+    metrics.invocations += 1.0;
+    double start_ms = t;
+    if (chosen == nullptr) {
+      // Cold start: a fresh container boots before serving.
+      metrics.cold_starts += 1.0;
+      metrics.cold_invocations += 1.0;
+      metrics.cold_start_seconds += options.cold_start_ms / 1000.0;
+      start_ms = t + options.cold_start_ms;
+      warm.push_back({t, start_ms, start_ms, 0.0});
+      chosen = &warm.back();
+    }
+    const double completion_ms = start_ms + inv.execution_ms;
+    chosen->busy_ms += completion_ms - t;  // Includes boot wait for colds.
+    chosen->free_at_ms = completion_ms;
+    metrics.execution_seconds += inv.execution_ms / 1000.0;
+    metrics.service_seconds += (completion_ms - t) / 1000.0;
+
+    const IdleDecision decision = policy.OnContainerIdle();
+    if (decision.prewarm_after_ms >= 0.0) {
+      // Release at completion; pre-warm later in the predicted window.
+      chosen->expire_at_ms = completion_ms;
+      prewarms.push_back({completion_ms + decision.prewarm_after_ms,
+                          completion_ms + decision.keep_alive_ms});
+    } else {
+      chosen->expire_at_ms = completion_ms + decision.keep_alive_ms;
+    }
+  }
+
+  // Final accounting at the time the last container would retire.
+  double horizon_ms = 0.0;
+  for (const Container& c : warm) {
+    horizon_ms = std::max(horizon_ms, std::max(c.free_at_ms, c.expire_at_ms));
+  }
+  for (const Container& c : warm) {
+    retire(c, horizon_ms);
+  }
+  for (const Prewarm& p : prewarms) {
+    if (p.expire_at_ms > p.available_at_ms) {
+      metrics.allocated_gb_seconds +=
+          (p.expire_at_ms - p.available_at_ms) / 1000.0 * options.memory_gb;
+      metrics.wasted_gb_seconds +=
+          (p.expire_at_ms - p.available_at_ms) / 1000.0 * options.memory_gb;
+    }
+  }
+  return metrics;
+}
+
+std::vector<Invocation> SynthesizeArrivals(const AppTrace& app, std::uint64_t seed,
+                                           int max_minutes) {
+  Rng rng(seed);
+  std::vector<Invocation> out;
+  const int minutes = max_minutes < 0
+                          ? static_cast<int>(app.minute_counts.size())
+                          : std::min<int>(max_minutes,
+                                          static_cast<int>(app.minute_counts.size()));
+  for (int m = 0; m < minutes; ++m) {
+    const int count = static_cast<int>(std::llround(app.minute_counts[m]));
+    for (int k = 0; k < count; ++k) {
+      Invocation inv;
+      inv.arrival_ms =
+          static_cast<std::int64_t>((static_cast<double>(m) + rng.Uniform()) * 60000.0);
+      inv.execution_ms =
+          app.execution_sigma > 0.0
+              ? std::clamp(rng.LogNormal(std::log(app.mean_execution_ms),
+                                         app.execution_sigma),
+                           0.05, 600000.0)
+              : app.mean_execution_ms;
+      out.push_back(inv);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Invocation& a, const Invocation& b) {
+    return a.arrival_ms < b.arrival_ms;
+  });
+  return out;
+}
+
+}  // namespace femux

@@ -1,0 +1,117 @@
+#include "src/sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/parallel.h"
+
+namespace femux {
+
+std::vector<double> DemandSeries(const AppTrace& app, double epoch_seconds) {
+  const std::vector<double> conc = AverageConcurrency(app);
+  const double limit = std::max(1, app.config.container_concurrency);
+  if (epoch_seconds == 60.0) {
+    std::vector<double> demand(conc.size());
+    for (std::size_t m = 0; m < conc.size(); ++m) {
+      demand[m] = conc[m] / limit;
+    }
+    return demand;
+  }
+  if (epoch_seconds < 60.0) {
+    // Uniform-within-minute assumption: each sub-epoch sees the minute's
+    // average concurrency.
+    const std::size_t per_minute =
+        static_cast<std::size_t>(std::llround(60.0 / epoch_seconds));
+    std::vector<double> demand;
+    demand.reserve(conc.size() * per_minute);
+    for (double c : conc) {
+      for (std::size_t k = 0; k < per_minute; ++k) {
+        demand.push_back(c / limit);
+      }
+    }
+    return demand;
+  }
+  // Coarser epochs: average the minutes they cover.
+  const std::size_t minutes_per_epoch =
+      static_cast<std::size_t>(std::llround(epoch_seconds / 60.0));
+  std::vector<double> demand;
+  demand.reserve(conc.size() / minutes_per_epoch + 1);
+  for (std::size_t m = 0; m < conc.size(); m += minutes_per_epoch) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = m; k < std::min(conc.size(), m + minutes_per_epoch); ++k) {
+      sum += conc[k];
+      ++n;
+    }
+    demand.push_back(n > 0 ? sum / static_cast<double>(n) / limit : 0.0);
+  }
+  return demand;
+}
+
+std::vector<double> ArrivalSeries(const AppTrace& app, double epoch_seconds) {
+  const std::vector<double>& counts = app.minute_counts;
+  if (epoch_seconds == 60.0) {
+    return counts;
+  }
+  if (epoch_seconds < 60.0) {
+    const std::size_t per_minute =
+        static_cast<std::size_t>(std::llround(60.0 / epoch_seconds));
+    std::vector<double> arrivals;
+    arrivals.reserve(counts.size() * per_minute);
+    for (double c : counts) {
+      for (std::size_t k = 0; k < per_minute; ++k) {
+        arrivals.push_back(c / static_cast<double>(per_minute));
+      }
+    }
+    return arrivals;
+  }
+  const std::size_t minutes_per_epoch =
+      static_cast<std::size_t>(std::llround(epoch_seconds / 60.0));
+  std::vector<double> arrivals;
+  arrivals.reserve(counts.size() / minutes_per_epoch + 1);
+  for (std::size_t m = 0; m < counts.size(); m += minutes_per_epoch) {
+    double sum = 0.0;
+    for (std::size_t k = m; k < std::min(counts.size(), m + minutes_per_epoch); ++k) {
+      sum += counts[k];
+    }
+    arrivals.push_back(sum);
+  }
+  return arrivals;
+}
+
+FleetResult SimulateFleet(const Dataset& dataset, const PolicyFactory& factory,
+                          SimOptions options, bool respect_app_min_scale,
+                          std::size_t threads) {
+  FleetResult result;
+  result.per_app.resize(dataset.apps.size());
+  ParallelFor(
+      dataset.apps.size(),
+      [&](std::size_t i) {
+        const AppTrace& app = dataset.apps[i];
+        SimOptions app_options = options;
+        app_options.min_scale = respect_app_min_scale ? app.config.min_scale : 0;
+        app_options.memory_gb_per_unit =
+            app.consumed_memory_mb > 0.0 ? app.consumed_memory_mb / 1024.0
+                                         : options.memory_gb_per_unit;
+        const std::vector<double> demand = DemandSeries(app, app_options.epoch_seconds);
+        const std::vector<double> arrivals =
+            ArrivalSeries(app, app_options.epoch_seconds);
+        std::unique_ptr<ScalingPolicy> policy = factory(static_cast<int>(i));
+        result.per_app[i] = SimulateApp(demand, arrivals, *policy, app_options);
+      },
+      threads);
+  for (const SimMetrics& m : result.per_app) {
+    result.total += m;
+  }
+  return result;
+}
+
+FleetResult SimulateFleetUniform(const Dataset& dataset, const ScalingPolicy& prototype,
+                                 const SimOptions& options, bool respect_app_min_scale,
+                                 std::size_t threads) {
+  return SimulateFleet(
+      dataset, [&prototype](int) { return prototype.Clone(); }, options,
+      respect_app_min_scale, threads);
+}
+
+}  // namespace femux

@@ -1,0 +1,38 @@
+#include "src/sim/metrics.h"
+
+#include <sstream>
+
+namespace femux {
+
+SimMetrics& SimMetrics::operator+=(const SimMetrics& other) {
+  invocations += other.invocations;
+  cold_starts += other.cold_starts;
+  cold_invocations += other.cold_invocations;
+  cold_start_seconds += other.cold_start_seconds;
+  wasted_gb_seconds += other.wasted_gb_seconds;
+  allocated_gb_seconds += other.allocated_gb_seconds;
+  execution_seconds += other.execution_seconds;
+  service_seconds += other.service_seconds;
+  return *this;
+}
+
+SimMetrics operator+(SimMetrics lhs, const SimMetrics& rhs) { return lhs += rhs; }
+
+double SimMetrics::ColdStartPercent() const {
+  if (invocations <= 0.0) {
+    return 0.0;
+  }
+  return 100.0 * cold_invocations / invocations;
+}
+
+std::string FormatMetrics(const SimMetrics& metrics) {
+  std::ostringstream out;
+  out << "invocations=" << metrics.invocations << " cold_starts=" << metrics.cold_starts
+      << " cold%=" << metrics.ColdStartPercent()
+      << " cold_s=" << metrics.cold_start_seconds
+      << " wasted_gbs=" << metrics.wasted_gb_seconds
+      << " alloc_gbs=" << metrics.allocated_gb_seconds;
+  return out.str();
+}
+
+}  // namespace femux

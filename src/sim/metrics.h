@@ -1,0 +1,38 @@
+// Performance/efficiency metrics produced by the platform simulator.
+//
+// The fields deliberately cover every metric used across prior systems
+// (Table 2) so a single simulation run can be evaluated under FaasCache's
+// metrics (cold-start count + wasted memory), IceBreaker's (service time +
+// keep-alive cost from allocated memory), Aquatope's (aggregate cold-start
+// percentage + allocated memory), and any RUM.
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <string>
+
+namespace femux {
+
+struct SimMetrics {
+  double invocations = 0.0;
+  double cold_starts = 0.0;          // Cold compute-unit starts.
+  double cold_invocations = 0.0;     // Invocations that waited on a cold unit.
+  double cold_start_seconds = 0.0;   // Total cold-start latency incurred.
+  double wasted_gb_seconds = 0.0;    // Idle warm capacity * memory * time.
+  double allocated_gb_seconds = 0.0; // All warm capacity * memory * time.
+  double execution_seconds = 0.0;    // Busy time across units.
+  double service_seconds = 0.0;      // Execution + cold-start waits.
+
+  SimMetrics& operator+=(const SimMetrics& other);
+
+  // Cold-start fraction over invocations (0 when idle).
+  double ColdStartPercent() const;
+};
+
+SimMetrics operator+(SimMetrics lhs, const SimMetrics& rhs);
+
+// One-line human-readable rendering for bench output.
+std::string FormatMetrics(const SimMetrics& metrics);
+
+}  // namespace femux
+
+#endif  // SRC_SIM_METRICS_H_

@@ -1,0 +1,46 @@
+// Minimal parallel-for over app indices. Fleet simulations are trivially
+// parallel (one independent state machine per application), so a striped
+// thread pool is all that is needed.
+#ifndef SRC_SIM_PARALLEL_H_
+#define SRC_SIM_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace femux {
+
+// Invokes fn(i) for i in [0, count) across up to `threads` workers
+// (0 = hardware concurrency). Exceptions in fn are not supported.
+inline void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
+                        std::size_t threads = 0) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&next, count, &fn] {
+      for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace femux
+
+#endif  // SRC_SIM_PARALLEL_H_

@@ -1,0 +1,32 @@
+#include "src/sim/policy.h"
+
+namespace femux {
+
+ForecasterPolicy::ForecasterPolicy(std::unique_ptr<Forecaster> forecaster, double margin,
+                                   std::size_t history_len, bool reactive_floor)
+    : forecaster_(std::move(forecaster)), margin_(margin), history_len_(history_len),
+      reactive_floor_(reactive_floor),
+      name_(std::string("policy_") + std::string(forecaster_->name())) {}
+
+double ForecasterPolicy::TargetUnits(std::span<const double> demand_history) {
+  if (demand_history.empty()) {
+    return 0.0;
+  }
+  const std::size_t window = std::max(history_len_, forecaster_->preferred_history());
+  const std::size_t start =
+      demand_history.size() > window ? demand_history.size() - window : 0;
+  const double predicted =
+      ForecastOne(*forecaster_, demand_history.subspan(start));
+  const double target = predicted * margin_;
+  if (reactive_floor_) {
+    return std::max(target, demand_history.back());
+  }
+  return target;
+}
+
+std::unique_ptr<ScalingPolicy> ForecasterPolicy::Clone() const {
+  return std::make_unique<ForecasterPolicy>(forecaster_->Clone(), margin_, history_len_,
+                                            reactive_floor_);
+}
+
+}  // namespace femux

@@ -1,0 +1,123 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace femux {
+namespace {
+
+// Shared epoch state-machine used by both entry points.
+class AppSimulation {
+ public:
+  AppSimulation(std::span<const double> demand, std::span<const double> invocations,
+                const SimOptions& options, std::vector<EpochRecord>* records)
+      : demand_(demand), invocations_(invocations), options_(options),
+        records_(records), warm_(static_cast<double>(options.min_scale)) {
+    if (records_ != nullptr) {
+      records_->clear();
+      records_->reserve(demand.size());
+    }
+  }
+
+  void Step(std::size_t t, double planned) {
+    const double epoch_s = options_.epoch_seconds;
+    const double ramp =
+        options_.scale_step_per_minute * epoch_s / 60.0;  // Units per epoch.
+
+    const double rounded =
+        planned < options_.scale_to_zero_threshold ? 0.0 : std::ceil(planned);
+    double target = std::max(static_cast<double>(options_.min_scale), rounded);
+    // Reactively-started units are kept alive through their keep-alive
+    // window regardless of the plan.
+    if (t < reactive_expire_epoch_) {
+      target = std::max(target, reactive_units_);
+    }
+    if (target > warm_) {
+      // Predictive scale-up, rate-limited beyond the threshold.
+      const double allowed =
+          warm_ > options_.scale_limit_threshold ? warm_ + ramp : target;
+      warm_ = std::min(target, allowed);
+    } else {
+      // Scale-down takes effect at the epoch boundary (executions are
+      // shorter than an epoch; cold-started units from the previous epoch
+      // have already been held to that epoch's end).
+      warm_ = target;
+    }
+
+    const double demand = std::max(0.0, demand_[t]);
+    const double demand_units = std::ceil(demand - 1e-9);
+    double cold = 0.0;
+    if (demand_units > warm_) {
+      cold = demand_units - warm_;
+      if (warm_ > options_.scale_limit_threshold) {
+        cold = std::min(cold, ramp);
+      }
+      warm_ += cold;  // Reactive units; kept for the keep-alive window.
+      reactive_units_ = warm_;
+      reactive_expire_epoch_ =
+          t + 1 +
+          static_cast<std::size_t>(options_.reactive_keep_alive_seconds / epoch_s);
+    }
+
+    const double busy = std::min(warm_, demand);
+    const double idle_unit_s = (warm_ - busy) * epoch_s;
+    const double arrivals =
+        t < invocations_.size() ? invocations_[t] : demand;  // Fallback proxy.
+
+    metrics_.invocations += arrivals;
+    metrics_.cold_starts += cold;
+    if (demand_units > 0.0) {
+      metrics_.cold_invocations += arrivals * cold / demand_units;
+    }
+    metrics_.cold_start_seconds += cold * options_.cold_start_seconds;
+    metrics_.wasted_gb_seconds += idle_unit_s * options_.memory_gb_per_unit;
+    metrics_.allocated_gb_seconds += warm_ * epoch_s * options_.memory_gb_per_unit;
+    metrics_.execution_seconds += busy * epoch_s;
+    metrics_.service_seconds += busy * epoch_s + cold * options_.cold_start_seconds;
+
+    if (records_ != nullptr) {
+      records_->push_back({demand, warm_, cold, idle_unit_s});
+    }
+  }
+
+  const SimMetrics& metrics() const { return metrics_; }
+
+ private:
+  std::span<const double> demand_;
+  std::span<const double> invocations_;
+  const SimOptions& options_;
+  std::vector<EpochRecord>* records_;
+  double warm_;
+  double reactive_units_ = 0.0;
+  std::size_t reactive_expire_epoch_ = 0;
+  SimMetrics metrics_;
+};
+
+}  // namespace
+
+SimMetrics SimulateApp(std::span<const double> demand_units,
+                       std::span<const double> invocations, ScalingPolicy& policy,
+                       const SimOptions& options, std::vector<EpochRecord>* records) {
+  AppSimulation sim(demand_units, invocations, options, records);
+  for (std::size_t t = 0; t < demand_units.size(); ++t) {
+    // The policy sees the full observed prefix and applies its own window
+    // (pattern-based forecasters need more than the 2-hour default).
+    const double planned = policy.TargetUnits(demand_units.subspan(0, t));
+    sim.Step(t, planned);
+  }
+  return sim.metrics();
+}
+
+SimMetrics SimulatePlan(std::span<const double> demand_units,
+                        std::span<const double> invocations,
+                        std::span<const double> planned_units,
+                        const SimOptions& options, std::vector<EpochRecord>* records) {
+  AppSimulation sim(demand_units, invocations, options, records);
+  for (std::size_t t = 0; t < demand_units.size(); ++t) {
+    const double planned = t < planned_units.size() ? planned_units[t] : 0.0;
+    sim.Step(t, planned);
+  }
+  return sim.metrics();
+}
+
+}  // namespace femux

@@ -1,0 +1,71 @@
+#include "src/stats/adf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/ols.h"
+
+namespace femux {
+namespace {
+
+// MacKinnon (1994) 5% critical value for the constant-only ADF regression:
+// c(p) = b0 + b1/n + b2/n^2.
+double MacKinnon5(std::size_t n) {
+  const double nn = static_cast<double>(n);
+  return -2.8621 - 2.738 / nn - 8.36 / (nn * nn);
+}
+
+}  // namespace
+
+AdfResult AdfTest(std::span<const double> series, std::size_t lags) {
+  AdfResult result;
+  const std::size_t n = series.size();
+  if (n < 12) {
+    return result;
+  }
+  if (lags == 0) {
+    lags = static_cast<std::size_t>(
+        12.0 * std::pow(static_cast<double>(n) / 100.0, 0.25));
+  }
+  lags = std::min(lags, n / 4);
+
+  const std::vector<double> dy = Diff(series);
+  // Regression rows t run over dy[lags .. dy.size()-1].
+  const std::size_t rows = dy.size() - lags;
+  const std::size_t cols = 2 + lags;  // intercept, y_{t-1}, lagged diffs.
+  if (rows <= cols) {
+    return result;
+  }
+  Matrix x(rows, cols);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = r + lags;  // Index into dy.
+    y[r] = dy[t];
+    x(r, 0) = 1.0;
+    x(r, 1) = series[t];  // y_{t-1} relative to dy[t] = y[t+1]-y[t].
+    for (std::size_t i = 0; i < lags; ++i) {
+      x(r, 2 + i) = dy[t - 1 - i];
+    }
+  }
+  const OlsResult fit = FitOls(x, y);
+  if (!fit.ok) {
+    return result;
+  }
+  // A constant series has a zero-variance design; call it stationary.
+  if (Variance(series) == 0.0) {
+    result.statistic = -1e9;
+    result.critical_value_5 = MacKinnon5(rows);
+    result.stationary = true;
+    result.ok = true;
+    return result;
+  }
+  result.statistic = fit.TStat(1);
+  result.critical_value_5 = MacKinnon5(rows);
+  result.stationary = result.statistic < result.critical_value_5;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace femux

@@ -1,0 +1,29 @@
+// Augmented Dickey-Fuller unit-root test (Dickey & Fuller '79).
+//
+// FeMux uses ADF as its stationarity feature: the regression
+//   dy_t = alpha + beta * y_{t-1} + sum_i gamma_i * dy_{t-i} + e_t
+// is fitted by OLS and the t-statistic of beta is compared against the
+// MacKinnon critical value. A strongly negative statistic rejects the unit
+// root, i.e. the series is stationary.
+#ifndef SRC_STATS_ADF_H_
+#define SRC_STATS_ADF_H_
+
+#include <cstddef>
+#include <span>
+
+namespace femux {
+
+struct AdfResult {
+  double statistic = 0.0;       // t-statistic of the y_{t-1} coefficient.
+  double critical_value_5 = 0;  // 5% MacKinnon critical value used.
+  bool stationary = false;      // statistic < critical value.
+  bool ok = false;              // False if the series was too short/degenerate.
+};
+
+// Runs the ADF test with `lags` augmenting difference terms. Pass lags == 0
+// to use the Schwert rule floor(12 * (n/100)^(1/4)) capped for short series.
+AdfResult AdfTest(std::span<const double> series, std::size_t lags = 0);
+
+}  // namespace femux
+
+#endif  // SRC_STATS_ADF_H_

@@ -1,0 +1,101 @@
+#include "src/stats/bds.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+
+namespace femux {
+namespace {
+
+// Correlation integral at embedding dimension m: the fraction of pairs of
+// m-histories within sup-norm distance epsilon.
+double CorrelationIntegral(std::span<const double> x, std::size_t m, double epsilon,
+                           std::size_t points) {
+  std::size_t close = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i + m <= x.size(); ++i) {
+    if (i >= points) {
+      break;
+    }
+    for (std::size_t j = i + 1; j + m <= x.size() && j < points; ++j) {
+      ++pairs;
+      bool within = true;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (std::abs(x[i + k] - x[j + k]) > epsilon) {
+          within = false;
+          break;
+        }
+      }
+      if (within) {
+        ++close;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : static_cast<double>(close) / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+BdsResult BdsTest(std::span<const double> series, std::size_t dimension,
+                  double epsilon_scale) {
+  BdsResult result;
+  const std::size_t n = series.size();
+  if (n < 50 || dimension < 2) {
+    return result;
+  }
+  const double sd = StdDev(series);
+  if (sd == 0.0) {
+    // A constant series is trivially iid noise-free; report iid.
+    result.iid = true;
+    result.ok = true;
+    return result;
+  }
+  const double epsilon = epsilon_scale * sd;
+  // Use the same number of m-histories for every dimension so the integrals
+  // are comparable (standard practice).
+  const std::size_t points = n - dimension + 1;
+
+  const double c1 = CorrelationIntegral(series, 1, epsilon, points);
+  const double cm = CorrelationIntegral(series, dimension, epsilon, points);
+  result.correlation_integral_1 = c1;
+  result.correlation_integral_m = cm;
+
+  // K = E[h(i,j) h(j,k)] estimated over ordered triples via row sums.
+  std::vector<double> row(points, 0.0);
+  for (std::size_t i = 0; i < points; ++i) {
+    for (std::size_t j = i + 1; j < points; ++j) {
+      if (std::abs(series[i] - series[j]) <= epsilon) {
+        row[i] += 1.0;
+        row[j] += 1.0;
+      }
+    }
+  }
+  double k_sum = 0.0;
+  for (std::size_t j = 0; j < points; ++j) {
+    k_sum += row[j] * (row[j] - 1.0);
+  }
+  const double np = static_cast<double>(points);
+  const double k = k_sum / (np * (np - 1.0) * (np - 2.0));
+
+  // Brock et al. asymptotic variance of sqrt(n) (C_m - C_1^m).
+  const double m = static_cast<double>(dimension);
+  double variance = std::pow(k, m) + (m - 1.0) * (m - 1.0) * std::pow(c1, 2.0 * m) -
+                    m * m * k * std::pow(c1, 2.0 * m - 2.0);
+  for (std::size_t j = 1; j < dimension; ++j) {
+    variance += 2.0 * std::pow(k, static_cast<double>(dimension - j)) *
+                std::pow(c1, 2.0 * static_cast<double>(j));
+  }
+  variance *= 4.0;
+  if (variance <= 0.0) {
+    result.iid = true;
+    result.ok = true;
+    return result;
+  }
+  result.statistic = std::sqrt(np) * (cm - std::pow(c1, m)) / std::sqrt(variance);
+  result.iid = std::abs(result.statistic) < 1.96;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace femux

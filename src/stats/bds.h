@@ -1,0 +1,30 @@
+// Broock-Dechert-Scheinkman (BDS) independence test.
+//
+// FeMux's linearity feature: fit an AR model, run BDS on its residuals. If
+// the residuals are iid the AR (linear) structure explains the series; a
+// large |statistic| signals remaining nonlinear structure. The test needs a
+// few hundred points, which is why FeMux's block size is 504 minutes.
+#ifndef SRC_STATS_BDS_H_
+#define SRC_STATS_BDS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace femux {
+
+struct BdsResult {
+  double statistic = 0.0;        // Asymptotically N(0,1) under iid.
+  double correlation_integral_m = 0.0;
+  double correlation_integral_1 = 0.0;
+  bool iid = false;              // |statistic| < 1.96 (5% two-sided).
+  bool ok = false;               // False for short/degenerate input.
+};
+
+// Runs the BDS test with embedding dimension `dimension` (>= 2) and radius
+// `epsilon_scale` * stddev(series). O(n^2) in the series length.
+BdsResult BdsTest(std::span<const double> series, std::size_t dimension = 2,
+                  double epsilon_scale = 1.5);
+
+}  // namespace femux
+
+#endif  // SRC_STATS_BDS_H_

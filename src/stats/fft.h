@@ -1,0 +1,49 @@
+// Fast Fourier transform and harmonic analysis.
+//
+// Used in three places: the FFT traffic forecaster (IceBreaker-style), the
+// periodicity feature in FeMux's feature extractor, and the sub-minute
+// scaling study (Fig. 5). Power-of-two sizes use an iterative radix-2
+// Cooley-Tukey; other sizes go through Bluestein's chirp-z algorithm so any
+// history length works.
+#ifndef SRC_STATS_FFT_H_
+#define SRC_STATS_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace femux {
+
+// In-place-style forward/inverse DFT of arbitrary length.
+std::vector<std::complex<double>> Fft(std::vector<std::complex<double>> input);
+std::vector<std::complex<double>> InverseFft(std::vector<std::complex<double>> input);
+
+// Forward DFT of a real series.
+std::vector<std::complex<double>> FftReal(std::span<const double> input);
+
+// One spectral component of a real series.
+struct Harmonic {
+  std::size_t bin = 0;      // DFT bin index (0 = DC).
+  double frequency = 0.0;   // Cycles per sample.
+  double amplitude = 0.0;   // Real-signal amplitude (doubled for bins > 0).
+  double phase = 0.0;       // Radians.
+};
+
+// Returns the `k` largest-amplitude harmonics of `series` (DC always
+// included first when nonzero), sorted by descending amplitude.
+std::vector<Harmonic> TopHarmonics(std::span<const double> series, std::size_t k);
+
+// Evaluates the harmonic model at sample index `t` (which may exceed the
+// original series length — this is how the FFT forecaster extrapolates).
+double EvaluateHarmonics(std::span<const Harmonic> harmonics, double t,
+                         std::size_t series_length);
+
+// Fraction of total spectral energy (excluding DC) captured by the top `k`
+// harmonics; 1.0 means the series is perfectly k-periodic. Used as the
+// periodicity feature.
+double SpectralConcentration(std::span<const double> series, std::size_t k);
+
+}  // namespace femux
+
+#endif  // SRC_STATS_FFT_H_

@@ -1,0 +1,167 @@
+#include "src/stats/linalg.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace femux {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::initializer_list<double> values)
+    : rows_(rows), cols_(cols), data_(values) {
+  assert(data_.size() == rows * cols);
+  data_.resize(rows * cols, 0.0);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) {
+        continue;
+      }
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Multiply(const std::vector<double>& v) const {
+  assert(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc += (*this)(r, c) * v[c];
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> CholeskySolve(Matrix a, std::vector<double> b, double jitter) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n && b.size() == n);
+
+  // Attempt the decomposition, escalating the ridge until every pivot is
+  // positive. Regression callers pass well-scaled designs, so this loop
+  // almost always succeeds on the first try.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Matrix l(n, n);
+    bool ok = true;
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double sum = a(i, j);
+        for (std::size_t k = 0; k < j; ++k) {
+          sum -= l(i, k) * l(j, k);
+        }
+        if (i == j) {
+          if (sum <= 0.0) {
+            ok = false;
+            break;
+          }
+          l(i, i) = std::sqrt(sum);
+        } else {
+          l(i, j) = sum / l(j, j);
+        }
+      }
+    }
+    if (!ok) {
+      for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) += jitter;
+      }
+      jitter *= 100.0;
+      continue;
+    }
+    // Forward substitution: L y = b.
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = b[i];
+      for (std::size_t k = 0; k < i; ++k) {
+        sum -= l(i, k) * y[k];
+      }
+      y[i] = sum / l(i, i);
+    }
+    // Back substitution: L^T x = y.
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+      double sum = y[ii];
+      for (std::size_t k = ii + 1; k < n; ++k) {
+        sum -= l(k, ii) * x[k];
+      }
+      x[ii] = sum / l(ii, ii);
+    }
+    return x;
+  }
+  // Hopeless matrix: return zeros so callers degrade to a null model.
+  return std::vector<double>(n, 0.0);
+}
+
+std::vector<double> GaussianSolve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n && b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return {};
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a(pivot, c), a(col, c));
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col; c < n; ++c) {
+        a(r, c) -= f * a(col, c);
+      }
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) {
+      sum -= a(ii, c) * x[c];
+    }
+    x[ii] = sum / a(ii, ii);
+  }
+  return x;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+}  // namespace femux

@@ -1,0 +1,71 @@
+#include "src/stats/ols.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace femux {
+
+double OlsResult::TStat(std::size_t i) const {
+  if (i >= coefficients.size() || std_errors[i] == 0.0) {
+    return 0.0;
+  }
+  return coefficients[i] / std_errors[i];
+}
+
+OlsResult FitOls(const Matrix& x, const std::vector<double>& y) {
+  OlsResult result;
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  if (n < k || k == 0 || y.size() != n) {
+    return result;
+  }
+
+  // Normal equations: (X'X) b = X'y. Designs here are small (k <= ~15), so
+  // the numerically simpler Cholesky route is adequate.
+  Matrix xtx(k, k);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const double xi = x(r, i);
+      if (xi == 0.0) {
+        continue;
+      }
+      xty[i] += xi * y[r];
+      for (std::size_t j = i; j < k; ++j) {
+        xtx(i, j) += xi * x(r, j);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      xtx(i, j) = xtx(j, i);
+    }
+  }
+
+  result.coefficients = CholeskySolve(xtx, xty);
+  result.residuals.resize(n);
+  double rss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double fit = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      fit += x(r, i) * result.coefficients[i];
+    }
+    result.residuals[r] = y[r] - fit;
+    rss += result.residuals[r] * result.residuals[r];
+  }
+  result.sigma2 = n > k ? rss / static_cast<double>(n - k) : 0.0;
+
+  // Standard errors need diag((X'X)^-1); solve k unit systems.
+  result.std_errors.assign(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<double> e(k, 0.0);
+    e[i] = 1.0;
+    const std::vector<double> col = CholeskySolve(xtx, e);
+    const double var = result.sigma2 * col[i];
+    result.std_errors[i] = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace femux

@@ -1,0 +1,29 @@
+// Ordinary least squares regression. Backs the AR/SETAR forecasters and the
+// Augmented Dickey-Fuller stationarity test.
+#ifndef SRC_STATS_OLS_H_
+#define SRC_STATS_OLS_H_
+
+#include <vector>
+
+#include "src/stats/linalg.h"
+
+namespace femux {
+
+struct OlsResult {
+  std::vector<double> coefficients;  // One per design column.
+  std::vector<double> std_errors;    // Coefficient standard errors.
+  std::vector<double> residuals;     // y - X b, one per observation.
+  double sigma2 = 0.0;               // Residual variance (n - k denominator).
+  bool ok = false;                   // False when the design was unusable.
+
+  // t-statistic of coefficient i (0 when its standard error is zero).
+  double TStat(std::size_t i) const;
+};
+
+// Fits y = X b by least squares via the normal equations. `x` is n-by-k with
+// n >= k; callers add an intercept column themselves if they want one.
+OlsResult FitOls(const Matrix& x, const std::vector<double>& y);
+
+}  // namespace femux
+
+#endif  // SRC_STATS_OLS_H_

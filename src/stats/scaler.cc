@@ -1,0 +1,59 @@
+#include "src/stats/scaler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace femux {
+
+void StandardScaler::Fit(const std::vector<std::vector<double>>& rows) {
+  means_.clear();
+  stddevs_.clear();
+  if (rows.empty()) {
+    return;
+  }
+  const std::size_t width = rows.front().size();
+  means_.assign(width, 0.0);
+  stddevs_.assign(width, 0.0);
+  for (const auto& row : rows) {
+    assert(row.size() == width);
+    for (std::size_t c = 0; c < width; ++c) {
+      means_[c] += row[c];
+    }
+  }
+  for (double& m : means_) {
+    m /= static_cast<double>(rows.size());
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < width; ++c) {
+      const double d = row[c] - means_[c];
+      stddevs_[c] += d * d;
+    }
+  }
+  for (double& s : stddevs_) {
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s == 0.0) {
+      s = 1.0;  // Constant column: pass through centered values.
+    }
+  }
+}
+
+std::vector<double> StandardScaler::Transform(const std::vector<double>& row) const {
+  assert(row.size() == means_.size());
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - means_[c]) / stddevs_[c];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::Transform(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    out.push_back(Transform(row));
+  }
+  return out;
+}
+
+}  // namespace femux

@@ -1,0 +1,39 @@
+// StandardScaler: per-feature zero-mean/unit-variance standardization, the
+// transformer FeMux applies before K-means clustering (§4.3.4).
+#ifndef SRC_STATS_SCALER_H_
+#define SRC_STATS_SCALER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace femux {
+
+class StandardScaler {
+ public:
+  // Learns per-column mean and standard deviation from row-major samples.
+  // All rows must have the same width. Columns with zero variance are left
+  // unscaled (divisor 1) so constant features do not produce NaNs.
+  void Fit(const std::vector<std::vector<double>>& rows);
+
+  // Applies the learned transform to one sample (must match fitted width).
+  std::vector<double> Transform(const std::vector<double>& row) const;
+  std::vector<std::vector<double>> Transform(
+      const std::vector<std::vector<double>>& rows) const;
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+  // Restores a fitted state from persisted parameters (deserialization).
+  void Set(std::vector<double> means, std::vector<double> stddevs) {
+    means_ = std::move(means);
+    stddevs_ = std::move(stddevs);
+  }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace femux
+
+#endif  // SRC_STATS_SCALER_H_

@@ -1,0 +1,224 @@
+#include "src/trace/azure_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "src/stats/rng.h"
+
+namespace femux {
+namespace {
+
+enum class VolumeTier { kLow, kMid, kHigh };  // <1M, 1M-100M, >100M per 12 d.
+
+VolumeTier SampleTier(Rng& rng) {
+  const double u = rng.Uniform();
+  if (u < 0.70) {
+    return VolumeTier::kLow;
+  }
+  if (u < 0.98) {
+    return VolumeTier::kMid;
+  }
+  return VolumeTier::kHigh;
+}
+
+// Total invocations over the paper's 12-day evaluation horizon.
+double SampleVolume(VolumeTier tier, Rng& rng) {
+  auto log_uniform = [&rng](double lo, double hi) {
+    return std::exp(rng.Uniform(std::log(lo), std::log(hi)));
+  };
+  switch (tier) {
+    case VolumeTier::kLow:
+      return log_uniform(2e2, 1e6);
+    case VolumeTier::kMid:
+      return log_uniform(1e6, 1e8);
+    case VolumeTier::kHigh:
+      return log_uniform(1e8, 4e8);
+  }
+  return 1e4;
+}
+
+// Pattern mixes per tier. High-volume traffic is dominated by steady,
+// autocorrelated load (AR-friendly); low-volume traffic skews to cron-like
+// periodic spikes and sparse events (FFT-friendly). This is what produces
+// the Fig.-8 crossover.
+AzurePattern SamplePattern(VolumeTier tier, Rng& rng) {
+  const double u = rng.Uniform();
+  switch (tier) {
+    case VolumeTier::kHigh:
+      if (u < 0.55) return AzurePattern::kSteady;
+      if (u < 0.75) return AzurePattern::kPeriodicDaily;
+      if (u < 0.85) return AzurePattern::kTrend;
+      if (u < 0.95) return AzurePattern::kRegime;
+      return AzurePattern::kBursty;
+    case VolumeTier::kMid:
+      if (u < 0.30) return AzurePattern::kSteady;
+      if (u < 0.55) return AzurePattern::kPeriodicDaily;
+      if (u < 0.70) return AzurePattern::kPeriodicSharp;
+      if (u < 0.80) return AzurePattern::kTrend;
+      if (u < 0.90) return AzurePattern::kRegime;
+      return AzurePattern::kBursty;
+    case VolumeTier::kLow:
+      if (u < 0.35) return AzurePattern::kPeriodicSharp;
+      if (u < 0.60) return AzurePattern::kSparse;
+      if (u < 0.80) return AzurePattern::kBursty;
+      if (u < 0.90) return AzurePattern::kPeriodicDaily;
+      if (u < 0.95) return AzurePattern::kRegime;
+      return AzurePattern::kSteady;
+  }
+  return AzurePattern::kSteady;
+}
+
+// Shape multipliers s[m] with unit mean; counts[m] ~ Poisson(rate * s[m]).
+std::vector<double> MakeShape(AzurePattern pattern, int total_minutes, Rng& rng) {
+  std::vector<double> s(static_cast<std::size_t>(total_minutes), 1.0);
+  switch (pattern) {
+    case AzurePattern::kPeriodicDaily: {
+      const double a = rng.Uniform(0.4, 0.9);
+      const double phase = rng.Uniform(0.0, kMinutesPerDay);
+      for (int m = 0; m < total_minutes; ++m) {
+        const double x = 2.0 * std::numbers::pi *
+                         (static_cast<double>(m) + phase) / kMinutesPerDay;
+        s[m] = std::max(0.0, 1.0 + a * std::cos(x) + 0.3 * a * std::cos(2.0 * x));
+      }
+      break;
+    }
+    case AzurePattern::kPeriodicSharp: {
+      constexpr int kPeriods[] = {60, 120, 360, 720, 1440};
+      const int period = kPeriods[rng.UniformInt(0, 4)];
+      // Active windows cover 10-30 % of the period: cron jobs and batch
+      // waves run for a stretch, and the width keeps the spike within the
+      // top harmonics' representational reach.
+      const int width = std::max(
+          2, static_cast<int>(rng.Uniform(0.10, 0.30) * static_cast<double>(period)));
+      const int offset = static_cast<int>(rng.UniformInt(0, period - 1));
+      const double spike = static_cast<double>(period) / static_cast<double>(width);
+      for (int m = 0; m < total_minutes; ++m) {
+        s[m] = ((m + offset) % period) < width ? spike : 0.02;
+      }
+      break;
+    }
+    case AzurePattern::kSteady: {
+      const double phi = rng.Uniform(0.85, 0.98);
+      const double sigma = rng.Uniform(0.05, 0.25);
+      double y = 0.0;
+      for (int m = 0; m < total_minutes; ++m) {
+        y = phi * y + rng.Normal(0.0, sigma);
+        s[m] = std::max(0.05, 1.0 + y);
+      }
+      break;
+    }
+    case AzurePattern::kTrend: {
+      const double start = rng.Uniform(0.2, 1.0);
+      const double end = rng.Uniform(1.0, 2.0);
+      const bool rising = rng.Bernoulli(0.5);
+      for (int m = 0; m < total_minutes; ++m) {
+        const double f = static_cast<double>(m) / static_cast<double>(total_minutes);
+        const double level = rising ? start + (end - start) * f
+                                    : end + (start - end) * f;
+        s[m] = std::max(0.02, level + rng.Normal(0.0, 0.05));
+      }
+      break;
+    }
+    case AzurePattern::kRegime: {
+      const double low = rng.Uniform(0.1, 0.6);
+      const double high = rng.Uniform(1.2, 2.5);
+      double level = rng.Bernoulli(0.5) ? low : high;
+      int dwell = 0;
+      for (int m = 0; m < total_minutes; ++m) {
+        if (dwell <= 0) {
+          level = (level == low) ? high : low;
+          dwell = static_cast<int>(rng.Exponential(1.0 / 300.0)) + 30;
+        }
+        --dwell;
+        s[m] = std::max(0.02, level + rng.Normal(0.0, 0.05));
+      }
+      break;
+    }
+    case AzurePattern::kBursty: {
+      bool on = false;
+      for (int m = 0; m < total_minutes; ++m) {
+        if (m % 5 == 0) {
+          on = rng.Bernoulli(on ? 0.70 : 0.08) ? on : !on;
+        }
+        s[m] = on ? 3.5 : 0.05;
+      }
+      break;
+    }
+    case AzurePattern::kSparse: {
+      // Rare semi-regular events: a timer-triggered batch that runs for a
+      // few minutes every `gap` minutes. Mean preserved by the height.
+      const int gap = static_cast<int>(rng.UniformInt(180, 2880));
+      const int width = std::max(3, gap / 40);
+      const double height = static_cast<double>(gap) / static_cast<double>(width);
+      for (int m = 0; m < total_minutes; ++m) {
+        s[m] = (m % gap) < width ? height : 0.0;
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+AzurePattern AzurePatternOf(const AzureGeneratorOptions& options, int index) {
+  if (options.forced_pattern >= 0) {
+    return static_cast<AzurePattern>(options.forced_pattern);
+  }
+  Rng rng = Rng(options.seed).Fork(static_cast<std::uint64_t>(index));
+  const VolumeTier tier = SampleTier(rng);
+  SampleVolume(tier, rng);  // Keep the stream aligned with the generator.
+  return SamplePattern(tier, rng);
+}
+
+Dataset GenerateAzureDataset(const AzureGeneratorOptions& options) {
+  Dataset dataset;
+  dataset.name = "azure19-synthetic";
+  dataset.duration_days = options.duration_days;
+  const int total_minutes = dataset.TotalMinutes();
+  Rng root(options.seed);
+
+  dataset.apps.reserve(static_cast<std::size_t>(options.num_apps));
+  for (int index = 0; index < options.num_apps; ++index) {
+    Rng rng = root.Fork(static_cast<std::uint64_t>(index));
+    const VolumeTier tier = SampleTier(rng);
+    const double volume_12d = SampleVolume(tier, rng);
+    AzurePattern pattern = SamplePattern(tier, rng);
+    if (options.forced_pattern >= 0) {
+      pattern = static_cast<AzurePattern>(options.forced_pattern);
+    }
+
+    AppTrace app;
+    app.id = "azure-app-" + std::to_string(index);
+    // Azure Functions schema: no CPU/concurrency knobs; one execution per
+    // compute unit, scale-to-zero allowed.
+    app.config.container_concurrency = 1;
+    app.config.min_scale = 0;
+    app.config.workload = WorkloadType::kFunction;
+    app.mean_execution_ms =
+        std::clamp(rng.LogNormal(std::log(300.0), 2.3), 1.0, 540000.0);
+    app.execution_sigma = 0.0;  // The schema only has daily averages.
+    app.consumed_memory_mb =
+        std::clamp(rng.LogNormal(std::log(150.0), 1.0), 16.0, 2048.0);
+    app.config.memory_gb = app.consumed_memory_mb / 1024.0;
+
+    const double rate_per_min = volume_12d / (12.0 * kMinutesPerDay);
+    const std::vector<double> shape = MakeShape(pattern, total_minutes, rng);
+    app.minute_counts.resize(static_cast<std::size_t>(total_minutes));
+    for (int m = 0; m < total_minutes; ++m) {
+      const double mean = rate_per_min * shape[m];
+      // Poisson sampling is slow and unnecessary for very large means.
+      app.minute_counts[m] =
+          mean > 1e4 ? std::round(mean + rng.Normal(0.0, std::sqrt(mean)))
+                     : static_cast<double>(rng.Poisson(mean));
+      app.minute_counts[m] = std::max(0.0, app.minute_counts[m]);
+    }
+    dataset.apps.push_back(std::move(app));
+  }
+  return dataset;
+}
+
+}  // namespace femux

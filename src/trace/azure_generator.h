@@ -1,0 +1,48 @@
+// Synthetic stand-in for the Azure Functions 2019 dataset, which the paper
+// (like FaasCache, IceBreaker, and Aquatope before it) uses for simulation.
+//
+// The generator emits the Azure '19 schema: per-minute invocation counts per
+// application over 14 days, a per-app average execution time, and a per-app
+// memory footprint. Application volumes are heavy-tailed across the paper's
+// three traffic tiers (>100 M, 1 M-100 M, <1 M invocations in 12 days) and
+// each app draws one of several temporal archetypes (periodic, steady,
+// trending, regime-switching, bursty, sparse) so that no single forecaster
+// dominates — the property FeMux's multiplexing exploits (§4.2.2).
+#ifndef SRC_TRACE_AZURE_GENERATOR_H_
+#define SRC_TRACE_AZURE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/trace/trace.h"
+
+namespace femux {
+
+// Temporal archetype of a synthetic Azure-like app. Exposed so tests and
+// ablation benches can generate single-archetype populations.
+enum class AzurePattern {
+  kPeriodicDaily,   // Smooth daily cycle (FFT-friendly).
+  kPeriodicSharp,   // Cron-like spikes at fixed period (FFT/Markov-friendly).
+  kSteady,          // AR(1) fluctuation around a mean (AR-friendly).
+  kTrend,           // Slow ramp (Holt-friendly).
+  kRegime,          // Piecewise levels (SETAR-friendly).
+  kBursty,          // On/off bursts (hard for everyone).
+  kSparse,          // Rare events, mostly zero.
+};
+
+struct AzureGeneratorOptions {
+  int num_apps = 1000;
+  int duration_days = 14;
+  std::uint64_t seed = 7;
+  // When >= 0, all apps use this archetype (cast from AzurePattern).
+  int forced_pattern = -1;
+};
+
+Dataset GenerateAzureDataset(const AzureGeneratorOptions& options);
+
+// The archetype assigned to app `index` under `options` (regenerates the
+// same per-app stream the generator used).
+AzurePattern AzurePatternOf(const AzureGeneratorOptions& options, int index);
+
+}  // namespace femux
+
+#endif  // SRC_TRACE_AZURE_GENERATOR_H_

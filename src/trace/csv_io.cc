@@ -1,0 +1,143 @@
+#include "src/trace/csv_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace femux {
+namespace {
+
+constexpr char kConfigHeader[] =
+    "id,cpu_vcpu,memory_gb,container_concurrency,min_scale,image,workload,"
+    "mean_execution_ms,execution_sigma,consumed_memory_mb";
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) {
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+}  // namespace
+
+void WriteDatasetCsv(const Dataset& dataset, std::ostream& configs, std::ostream& counts) {
+  // Round-trippable doubles.
+  configs.precision(17);
+  counts.precision(17);
+  configs << "# dataset=" << dataset.name << " duration_days=" << dataset.duration_days
+          << '\n';
+  configs << kConfigHeader << '\n';
+  for (const AppTrace& app : dataset.apps) {
+    configs << app.id << ',' << app.config.cpu_vcpu << ',' << app.config.memory_gb << ','
+            << app.config.container_concurrency << ',' << app.config.min_scale << ','
+            << (app.config.image == ImageType::kCustom ? "custom" : "standard") << ','
+            << (app.config.workload == WorkloadType::kApplication ? "application"
+                : app.config.workload == WorkloadType::kBatchJob  ? "batch"
+                                                                  : "function")
+            << ',' << app.mean_execution_ms << ',' << app.execution_sigma << ','
+            << app.consumed_memory_mb << '\n';
+    counts << app.id;
+    for (double c : app.minute_counts) {
+      counts << ',' << c;
+    }
+    counts << '\n';
+  }
+}
+
+bool WriteDatasetCsvFiles(const Dataset& dataset, const std::string& configs_path,
+                          const std::string& counts_path) {
+  std::ofstream configs(configs_path);
+  std::ofstream counts(counts_path);
+  if (!configs || !counts) {
+    return false;
+  }
+  WriteDatasetCsv(dataset, configs, counts);
+  return configs.good() && counts.good();
+}
+
+Dataset ReadDatasetCsv(std::istream& configs, std::istream& counts) {
+  Dataset dataset;
+  std::string line;
+  // Metadata comment line.
+  if (std::getline(configs, line) && line.rfind("# dataset=", 0) == 0) {
+    std::istringstream meta(line.substr(2));
+    std::string token;
+    while (meta >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        continue;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "dataset") {
+        dataset.name = value;
+      } else if (key == "duration_days") {
+        dataset.duration_days = std::stoi(value);
+      }
+    }
+    std::getline(configs, line);  // Header row.
+  }
+  while (std::getline(configs, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 10) {
+      return {};
+    }
+    AppTrace app;
+    app.id = fields[0];
+    app.config.cpu_vcpu = std::stod(fields[1]);
+    app.config.memory_gb = std::stod(fields[2]);
+    app.config.container_concurrency = std::stoi(fields[3]);
+    app.config.min_scale = std::stoi(fields[4]);
+    app.config.image = fields[5] == "custom" ? ImageType::kCustom : ImageType::kStandard;
+    app.config.workload = fields[6] == "application" ? WorkloadType::kApplication
+                          : fields[6] == "batch"     ? WorkloadType::kBatchJob
+                                                     : WorkloadType::kFunction;
+    app.mean_execution_ms = std::stod(fields[7]);
+    app.execution_sigma = std::stod(fields[8]);
+    app.consumed_memory_mb = std::stod(fields[9]);
+    dataset.apps.push_back(std::move(app));
+  }
+  std::size_t row = 0;
+  while (std::getline(counts, line) && row < dataset.apps.size()) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.empty() || fields[0] != dataset.apps[row].id) {
+      return {};
+    }
+    auto& mc = dataset.apps[row].minute_counts;
+    mc.reserve(fields.size() - 1);
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      mc.push_back(std::stod(fields[i]));
+    }
+    ++row;
+  }
+  if (row != dataset.apps.size()) {
+    return {};
+  }
+  if (dataset.duration_days == 0 && !dataset.apps.empty()) {
+    dataset.duration_days =
+        static_cast<int>(dataset.apps.front().minute_counts.size()) / kMinutesPerDay;
+  }
+  return dataset;
+}
+
+Dataset ReadDatasetCsvFiles(const std::string& configs_path,
+                            const std::string& counts_path) {
+  std::ifstream configs(configs_path);
+  std::ifstream counts(counts_path);
+  if (!configs || !counts) {
+    return {};
+  }
+  return ReadDatasetCsv(configs, counts);
+}
+
+}  // namespace femux

@@ -1,0 +1,32 @@
+// CSV persistence for datasets, matching the shape of the public artifacts:
+// one "configs" file with per-app metadata and one "counts" file with the
+// per-minute invocation matrix. Lets users persist a synthetic dataset once
+// and replay it across experiments, or import their own traces.
+#ifndef SRC_TRACE_CSV_IO_H_
+#define SRC_TRACE_CSV_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace femux {
+
+// Writes `dataset` as two CSV streams. The counts stream has a row per app:
+// id,count0,count1,... The config stream has a header row.
+void WriteDatasetCsv(const Dataset& dataset, std::ostream& configs, std::ostream& counts);
+
+// Convenience wrappers over files; return false on IO failure.
+bool WriteDatasetCsvFiles(const Dataset& dataset, const std::string& configs_path,
+                          const std::string& counts_path);
+
+// Reads a dataset written by WriteDatasetCsv. Detailed invocation windows
+// are not persisted (the CSV schema is the minute-count one). Returns an
+// empty dataset (no apps) on malformed input.
+Dataset ReadDatasetCsv(std::istream& configs, std::istream& counts);
+Dataset ReadDatasetCsvFiles(const std::string& configs_path,
+                            const std::string& counts_path);
+
+}  // namespace femux
+
+#endif  // SRC_TRACE_CSV_IO_H_

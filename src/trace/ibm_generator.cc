@@ -1,0 +1,329 @@
+#include "src/trace/ibm_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "src/stats/rng.h"
+
+namespace femux {
+namespace {
+
+// Traffic-rate classes targeting the Fig. 2 median-IAT marginals.
+enum class RateClass { kHot, kWarm, kCool, kSparse };
+
+struct AppProfile {
+  RateClass rate_class = RateClass::kWarm;
+  double rate_per_s = 1.0;       // Long-run mean arrival rate.
+  bool bursty_minutes = false;   // Adds on/off modulation at minute scale.
+  double phase_minutes = 0.0;    // Diurnal phase shift.
+};
+
+RateClass SampleRateClass(Rng& rng) {
+  const double u = rng.Uniform();
+  if (u < 0.46) {
+    return RateClass::kHot;
+  }
+  if (u < 0.86) {
+    return RateClass::kWarm;
+  }
+  if (u < 0.95) {
+    return RateClass::kCool;
+  }
+  return RateClass::kSparse;
+}
+
+double SampleRate(RateClass c, Rng& rng) {
+  // Log-uniform within each class's IAT band.
+  auto log_uniform = [&rng](double lo, double hi) {
+    return std::exp(rng.Uniform(std::log(lo), std::log(hi)));
+  };
+  switch (c) {
+    case RateClass::kHot:
+      return log_uniform(1.2, 50.0);           // Median IAT < 1 s.
+    case RateClass::kWarm:
+      return log_uniform(1.0 / 50.0, 1.0);     // 1 s .. ~1 min.
+    case RateClass::kCool:
+      return log_uniform(1.0 / 1800.0, 1.0 / 60.0);  // 1 .. 30 min.
+    case RateClass::kSparse:
+      return log_uniform(1.0 / 21600.0, 1.0 / 1800.0);  // 30 min .. 6 h.
+  }
+  return 1.0;
+}
+
+AppConfig SampleConfig(Rng& rng) {
+  AppConfig cfg;
+  // Workload mix: 75 % applications, 15 % batch, 10 % functions (§2.1).
+  const double wu = rng.Uniform();
+  if (wu < 0.75) {
+    cfg.workload = WorkloadType::kApplication;
+  } else if (wu < 0.90) {
+    cfg.workload = WorkloadType::kBatchJob;
+  } else {
+    cfg.workload = WorkloadType::kFunction;
+  }
+
+  // CPU: 44.8 % below the 1-vCPU default, 50.8 % at it, 4.4 % above (§3.4).
+  const double cu = rng.Uniform();
+  if (cu < 0.448) {
+    constexpr double kSmall[] = {0.125, 0.25, 0.5};
+    cfg.cpu_vcpu = kSmall[rng.UniformInt(0, 2)];
+  } else if (cu < 0.448 + 0.508) {
+    cfg.cpu_vcpu = 1.0;
+  } else {
+    constexpr double kLarge[] = {2.0, 4.0, 8.0};
+    cfg.cpu_vcpu = kLarge[rng.UniformInt(0, 2)];
+  }
+
+  // Memory: 53.6 % below the 4-GB default, 41.9 % at it, 4.5 % above.
+  const double mu = rng.Uniform();
+  if (mu < 0.536) {
+    constexpr double kSmall[] = {0.25, 0.5, 1.0, 2.0};
+    cfg.memory_gb = kSmall[rng.UniformInt(0, 3)];
+  } else if (mu < 0.536 + 0.419) {
+    cfg.memory_gb = 4.0;
+  } else {
+    constexpr double kLarge[] = {8.0, 16.0, 32.0, 48.0};
+    cfg.memory_gb = kLarge[rng.UniformInt(0, 3)];
+  }
+
+  // Minimum scale: 41.2 % zero, 53.8 % one, 4.9 % more (Implication 3).
+  const double su = rng.Uniform();
+  if (su < 0.412) {
+    cfg.min_scale = 0;
+  } else if (su < 0.412 + 0.538) {
+    cfg.min_scale = 1;
+  } else {
+    cfg.min_scale = static_cast<int>(rng.UniformInt(2, 5));
+  }
+
+  // Container concurrency: 93.3 % at the Knative default of 100.
+  const double ku = rng.Uniform();
+  if (cfg.workload == WorkloadType::kFunction) {
+    cfg.container_concurrency = 1;  // Functions run one execution at a time.
+  } else if (ku < 0.035) {
+    cfg.container_concurrency = static_cast<int>(rng.UniformInt(1, 50));
+  } else if (ku < 0.035 + 0.933) {
+    cfg.container_concurrency = 100;
+  } else {
+    constexpr int kLarge[] = {200, 500, 1000};
+    cfg.container_concurrency = kLarge[rng.UniformInt(0, 2)];
+  }
+
+  // Functions use standard images; applications often ship custom ones,
+  // which is what produces the long cold-start tail (§3.3).
+  cfg.image = (cfg.workload != WorkloadType::kFunction && rng.Bernoulli(0.45))
+                  ? ImageType::kCustom
+                  : ImageType::kStandard;
+  return cfg;
+}
+
+// Diurnal/weekly/seasonal modulation; `minute` indexes from trace start.
+// Day 0 is a Monday on Dec 1, so January spans days [31, 61].
+double TrafficFactor(int minute, double phase_minutes) {
+  const int day = minute / kMinutesPerDay;
+  const int tod = minute % kMinutesPerDay;
+  const int dow = day % 7;
+  const bool weekend = dow >= 5;
+  // Peak-to-trough span: ~60 % of peak on weekdays, ~40 % on weekends
+  // (Fig. 1), i.e. the trough sits at 0.4x / 0.6x the daily peak.
+  const double depth = weekend ? 0.4 : 0.6;
+  const double angle =
+      2.0 * std::numbers::pi * (static_cast<double>(tod) + phase_minutes) /
+      static_cast<double>(kMinutesPerDay);
+  const double diurnal = 1.0 - depth * (0.5 + 0.5 * std::cos(angle));
+  const double week_scale = weekend ? 0.70 : 1.0;
+  // January seasonal increase, ramping over the first ten days of January.
+  double seasonal = 1.0;
+  if (day >= 31) {
+    const double ramp = std::min(1.0, static_cast<double>(day - 31) / 10.0);
+    seasonal = 1.0 + 0.30 * ramp;
+  }
+  return diurnal * week_scale * seasonal;
+}
+
+// Per-app mean execution time, correlated with traffic class: hot
+// (user-facing, latency-sensitive) apps skew to milliseconds while sparse
+// batch-like apps skew long. The mixture lands at ~82-88 % of apps below
+// 1 s while the invocation-weighted share is ~95 % (Fig. 3).
+double SampleMeanExecutionMs(RateClass c, Rng& rng) {
+  double median_ms = 10.0;
+  double sigma = 4.0;
+  switch (c) {
+    case RateClass::kHot:
+      median_ms = 4.0;
+      sigma = 3.0;
+      break;
+    case RateClass::kWarm:
+      median_ms = 15.0;
+      sigma = 4.0;
+      break;
+    case RateClass::kCool:
+      median_ms = 100.0;
+      sigma = 4.5;
+      break;
+    case RateClass::kSparse:
+      median_ms = 120.0;
+      sigma = 4.5;
+      break;
+  }
+  return std::clamp(rng.LogNormal(std::log(median_ms), sigma), 0.1, 300000.0);
+}
+
+// Hyperexponential IAT with CV = 3: fast phase (w.p. 0.9) at 3x the base
+// rate, slow phase at base/7, preserving the overall mean rate.
+double SampleIatSeconds(double rate_per_s, Rng& rng) {
+  if (rng.Bernoulli(0.9)) {
+    return rng.Exponential(3.0 * rate_per_s);
+  }
+  return rng.Exponential(rate_per_s / 7.0);
+}
+
+double SampleColdDelayMs(ImageType image, Rng& rng) {
+  if (image == ImageType::kCustom) {
+    // Custom containers: multi-second cold paths with tails into the
+    // hundreds of seconds (Fig. 6 extremes above 300-400 s).
+    return std::min(rng.LogNormal(std::log(8000.0), 1.2), 450000.0);
+  }
+  return std::min(rng.LogNormal(std::log(1000.0), 0.6), 30000.0);
+}
+
+void FillMinuteCounts(AppTrace& app, const AppProfile& profile, int total_minutes,
+                      Rng& rng) {
+  app.minute_counts.assign(static_cast<std::size_t>(total_minutes), 0.0);
+  bool burst_on = true;
+  for (int m = 0; m < total_minutes; ++m) {
+    if (profile.bursty_minutes && m % 5 == 0) {
+      // Two-state modulation with ~25 % duty cycle in the "on" state.
+      burst_on = rng.Bernoulli(burst_on ? 0.75 : 0.10) ? burst_on : !burst_on;
+    }
+    double rate_per_min = profile.rate_per_s * 60.0 * TrafficFactor(m, profile.phase_minutes);
+    if (profile.bursty_minutes) {
+      rate_per_min *= burst_on ? 1.8 : 0.05;
+    }
+    // Lognormal jitter keeps high-volume series from being implausibly smooth.
+    rate_per_min *= rng.LogNormal(0.0, 0.10);
+    app.minute_counts[m] = static_cast<double>(rng.Poisson(rate_per_min));
+  }
+}
+
+void FillDetailWindow(AppTrace& app, const AppProfile& profile,
+                      const IbmGeneratorOptions& options, Rng& rng) {
+  const double window_s = static_cast<double>(options.detail_window_minutes) * 60.0;
+  const double rate = std::min(profile.rate_per_s, options.detail_max_rate_per_s);
+  if (rate <= 0.0) {
+    return;
+  }
+  constexpr double kKeepAliveS = 60.0;  // Knative default scale-down window.
+  double t = SampleIatSeconds(rate, rng);
+  double last_completion_s = -1e9;
+  const bool always_warm = app.config.min_scale >= 1;
+  while (t < window_s) {
+    Invocation inv;
+    inv.arrival_ms = static_cast<std::int64_t>(t * 1000.0);
+    // Lognormal body plus a rare slow path (cold dependency / retry),
+    // reproducing Fig. 4's p99 >> mean within-app variability.
+    double exec = rng.LogNormal(std::log(app.mean_execution_ms), app.execution_sigma);
+    if (rng.Bernoulli(0.02)) {
+      exec *= 300.0;  // Slow path: cold dependency, retry, GC pause.
+    }
+    inv.execution_ms = std::clamp(exec, 0.05, 600000.0);
+    const bool idle_expired = (t - last_completion_s) > kKeepAliveS;
+    inv.cold = !always_warm && idle_expired;
+    inv.platform_delay_ms = inv.cold ? SampleColdDelayMs(app.config.image, rng)
+                                     : rng.LogNormal(std::log(0.3), 0.8);
+    last_completion_s =
+        std::max(last_completion_s, t + (inv.platform_delay_ms + inv.execution_ms) / 1000.0);
+    app.invocations.push_back(inv);
+    t += SampleIatSeconds(rate, rng);
+  }
+}
+
+// Fig.-16 showcase A: daily and weekly periodicity with a January ramp that
+// settles to a higher plateau in February.
+AppTrace MakeShowcaseDailyTrend(int total_minutes, Rng& rng) {
+  AppTrace app;
+  app.id = "showcase-daily-trend";
+  app.config = SampleConfig(rng);
+  app.mean_execution_ms = 120.0;
+  app.execution_sigma = 1.2;
+  app.minute_counts.assign(static_cast<std::size_t>(total_minutes), 0.0);
+  for (int m = 0; m < total_minutes; ++m) {
+    const int day = m / kMinutesPerDay;
+    double level = 400.0 * TrafficFactor(m, 0.0);
+    if (day >= 31 && day <= 61) {
+      level *= 1.0 + 0.5 * std::min(1.0, static_cast<double>(day - 31) / 20.0);
+    } else if (day > 61) {
+      level *= 1.5;
+    }
+    app.minute_counts[m] = static_cast<double>(rng.Poisson(level));
+  }
+  return app;
+}
+
+// Fig.-16 showcase B: hourly peaks of 25-50 k requests/hour, jumping to
+// 75-100 k/hour across New Year's Day and the first two weeks of January.
+AppTrace MakeShowcaseNewYear(int total_minutes, Rng& rng) {
+  AppTrace app;
+  app.id = "showcase-new-year";
+  app.config = SampleConfig(rng);
+  app.mean_execution_ms = 60.0;
+  app.execution_sigma = 1.0;
+  app.minute_counts.assign(static_cast<std::size_t>(total_minutes), 0.0);
+  for (int m = 0; m < total_minutes; ++m) {
+    const int day = m / kMinutesPerDay;
+    const int minute_of_hour = m % 60;
+    const bool new_year_window = day >= 31 && day < 45;
+    const double peak_per_hour =
+        new_year_window ? rng.Uniform(75000.0, 100000.0) : rng.Uniform(25000.0, 50000.0);
+    // Traffic concentrates in a 10-minute spike at the top of each hour.
+    const double rate =
+        minute_of_hour < 10 ? peak_per_hour / 10.0 : peak_per_hour / 3000.0;
+    app.minute_counts[m] = static_cast<double>(rng.Poisson(rate));
+  }
+  return app;
+}
+
+}  // namespace
+
+Dataset GenerateIbmDataset(const IbmGeneratorOptions& options) {
+  Dataset dataset;
+  dataset.name = "ibm-synthetic";
+  dataset.duration_days = options.duration_days;
+  const int total_minutes = dataset.TotalMinutes();
+  Rng root(options.seed);
+
+  int index = 0;
+  if (options.include_showcase_apps && options.num_apps >= 2) {
+    Rng r0 = root.Fork(1000000);
+    Rng r1 = root.Fork(1000001);
+    dataset.apps.push_back(MakeShowcaseDailyTrend(total_minutes, r0));
+    dataset.apps.push_back(MakeShowcaseNewYear(total_minutes, r1));
+    index = 2;
+  }
+
+  for (; index < options.num_apps; ++index) {
+    Rng rng = root.Fork(static_cast<std::uint64_t>(index));
+    AppTrace app;
+    app.id = "ibm-app-" + std::to_string(index);
+    app.config = SampleConfig(rng);
+    app.consumed_memory_mb =
+        std::clamp(rng.LogNormal(std::log(150.0), 1.0), 16.0, 4096.0);
+
+    AppProfile profile;
+    profile.rate_class = SampleRateClass(rng);
+    profile.rate_per_s = SampleRate(profile.rate_class, rng);
+    app.mean_execution_ms = SampleMeanExecutionMs(profile.rate_class, rng);
+    app.execution_sigma = rng.Uniform(0.6, 1.0);
+    profile.bursty_minutes = rng.Bernoulli(0.35);
+    profile.phase_minutes = rng.Uniform(0.0, 240.0);
+
+    FillMinuteCounts(app, profile, total_minutes, rng);
+    FillDetailWindow(app, profile, options, rng);
+    dataset.apps.push_back(std::move(app));
+  }
+  return dataset;
+}
+
+}  // namespace femux

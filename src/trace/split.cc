@@ -1,0 +1,97 @@
+#include "src/trace/split.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/stats/rng.h"
+
+namespace femux {
+namespace {
+
+int VolumeTierOf(std::int64_t invocations) {
+  if (invocations < 1'000'000) {
+    return 0;
+  }
+  if (invocations < 100'000'000) {
+    return 1;
+  }
+  return 2;
+}
+
+}  // namespace
+
+DatasetSplit SplitDataset(const Dataset& dataset, std::uint64_t seed) {
+  std::vector<int> indices(dataset.apps.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Rng rng(seed);
+  std::shuffle(indices.begin(), indices.end(), rng.engine());
+
+  DatasetSplit split;
+  const std::size_t n = indices.size();
+  const std::size_t train_end = n * 35 / 100;
+  const std::size_t val_end = n * 70 / 100;
+  split.train.assign(indices.begin(), indices.begin() + train_end);
+  split.validation.assign(indices.begin() + train_end, indices.begin() + val_end);
+  split.test.assign(indices.begin() + val_end, indices.end());
+  return split;
+}
+
+std::vector<int> SampleRepresentative(const Dataset& dataset,
+                                      const std::vector<int>& pool, int count,
+                                      std::uint64_t seed) {
+  // Partition the pool into volume tiers, then draw from each tier in
+  // proportion to its share of the pool.
+  std::vector<std::vector<int>> tiers(3);
+  for (int idx : pool) {
+    tiers[VolumeTierOf(dataset.apps[idx].TotalInvocations())].push_back(idx);
+  }
+  Rng rng(seed);
+  std::vector<int> out;
+  const double pool_size = static_cast<double>(pool.size());
+  for (auto& tier : tiers) {
+    std::shuffle(tier.begin(), tier.end(), rng.engine());
+    const std::size_t want = static_cast<std::size_t>(
+        static_cast<double>(count) * static_cast<double>(tier.size()) / pool_size + 0.5);
+    for (std::size_t i = 0; i < std::min(want, tier.size()); ++i) {
+      out.push_back(tier[i]);
+    }
+  }
+  // Round-off can leave us short; top up from the largest tier.
+  std::size_t tier_cursor = 0;
+  while (out.size() < static_cast<std::size_t>(count)) {
+    bool added = false;
+    for (auto& tier : tiers) {
+      for (int idx : tier) {
+        if (std::find(out.begin(), out.end(), idx) == out.end()) {
+          out.push_back(idx);
+          added = true;
+          break;
+        }
+      }
+      if (added || out.size() >= static_cast<std::size_t>(count)) {
+        break;
+      }
+    }
+    if (!added) {
+      break;  // Pool exhausted.
+    }
+    ++tier_cursor;
+  }
+  if (out.size() > static_cast<std::size_t>(count)) {
+    out.resize(static_cast<std::size_t>(count));
+  }
+  return out;
+}
+
+Dataset Subset(const Dataset& dataset, const std::vector<int>& indices) {
+  Dataset out;
+  out.name = dataset.name + "-subset";
+  out.duration_days = dataset.duration_days;
+  out.apps.reserve(indices.size());
+  for (int idx : indices) {
+    out.apps.push_back(dataset.apps[static_cast<std::size_t>(idx)]);
+  }
+  return out;
+}
+
+}  // namespace femux

@@ -1,0 +1,37 @@
+// Train/validation/test splitting and representative subtrace sampling
+// (§5.1: 70-30 train-test split, train halved into train/validation;
+// subtraces sampled so the invocation-volume distribution follows the full
+// dataset's — the representativity requirement of Fig. 14-Left).
+#ifndef SRC_TRACE_SPLIT_H_
+#define SRC_TRACE_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace femux {
+
+struct DatasetSplit {
+  std::vector<int> train;       // App indices.
+  std::vector<int> validation;  // Half of the original train share.
+  std::vector<int> test;
+};
+
+// Deterministically shuffles app indices and splits 35/35/30 into
+// train/validation/test (the paper's 70-30 split with train halved).
+DatasetSplit SplitDataset(const Dataset& dataset, std::uint64_t seed = 1);
+
+// Samples `count` app indices from `pool` stratified by invocation volume
+// (tiers: <1M, 1M-100M, >100M over the trace) so the sampled distribution
+// follows the pool's. Returns fewer if the pool is smaller.
+std::vector<int> SampleRepresentative(const Dataset& dataset,
+                                      const std::vector<int>& pool, int count,
+                                      std::uint64_t seed = 2);
+
+// Materializes a sub-dataset containing the given app indices.
+Dataset Subset(const Dataset& dataset, const std::vector<int>& indices);
+
+}  // namespace femux
+
+#endif  // SRC_TRACE_SPLIT_H_

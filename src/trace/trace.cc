@@ -1,0 +1,69 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace femux {
+
+std::int64_t AppTrace::TotalInvocations() const {
+  double total = 0.0;
+  for (double c : minute_counts) {
+    total += c;
+  }
+  if (total == 0.0 && !invocations.empty()) {
+    return static_cast<std::int64_t>(invocations.size());
+  }
+  return static_cast<std::int64_t>(std::llround(total));
+}
+
+std::vector<double> AppTrace::InterArrivalSeconds() const {
+  std::vector<double> iats;
+  if (invocations.size() < 2) {
+    return iats;
+  }
+  iats.reserve(invocations.size() - 1);
+  for (std::size_t i = 1; i < invocations.size(); ++i) {
+    iats.push_back(static_cast<double>(invocations[i].arrival_ms -
+                                       invocations[i - 1].arrival_ms) /
+                   1000.0);
+  }
+  return iats;
+}
+
+std::int64_t Dataset::TotalInvocations() const {
+  std::int64_t total = 0;
+  for (const AppTrace& app : apps) {
+    total += app.TotalInvocations();
+  }
+  return total;
+}
+
+std::vector<double> AverageConcurrency(const AppTrace& app) {
+  std::vector<double> conc(app.minute_counts.size());
+  const double exec_s = app.mean_execution_ms / 1000.0;
+  for (std::size_t m = 0; m < app.minute_counts.size(); ++m) {
+    conc[m] = app.minute_counts[m] * exec_s / 60.0;
+  }
+  return conc;
+}
+
+std::vector<double> RequiredUnits(const AppTrace& app) {
+  std::vector<double> units = AverageConcurrency(app);
+  const double limit = std::max(1, app.config.container_concurrency);
+  for (double& u : units) {
+    u = std::max(static_cast<double>(app.config.min_scale), std::ceil(u / limit));
+  }
+  return units;
+}
+
+std::vector<double> FleetMinuteCounts(const Dataset& dataset) {
+  std::vector<double> total(static_cast<std::size_t>(dataset.TotalMinutes()), 0.0);
+  for (const AppTrace& app : dataset.apps) {
+    for (std::size_t m = 0; m < app.minute_counts.size() && m < total.size(); ++m) {
+      total[m] += app.minute_counts[m];
+    }
+  }
+  return total;
+}
+
+}  // namespace femux

@@ -1,0 +1,102 @@
+// Trace data model shared by the characterization benches, the platform
+// simulator, and FeMux.
+//
+// A dataset holds one entry per application. Each application carries:
+//  * its user-facing resource configuration (CPU, memory, min scale,
+//    container concurrency) as in the IBM dataset (Fig. 7),
+//  * a minute-resolution invocation-count series spanning the whole trace
+//    (the Azure '19 schema that FeMux and all baselines consume), and
+//  * optionally a window of individual invocation records with
+//    millisecond arrival times (the IBM schema used for IAT / platform-delay
+//    characterization — Figs 2-6).
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace femux {
+
+inline constexpr int kMinutesPerDay = 1440;
+inline constexpr double kDefaultCpuVcpu = 1.0;
+inline constexpr double kDefaultMemoryGb = 4.0;
+inline constexpr int kDefaultContainerConcurrency = 100;
+inline constexpr int kDefaultMinScale = 0;
+
+// Container image flavor; custom images have much heavier cold-start paths
+// (§3.3: long-tail platform delays come from custom containers).
+enum class ImageType { kStandard, kCustom };
+
+enum class WorkloadType { kApplication, kFunction, kBatchJob };
+
+// Per-application user configuration (daily metadata in the IBM dataset).
+struct AppConfig {
+  double cpu_vcpu = kDefaultCpuVcpu;
+  double memory_gb = kDefaultMemoryGb;
+  int container_concurrency = kDefaultContainerConcurrency;
+  int min_scale = kDefaultMinScale;
+  ImageType image = ImageType::kStandard;
+  WorkloadType workload = WorkloadType::kApplication;
+};
+
+// One request/trigger record (IBM schema, millisecond resolution).
+struct Invocation {
+  std::int64_t arrival_ms = 0;        // Since trace start.
+  double execution_ms = 0.0;          // Pure execution time.
+  double platform_delay_ms = 0.0;     // Service time minus execution time.
+  bool cold = false;                  // Whether this request hit a cold pod.
+};
+
+// One application's trace.
+struct AppTrace {
+  std::string id;
+  AppConfig config;
+
+  // Minute-resolution invocation counts covering the whole trace duration.
+  std::vector<double> minute_counts;
+
+  // Per-app execution-time model: mean of the per-request distribution and a
+  // dispersion knob (lognormal sigma). Daily averages in the Azure schema
+  // collapse to `mean_execution_ms`.
+  double mean_execution_ms = 100.0;
+  double execution_sigma = 1.0;
+
+  // Memory the app consumes per compute unit (Azure-schema field; the IBM
+  // schema instead has allocation in `config.memory_gb`).
+  double consumed_memory_mb = 150.0;
+
+  // Detailed request window (may be empty for count-only traces).
+  std::vector<Invocation> invocations;
+
+  std::int64_t TotalInvocations() const;
+  // Inter-arrival times (seconds) of the detailed window; size is
+  // invocations.size() - 1 (empty when fewer than 2 records).
+  std::vector<double> InterArrivalSeconds() const;
+};
+
+struct Dataset {
+  std::string name;
+  int duration_days = 0;
+  std::vector<AppTrace> apps;
+
+  int TotalMinutes() const { return duration_days * kMinutesPerDay; }
+  std::int64_t TotalInvocations() const;
+};
+
+// Average container concurrency per minute via Little's law on the minute
+// counts (the paper distributes invocations uniformly within each minute):
+// concurrency[m] = count[m] * exec_seconds / 60.
+std::vector<double> AverageConcurrency(const AppTrace& app);
+
+// Required compute units per minute at the app's container-concurrency
+// limit: ceil(concurrency / limit), with a floor of min_scale.
+std::vector<double> RequiredUnits(const AppTrace& app);
+
+// Total invocation counts per minute summed across all apps (Fig. 1 series).
+std::vector<double> FleetMinuteCounts(const Dataset& dataset);
+
+}  // namespace femux
+
+#endif  // SRC_TRACE_TRACE_H_

@@ -1,0 +1,55 @@
+#include "src/baselines/baselines.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/fleet.h"
+#include "src/trace/azure_generator.h"
+
+namespace femux {
+namespace {
+
+TEST(BaselinePoliciesTest, NamesIdentifyUnderlyingForecasters) {
+  EXPECT_EQ(MakeKnativeDefaultPolicy()->name(), "policy_moving_average_1");
+  EXPECT_EQ(MakeKeepAlivePolicy(10)->name(), "policy_keep_alive_10min");
+  EXPECT_EQ(MakeIceBreakerPolicy()->name(), "policy_fft");
+}
+
+TEST(BaselinePoliciesTest, KeepAliveTradesMemoryForColdStarts) {
+  AzureGeneratorOptions options;
+  options.num_apps = 15;
+  options.duration_days = 1;
+  const Dataset data = GenerateAzureDataset(options);
+  const FleetResult ka1 =
+      SimulateFleetUniform(data, *MakeKeepAlivePolicy(1), SimOptions{});
+  const FleetResult ka10 =
+      SimulateFleetUniform(data, *MakeKeepAlivePolicy(10), SimOptions{});
+  EXPECT_LE(ka10.total.cold_starts, ka1.total.cold_starts);
+  EXPECT_GE(ka10.total.wasted_gb_seconds, ka1.total.wasted_gb_seconds);
+}
+
+TEST(AquatopeTest, TrainsPerAppAndReportsStats) {
+  AzureGeneratorOptions options;
+  options.num_apps = 3;
+  options.duration_days = 2;
+  const Dataset data = GenerateAzureDataset(options);
+
+  AquatopeOptions aq;
+  aq.train_days = 1;
+  aq.epochs = 1;
+  aq.hidden = 8;
+  AquatopePolicyStats stats;
+  const auto policy = MakeAquatopePolicy(data.apps[0], aq, &stats);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_GT(stats.train_seconds, 0.0);
+
+  // The trained policy produces finite non-negative targets.
+  const std::vector<double> history(100, 2.0);
+  const double target = policy->TargetUnits(history);
+  EXPECT_TRUE(std::isfinite(target));
+  EXPECT_GE(target, 0.0);
+}
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,102 @@
+#include "src/baselines/faascache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/azure_generator.h"
+
+namespace femux {
+namespace {
+
+Dataset TinyDataset() {
+  AzureGeneratorOptions options;
+  options.num_apps = 25;
+  options.duration_days = 1;
+  return GenerateAzureDataset(options);
+}
+
+// A hand-built dataset where cache behavior is exactly predictable.
+Dataset TwoAppDataset() {
+  Dataset data;
+  data.duration_days = 0;
+  AppTrace a;
+  a.id = "hot";
+  a.mean_execution_ms = 60000.0;  // Concurrency == per-minute count.
+  a.config.container_concurrency = 1;
+  a.consumed_memory_mb = 1024.0;  // 1 GB per container.
+  a.minute_counts = {1.0, 1.0, 1.0, 1.0};
+  AppTrace b = a;
+  b.id = "cold";
+  b.minute_counts = {0.0, 1.0, 0.0, 1.0};
+  data.apps = {a, b};
+  return data;
+}
+
+TEST(FaasCacheTest, LargeCacheKeepsEverythingWarm) {
+  FaasCacheOptions options;
+  options.cache_size_gb = 100.0;
+  const FaasCacheResult r = SimulateFaasCache(TwoAppDataset(), options);
+  // App a: 1 cold start at t=0 then always warm. App b: cold at t=1 then
+  // cached (capacity is plentiful) so t=3 is warm.
+  EXPECT_DOUBLE_EQ(r.per_app[0].cold_starts, 1.0);
+  EXPECT_DOUBLE_EQ(r.per_app[1].cold_starts, 1.0);
+}
+
+TEST(FaasCacheTest, TinyCacheThrashes) {
+  FaasCacheOptions options;
+  options.cache_size_gb = 1.0;  // Room for exactly one container.
+  const FaasCacheResult r = SimulateFaasCache(TwoAppDataset(), options);
+  // Both apps need a container at t=1 and t=3; one of them must miss.
+  EXPECT_GT(r.total.cold_starts, 2.0);
+}
+
+TEST(FaasCacheTest, ColdStartsDecreaseWithCacheSize) {
+  const Dataset data = TinyDataset();
+  double previous_cold = 1e18;
+  double previous_waste = -1.0;
+  for (double gb : {0.5, 4.0, 32.0, 256.0}) {
+    FaasCacheOptions options;
+    options.cache_size_gb = gb;
+    const FaasCacheResult r = SimulateFaasCache(data, options);
+    EXPECT_LE(r.total.cold_starts, previous_cold) << "cache=" << gb;
+    EXPECT_GE(r.total.wasted_gb_seconds, previous_waste) << "cache=" << gb;
+    previous_cold = r.total.cold_starts;
+    previous_waste = r.total.wasted_gb_seconds;
+  }
+}
+
+TEST(FaasCacheTest, PerAppMetricsSumToTotal) {
+  FaasCacheOptions options;
+  const FaasCacheResult r = SimulateFaasCache(TinyDataset(), options);
+  SimMetrics sum;
+  for (const SimMetrics& m : r.per_app) {
+    sum += m;
+  }
+  EXPECT_DOUBLE_EQ(sum.cold_starts, r.total.cold_starts);
+  EXPECT_DOUBLE_EQ(sum.invocations, r.total.invocations);
+  EXPECT_DOUBLE_EQ(sum.wasted_gb_seconds, r.total.wasted_gb_seconds);
+}
+
+TEST(FaasCacheTest, BusyContainersAreNotEvicted) {
+  // One app constantly busy with 2 containers, another spiking: the busy
+  // containers must survive even under memory pressure.
+  Dataset data;
+  AppTrace busy;
+  busy.id = "busy";
+  busy.mean_execution_ms = 60000.0;
+  busy.config.container_concurrency = 1;
+  busy.consumed_memory_mb = 1024.0;
+  busy.minute_counts = std::vector<double>(10, 2.0);
+  AppTrace spiky = busy;
+  spiky.id = "spiky";
+  spiky.minute_counts = std::vector<double>(10, 0.0);
+  spiky.minute_counts[5] = 3.0;
+  data.apps = {busy, spiky};
+  FaasCacheOptions options;
+  options.cache_size_gb = 3.0;
+  const FaasCacheResult r = SimulateFaasCache(data, options);
+  // The busy app cold-starts exactly twice (its initial scale-up).
+  EXPECT_DOUBLE_EQ(r.per_app[0].cold_starts, 2.0);
+}
+
+}  // namespace
+}  // namespace femux

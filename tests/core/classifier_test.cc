@@ -1,0 +1,173 @@
+#include "src/core/classifier.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/rng.h"
+
+namespace femux {
+namespace {
+
+// Three well-separated Gaussian blobs in 2D.
+void MakeBlobs(std::vector<std::vector<double>>* rows, std::vector<int>* labels,
+               std::size_t per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (int blob = 0; blob < 3; ++blob) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      rows->push_back({centers[blob][0] + rng.Normal(0.0, 0.5),
+                       centers[blob][1] + rng.Normal(0.0, 0.5)});
+      labels->push_back(blob);
+    }
+  }
+}
+
+TEST(KMeansTest, SeparatesBlobs) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeBlobs(&rows, &labels, 40, 1);
+  KMeans kmeans;
+  kmeans.Fit(rows, 3, 7);
+  ASSERT_EQ(kmeans.cluster_count(), 3u);
+  // All points of a blob map to the same cluster; different blobs differ.
+  const std::size_t c0 = kmeans.Predict(rows[0]);
+  const std::size_t c1 = kmeans.Predict(rows[40]);
+  const std::size_t c2 = kmeans.Predict(rows[80]);
+  EXPECT_NE(c0, c1);
+  EXPECT_NE(c1, c2);
+  EXPECT_NE(c0, c2);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(kmeans.Predict(rows[i]), c0);
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeBlobs(&rows, &labels, 50, 2);
+  KMeans k2;
+  k2.Fit(rows, 2, 3);
+  KMeans k6;
+  k6.Fit(rows, 6, 3);
+  EXPECT_LT(k6.inertia(), k2.inertia());
+}
+
+TEST(KMeansTest, FewerDistinctPointsThanK) {
+  const std::vector<std::vector<double>> rows = {{1.0}, {1.0}, {2.0}};
+  KMeans kmeans;
+  kmeans.Fit(rows, 5, 1);
+  EXPECT_LE(kmeans.cluster_count(), 2u);
+  EXPECT_GE(kmeans.cluster_count(), 1u);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeBlobs(&rows, &labels, 30, 3);
+  KMeans a;
+  a.Fit(rows, 3, 11);
+  KMeans b;
+  b.Fit(rows, 3, 11);
+  EXPECT_EQ(a.centroids(), b.centroids());
+}
+
+TEST(DecisionTreeTest, FitsSeparableData) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeBlobs(&rows, &labels, 40, 4);
+  DecisionTree tree;
+  tree.Fit(rows, labels, DecisionTree::Options{});
+  int correct = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    correct += tree.Predict(rows[i]) == labels[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / rows.size(), 0.95);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  // XOR-ish data needs depth >= 2; depth 0 must fall back to majority.
+  std::vector<std::vector<double>> rows = {{0, 0}, {0, 1}, {1, 0}, {1, 1},
+                                           {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  std::vector<int> labels = {0, 1, 1, 0, 0, 1, 1, 0};
+  DecisionTree::Options options;
+  options.max_depth = 0;
+  options.min_samples_split = 2;
+  DecisionTree stump;
+  stump.Fit(rows, labels, options);
+  // With depth 0 every input maps to the (single) majority label.
+  const int l = stump.Predict(rows[0]);
+  for (const auto& row : rows) {
+    EXPECT_EQ(stump.Predict(row), l);
+  }
+}
+
+TEST(DecisionTreeTest, UnfittedPredictsZero) {
+  DecisionTree tree;
+  EXPECT_EQ(tree.Predict({1.0, 2.0}), 0);
+  EXPECT_FALSE(tree.fitted());
+}
+
+TEST(RandomForestTest, MatchesOrBeatsSingleTreeOnNoisyData) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeBlobs(&rows, &labels, 60, 5);
+  // Flip some labels to add noise.
+  Rng rng(6);
+  std::vector<int> noisy = labels;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    if (rng.Bernoulli(0.15)) {
+      noisy[i] = static_cast<int>(rng.UniformInt(0, 2));
+    }
+  }
+  RandomForest::Options options;
+  options.trees = 25;
+  RandomForest forest;
+  forest.Fit(rows, noisy, options);
+  int correct = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    correct += forest.Predict(rows[i]) == labels[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / rows.size(), 0.9);
+}
+
+TEST(RandomForestTest, EmptyInputIsSafe) {
+  RandomForest forest;
+  forest.Fit({}, {}, RandomForest::Options{});
+  EXPECT_EQ(forest.Predict({1.0}), 0);
+}
+
+// Property: k-means assignment is the nearest centroid for arbitrary points.
+class KMeansNearestTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansNearestTest, PredictReturnsNearestCentroid) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  MakeBlobs(&rows, &labels, 25, static_cast<std::uint64_t>(GetParam()));
+  KMeans kmeans;
+  kmeans.Fit(rows, 4, static_cast<std::uint64_t>(GetParam()));
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> p = {rng.Uniform(-5.0, 15.0), rng.Uniform(-5.0, 15.0)};
+    const std::size_t predicted = kmeans.Predict(p);
+    double best = 1e300;
+    std::size_t nearest = 0;
+    for (std::size_t c = 0; c < kmeans.cluster_count(); ++c) {
+      double d = 0.0;
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        const double diff = p[j] - kmeans.centroids()[c][j];
+        d += diff * diff;
+      }
+      if (d < best) {
+        best = d;
+        nearest = c;
+      }
+    }
+    EXPECT_EQ(predicted, nearest);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansNearestTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,185 @@
+// End-to-end FeMux core tests: offline training and the online multiplexing
+// policy.
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/femux.h"
+#include "src/forecast/simple.h"
+#include "src/core/trainer.h"
+#include "src/sim/fleet.h"
+#include "src/trace/azure_generator.h"
+#include "src/trace/split.h"
+
+namespace femux {
+namespace {
+
+Dataset SmallAzure(int apps = 30, int days = 3) {
+  AzureGeneratorOptions options;
+  options.num_apps = apps;
+  options.duration_days = days;
+  return GenerateAzureDataset(options);
+}
+
+TrainerOptions FastTrainer() {
+  TrainerOptions options;
+  options.block_minutes = 504;
+  options.clusters = 10;
+  options.refit_interval = 20;
+  return options;
+}
+
+std::vector<int> AllIndices(const Dataset& data) {
+  std::vector<int> indices(data.apps.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  return indices;
+}
+
+TEST(TrainerTest, ProducesConsistentModel) {
+  const Dataset data = SmallAzure();
+  const TrainResult result =
+      TrainFemux(data, AllIndices(data), Rum::Default(), FastTrainer());
+  const FemuxModel& model = result.model;
+  EXPECT_EQ(model.forecaster_names.size(), 8u);
+  EXPECT_TRUE(model.scaler.fitted());
+  EXPECT_GT(model.kmeans.cluster_count(), 0u);
+  EXPECT_EQ(model.cluster_to_forecaster.size(), model.kmeans.cluster_count());
+  for (int f : model.cluster_to_forecaster) {
+    EXPECT_GE(f, 0);
+    EXPECT_LT(f, static_cast<int>(model.forecaster_names.size()));
+  }
+  // Block table shape: 3 days = 4320 minutes -> 8 complete 504-min blocks.
+  ASSERT_EQ(result.table.rum.size(), data.apps.size());
+  EXPECT_EQ(result.table.rum[0].size(), 8u);
+  EXPECT_EQ(result.table.rum[0][0].size(), 24u);  // 8 forecasters x 3 margins.
+  for (const auto& app_blocks : result.table.rum) {
+    for (const auto& block : app_blocks) {
+      for (double rum : block) {
+        EXPECT_GE(rum, 0.0);
+      }
+    }
+  }
+}
+
+TEST(TrainerTest, DefaultForecasterMinimizesTotalRum) {
+  const Dataset data = SmallAzure();
+  const TrainResult result =
+      TrainFemux(data, AllIndices(data), Rum::Default(), FastTrainer());
+  // Totals are per (forecaster, margin) candidate pair.
+  const std::size_t margins = result.model.margins.size();
+  std::vector<double> totals(result.model.forecaster_names.size() * margins, 0.0);
+  for (const auto& app_blocks : result.table.rum) {
+    for (const auto& block : app_blocks) {
+      ASSERT_EQ(block.size(), totals.size());
+      for (std::size_t c = 0; c < block.size(); ++c) {
+        totals[c] += block[c];
+      }
+    }
+  }
+  const std::size_t default_pair =
+      result.model.default_forecaster * margins + result.model.default_margin;
+  for (double total : totals) {
+    EXPECT_GE(total, totals[default_pair]);
+  }
+}
+
+TEST(TrainerTest, SupervisedClassifiersTrainToo) {
+  const Dataset data = SmallAzure(20);
+  TrainerOptions options = FastTrainer();
+  options.classifier = ClassifierKind::kDecisionTree;
+  const TrainResult tree = TrainFemux(data, AllIndices(data), Rum::Default(), options);
+  EXPECT_TRUE(tree.model.tree.fitted());
+
+  options.classifier = ClassifierKind::kRandomForest;
+  const TrainResult forest =
+      TrainFemux(data, AllIndices(data), Rum::Default(), options);
+  EXPECT_GT(forest.model.forest.tree_count(), 0u);
+}
+
+TEST(TrainerTest, ExecAwareRumAddsExecTimeFeature) {
+  const Dataset data = SmallAzure(15);
+  TrainerOptions options = FastTrainer();
+  options.features.push_back(Feature::kExecTime);
+  const TrainResult result =
+      TrainFemux(data, AllIndices(data), Rum::ExecutionAware(), options);
+  EXPECT_EQ(result.table.features[0][0].size(), 5u);
+}
+
+TEST(FemuxPolicyTest, UsesDefaultForecasterBeforeFirstBlock) {
+  const Dataset data = SmallAzure(10);
+  const TrainResult trained =
+      TrainFemux(data, AllIndices(data), Rum::Default(), FastTrainer());
+  auto model = std::make_shared<FemuxModel>(trained.model);
+  FemuxPolicy policy(model);
+  EXPECT_EQ(policy.current_forecaster(), model->default_forecaster);
+  EXPECT_EQ(policy.switch_count(), 0);
+  // Feed fewer samples than one block.
+  std::vector<double> history;
+  for (int i = 0; i < 100; ++i) {
+    history.push_back(1.0);
+    policy.TargetUnits(history);
+  }
+  EXPECT_EQ(policy.switch_count(), 0);
+}
+
+TEST(FemuxPolicyTest, ClassifiesAtBlockBoundaries) {
+  const Dataset data = SmallAzure(10);
+  const TrainResult trained =
+      TrainFemux(data, AllIndices(data), Rum::Default(), FastTrainer());
+  auto model = std::make_shared<FemuxModel>(trained.model);
+  FemuxPolicy policy(model);
+  std::vector<double> history;
+  const int blocks = 3;
+  for (std::size_t i = 0; i < blocks * model->block_minutes; ++i) {
+    history.push_back(static_cast<double>(i % 7));
+    policy.TargetUnits(history);
+  }
+  // One classification per completed block.
+  int total_blocks = 0;
+  for (const auto& [name, count] : policy.blocks_per_forecaster()) {
+    total_blocks += count;
+  }
+  EXPECT_EQ(total_blocks, blocks);
+}
+
+TEST(FemuxPolicyTest, CloneStartsFresh) {
+  const Dataset data = SmallAzure(10);
+  const TrainResult trained =
+      TrainFemux(data, AllIndices(data), Rum::Default(), FastTrainer());
+  auto model = std::make_shared<FemuxModel>(trained.model);
+  FemuxPolicy policy(model);
+  std::vector<double> history(600, 2.0);
+  policy.TargetUnits(history);
+  const auto clone = policy.Clone();
+  auto* femux_clone = dynamic_cast<FemuxPolicy*>(clone.get());
+  ASSERT_NE(femux_clone, nullptr);
+  EXPECT_EQ(femux_clone->switch_count(), 0);
+  EXPECT_EQ(femux_clone->distinct_forecasters_used(), 0);
+}
+
+TEST(FemuxIntegrationTest, BeatsReactiveBaselineOnRum) {
+  // Train on one half of a synthetic Azure population, evaluate on the
+  // other; FeMux should beat the purely reactive Knative-style policy on
+  // the RUM it was trained for.
+  const Dataset data = SmallAzure(60, 6);
+  const DatasetSplit split = SplitDataset(data, 1);
+  std::vector<int> train = split.train;
+  train.insert(train.end(), split.validation.begin(), split.validation.end());
+  const TrainResult trained = TrainFemux(data, train, Rum::Default(), FastTrainer());
+  auto model = std::make_shared<FemuxModel>(trained.model);
+
+  const Dataset test = Subset(data, split.test);
+  const FemuxPolicy femux_prototype(model);
+  const FleetResult femux = SimulateFleetUniform(test, femux_prototype, SimOptions{});
+
+  ForecasterPolicy reactive(std::make_unique<MovingAverageForecaster>(1));
+  const FleetResult knative = SimulateFleetUniform(test, reactive, SimOptions{});
+
+  const Rum rum = Rum::Default();
+  EXPECT_LT(rum.Evaluate(femux.total), rum.Evaluate(knative.total));
+}
+
+}  // namespace
+}  // namespace femux

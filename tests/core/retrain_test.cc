@@ -1,0 +1,86 @@
+// Incremental retraining (§4.3.6): merging newly collected blocks and
+// refitting the classifier must be cheap and equivalent to training on the
+// combined population from scratch.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/core/trainer.h"
+#include "src/trace/azure_generator.h"
+
+namespace femux {
+namespace {
+
+Dataset TinyDataset() {
+  AzureGeneratorOptions options;
+  options.num_apps = 20;
+  options.duration_days = 2;
+  return GenerateAzureDataset(options);
+}
+
+TrainerOptions FastOptions() {
+  TrainerOptions options;
+  options.clusters = 4;
+  options.refit_interval = 30;
+  return options;
+}
+
+TEST(RetrainTest, IncrementalMatchesFromScratch) {
+  const Dataset data = TinyDataset();
+  const TrainerOptions options = FastOptions();
+  std::vector<int> first_half;
+  std::vector<int> second_half;
+  for (int i = 0; i < static_cast<int>(data.apps.size()); ++i) {
+    (i < 10 ? first_half : second_half).push_back(i);
+  }
+  const TrainResult initial = TrainFemux(data, first_half, Rum::Default(), options);
+  const TrainResult incremental =
+      RetrainWithNewApps(initial, data, second_half, Rum::Default(), options);
+
+  std::vector<int> all(data.apps.size());
+  std::iota(all.begin(), all.end(), 0);
+  const TrainResult scratch = TrainFemux(data, all, Rum::Default(), options);
+
+  // Same block tables (same apps, same deterministic forecasts)...
+  ASSERT_EQ(incremental.table.rum.size(), scratch.table.rum.size());
+  for (std::size_t a = 0; a < scratch.table.rum.size(); ++a) {
+    EXPECT_EQ(incremental.table.rum[a], scratch.table.rum[a]);
+  }
+  // ...therefore identical classifier decisions.
+  EXPECT_EQ(incremental.model.default_forecaster, scratch.model.default_forecaster);
+  EXPECT_EQ(incremental.model.cluster_to_forecaster,
+            scratch.model.cluster_to_forecaster);
+  EXPECT_EQ(incremental.model.cluster_to_margin, scratch.model.cluster_to_margin);
+}
+
+TEST(RetrainTest, RefitIsCheaperThanResimulating) {
+  const Dataset data = TinyDataset();
+  const TrainerOptions options = FastOptions();
+  std::vector<int> most;
+  for (int i = 0; i < 18; ++i) {
+    most.push_back(i);
+  }
+  const TrainResult initial = TrainFemux(data, most, Rum::Default(), options);
+  const TrainResult incremental =
+      RetrainWithNewApps(initial, data, {18, 19}, Rum::Default(), options);
+  // The incremental pass only simulates the 2 new apps.
+  EXPECT_LT(incremental.forecast_sim_seconds,
+            initial.forecast_sim_seconds * 0.6 + 0.5);
+  EXPECT_EQ(incremental.table.rum.size(), 20u);
+}
+
+TEST(MergeBlockTablesTest, Appends) {
+  BlockTable a;
+  a.rum = {{{1.0}}};
+  a.features = {{{2.0}}};
+  BlockTable b;
+  b.rum = {{{3.0}}};
+  b.features = {{{4.0}}};
+  MergeBlockTables(&a, b);
+  ASSERT_EQ(a.rum.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.rum[1][0][0], 3.0);
+  EXPECT_DOUBLE_EQ(a.features[1][0][0], 4.0);
+}
+
+}  // namespace
+}  // namespace femux

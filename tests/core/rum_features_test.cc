@@ -1,0 +1,149 @@
+// RUM formulations and block feature extraction.
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/features.h"
+#include "src/core/rum.h"
+#include "src/stats/rng.h"
+
+namespace femux {
+namespace {
+
+SimMetrics MetricsWith(double cold_s, double wasted, double exec = 100.0) {
+  SimMetrics m;
+  m.cold_start_seconds = cold_s;
+  m.wasted_gb_seconds = wasted;
+  m.execution_seconds = exec;
+  return m;
+}
+
+TEST(RumTest, DefaultWeightsMatchPaperDerivation) {
+  const Rum rum = Rum::Default();
+  EXPECT_DOUBLE_EQ(rum.w1(), 1.0);
+  EXPECT_NEAR(rum.w2(), 1.0 / 99.7, 1e-12);
+  // 99.7 GB-s of waste is worth one cold-start second.
+  EXPECT_NEAR(rum.Evaluate(MetricsWith(1.0, 0.0)),
+              rum.Evaluate(MetricsWith(0.0, 99.7)), 1e-9);
+}
+
+TEST(RumTest, ColdStartVariantWeighs4x) {
+  const Rum cs = Rum::ColdStartFocused();
+  const Rum def = Rum::Default();
+  EXPECT_DOUBLE_EQ(cs.Evaluate(MetricsWith(1.0, 0.0)),
+                   4.0 * def.Evaluate(MetricsWith(1.0, 0.0)));
+  EXPECT_DOUBLE_EQ(cs.Evaluate(MetricsWith(0.0, 50.0)),
+                   def.Evaluate(MetricsWith(0.0, 50.0)));
+}
+
+TEST(RumTest, MemoryVariantWeighs4x) {
+  const Rum mem = Rum::MemoryFocused();
+  const Rum def = Rum::Default();
+  EXPECT_DOUBLE_EQ(mem.Evaluate(MetricsWith(0.0, 50.0)),
+                   4.0 * def.Evaluate(MetricsWith(0.0, 50.0)));
+}
+
+TEST(RumTest, ExecutionAwareNormalizesByExecTime) {
+  const Rum exec = Rum::ExecutionAware();
+  // Same cold-start seconds hurt short-execution apps more.
+  const double short_exec = exec.Evaluate(MetricsWith(4.0, 0.0, /*exec=*/1.0));
+  const double long_exec = exec.Evaluate(MetricsWith(4.0, 0.0, /*exec=*/400.0));
+  EXPECT_GT(short_exec, long_exec);
+  EXPECT_DOUBLE_EQ(short_exec, std::sqrt(4.0));
+}
+
+TEST(RumTest, ExecutionAwareHandlesZeroExecTime) {
+  const Rum exec = Rum::ExecutionAware();
+  EXPECT_DOUBLE_EQ(exec.Evaluate(MetricsWith(1.0, 0.0, 0.0)), 0.0);
+}
+
+TEST(RumTest, MonotoneInBothTerms) {
+  const Rum rum = Rum::Default();
+  EXPECT_LT(rum.Evaluate(MetricsWith(1.0, 10.0)), rum.Evaluate(MetricsWith(2.0, 10.0)));
+  EXPECT_LT(rum.Evaluate(MetricsWith(1.0, 10.0)), rum.Evaluate(MetricsWith(1.0, 20.0)));
+}
+
+TEST(BlockTest, CountAndSlices) {
+  std::vector<double> series(1100, 1.0);
+  EXPECT_EQ(BlockCount(series.size(), 504), 2u);
+  const auto block1 = BlockSlice(series, 1, 504);
+  EXPECT_EQ(block1.size(), 504u);
+  EXPECT_EQ(block1.data(), series.data() + 504);
+}
+
+TEST(FeatureExtractorTest, DimensionMatchesFeatureList) {
+  const FeatureExtractor all({Feature::kStationarity, Feature::kLinearity,
+                              Feature::kHarmonics, Feature::kDensity,
+                              Feature::kExecTime});
+  std::vector<double> block(504, 1.0);
+  EXPECT_EQ(all.Extract(block, 10.0).size(), 5u);
+  const FeatureExtractor two({Feature::kDensity, Feature::kHarmonics});
+  EXPECT_EQ(two.Extract(block).size(), 2u);
+}
+
+TEST(FeatureExtractorTest, HarmonicsHighForPeriodicBlock) {
+  std::vector<double> periodic(504);
+  for (std::size_t i = 0; i < periodic.size(); ++i) {
+    periodic[i] = 5.0 + 3.0 * std::sin(2.0 * std::numbers::pi * i / 42.0);
+  }
+  const FeatureExtractor extractor({Feature::kHarmonics});
+  EXPECT_GT(extractor.Extract(periodic)[0], 0.95);
+
+  Rng rng(4);
+  std::vector<double> noise(504);
+  for (double& v : noise) {
+    v = std::max(0.0, rng.Normal(5.0, 3.0));
+  }
+  EXPECT_LT(extractor.Extract(noise)[0], 0.5);
+}
+
+TEST(FeatureExtractorTest, DensityIsLogTotal) {
+  const FeatureExtractor extractor({Feature::kDensity});
+  std::vector<double> block(504, 0.0);
+  EXPECT_DOUBLE_EQ(extractor.Extract(block)[0], 0.0);
+  block.assign(504, 10.0);
+  EXPECT_NEAR(extractor.Extract(block)[0], std::log10(1.0 + 5040.0), 1e-12);
+}
+
+TEST(FeatureExtractorTest, StationarityDistinguishesWalkFromNoise) {
+  Rng rng(5);
+  std::vector<double> noise(504);
+  for (double& v : noise) {
+    v = rng.Normal(0.0, 1.0);
+  }
+  std::vector<double> walk(504);
+  double acc = 0.0;
+  for (double& v : walk) {
+    acc += rng.Normal(0.0, 1.0);
+    v = acc;
+  }
+  const FeatureExtractor extractor({Feature::kStationarity});
+  // More negative = more stationary.
+  EXPECT_LT(extractor.Extract(noise)[0], extractor.Extract(walk)[0]);
+}
+
+TEST(FeatureExtractorTest, DegenerateBlockProducesFiniteFeatures) {
+  const FeatureExtractor extractor(
+      {Feature::kStationarity, Feature::kLinearity, Feature::kHarmonics,
+       Feature::kDensity, Feature::kExecTime});
+  for (const std::vector<double>& block :
+       {std::vector<double>(504, 0.0), std::vector<double>(504, 7.0),
+        std::vector<double>(10, 1.0)}) {
+    for (double f : extractor.Extract(block, 0.0)) {
+      EXPECT_TRUE(std::isfinite(f));
+    }
+  }
+}
+
+TEST(FeatureNameTest, AllNamed) {
+  EXPECT_EQ(FeatureName(Feature::kStationarity), "stationarity");
+  EXPECT_EQ(FeatureName(Feature::kLinearity), "linearity");
+  EXPECT_EQ(FeatureName(Feature::kHarmonics), "harmonics");
+  EXPECT_EQ(FeatureName(Feature::kDensity), "density");
+  EXPECT_EQ(FeatureName(Feature::kExecTime), "exec_time");
+}
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,76 @@
+#include "src/core/serialize.h"
+
+#include <numeric>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/azure_generator.h"
+
+namespace femux {
+namespace {
+
+TrainResult TrainTiny() {
+  AzureGeneratorOptions options;
+  options.num_apps = 10;
+  options.duration_days = 2;
+  const Dataset data = GenerateAzureDataset(options);
+  std::vector<int> indices(data.apps.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  TrainerOptions trainer;
+  trainer.clusters = 3;
+  trainer.refit_interval = 30;
+  return TrainFemux(data, indices, Rum::ColdStartFocused(), trainer);
+}
+
+TEST(SerializeTest, ModelRoundTripPreservesDecisions) {
+  const TrainResult trained = TrainTiny();
+  std::stringstream buffer;
+  SaveModel(trained.model, buffer);
+  FemuxModel loaded;
+  ASSERT_TRUE(LoadModel(buffer, &loaded));
+
+  EXPECT_EQ(loaded.forecaster_names, trained.model.forecaster_names);
+  EXPECT_EQ(loaded.refit_interval, trained.model.refit_interval);
+  EXPECT_EQ(loaded.block_minutes, trained.model.block_minutes);
+  EXPECT_EQ(loaded.default_forecaster, trained.model.default_forecaster);
+  EXPECT_EQ(loaded.default_margin, trained.model.default_margin);
+  EXPECT_EQ(loaded.margins, trained.model.margins);
+  EXPECT_EQ(loaded.cluster_to_forecaster, trained.model.cluster_to_forecaster);
+  EXPECT_EQ(loaded.rum.label(), trained.model.rum.label());
+  EXPECT_DOUBLE_EQ(loaded.rum.w1(), trained.model.rum.w1());
+
+  // The loaded model must make identical selections.
+  for (double seedish : {0.1, 1.0, 5.0, 20.0}) {
+    const std::vector<double> features = {seedish, seedish * 0.5, 0.3, 2.0};
+    const auto a = trained.model.Select(features);
+    const auto b = loaded.Select(features);
+    EXPECT_EQ(a.forecaster, b.forecaster);
+    EXPECT_DOUBLE_EQ(a.margin, b.margin);
+  }
+}
+
+TEST(SerializeTest, BlockTableRoundTrip) {
+  const TrainResult trained = TrainTiny();
+  std::stringstream buffer;
+  SaveBlockTable(trained.table, buffer);
+  BlockTable loaded;
+  ASSERT_TRUE(LoadBlockTable(buffer, &loaded));
+  ASSERT_EQ(loaded.rum.size(), trained.table.rum.size());
+  for (std::size_t a = 0; a < loaded.rum.size(); ++a) {
+    EXPECT_EQ(loaded.rum[a], trained.table.rum[a]);
+    EXPECT_EQ(loaded.features[a], trained.table.features[a]);
+  }
+}
+
+TEST(SerializeTest, RejectsCorruptInput) {
+  FemuxModel model;
+  std::stringstream bad("not-a-model 3");
+  EXPECT_FALSE(LoadModel(bad, &model));
+  BlockTable table;
+  std::stringstream bad2("junk");
+  EXPECT_FALSE(LoadBlockTable(bad2, &table));
+}
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,275 @@
+// Behavioral tests for every forecaster: degenerate inputs, signal-specific
+// strengths (AR on autocorrelated data, FFT on periodic data, Holt on
+// trends, SETAR on regimes, Markov chains on repetitive patterns), and the
+// shared invariants (non-negative output, requested horizon length).
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/forecast/ar.h"
+#include "src/forecast/fft_forecaster.h"
+#include "src/forecast/markov.h"
+#include "src/forecast/registry.h"
+#include "src/forecast/simple.h"
+#include "src/forecast/smoothing.h"
+#include "src/stats/rng.h"
+
+namespace femux {
+namespace {
+
+std::vector<double> Periodic(std::size_t n, std::size_t period, double high,
+                             double low) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = (i % period) < period / 2 ? high : low;
+  }
+  return v;
+}
+
+TEST(MovingAverageTest, AveragesWindow) {
+  MovingAverageForecaster f(3);
+  const std::vector<double> h = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto out = f.Forecast(h, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+}
+
+TEST(MovingAverageTest, EmptyHistoryGivesZero) {
+  MovingAverageForecaster f(3);
+  EXPECT_DOUBLE_EQ(f.Forecast({}, 1)[0], 0.0);
+}
+
+TEST(KeepAliveTest, TakesWindowMax) {
+  KeepAliveForecaster f(5);
+  const std::vector<double> h = {9.0, 1.0, 2.0, 0.0, 3.0, 1.0};
+  // Window of 5 excludes the 9.
+  EXPECT_DOUBLE_EQ(f.Forecast(h, 1)[0], 3.0);
+}
+
+TEST(KeepAliveTest, NameEncodesWindow) {
+  EXPECT_EQ(KeepAliveForecaster(10).name(), "keep_alive_10min");
+}
+
+TEST(ArTest, LearnsAr1Process) {
+  Rng rng(1);
+  std::vector<double> h;
+  double prev = 5.0;
+  for (int i = 0; i < 200; ++i) {
+    prev = 2.0 + 0.8 * prev + rng.Normal(0.0, 0.1);
+    h.push_back(prev);
+  }
+  ArForecaster f(10);
+  const double pred = f.Forecast(h, 1)[0];
+  const double expected = 2.0 + 0.8 * h.back();
+  EXPECT_NEAR(pred, expected, 0.5);
+}
+
+TEST(ArTest, ConstantHistoryPredictsConstant) {
+  ArForecaster f(10);
+  const std::vector<double> h(150, 4.0);
+  EXPECT_NEAR(f.Forecast(h, 1)[0], 4.0, 1e-9);
+}
+
+TEST(ArTest, ShortHistoryFallsBackToMean) {
+  ArForecaster f(10);
+  const std::vector<double> h = {2.0, 4.0};
+  EXPECT_DOUBLE_EQ(f.Forecast(h, 1)[0], 3.0);
+}
+
+TEST(ArTest, RefitIntervalGivesSamePredictionsOnStableSeries) {
+  Rng rng(2);
+  std::vector<double> series;
+  double prev = 3.0;
+  for (int i = 0; i < 300; ++i) {
+    prev = 1.0 + 0.7 * prev + rng.Normal(0.0, 0.05);
+    series.push_back(prev);
+  }
+  ArForecaster every(10, 1);
+  ArForecaster strided(10, 10);
+  double max_gap = 0.0;
+  for (std::size_t t = 150; t < series.size(); ++t) {
+    const std::span<const double> h(series.data(), t);
+    max_gap = std::max(max_gap, std::abs(every.Forecast(h, 1)[0] -
+                                         strided.Forecast(h, 1)[0]));
+  }
+  EXPECT_LT(max_gap, 0.3);
+}
+
+TEST(SetarTest, BeatsArOnRegimeSwitchingSeries) {
+  // Two AR regimes split on the previous value.
+  Rng rng(3);
+  std::vector<double> series;
+  double prev = 1.0;
+  for (int i = 0; i < 400; ++i) {
+    if (prev <= 5.0) {
+      prev = 1.0 + 0.9 * prev + rng.Normal(0.0, 0.05);  // Grows toward 10.
+    } else {
+      prev = 9.0 - 0.6 * prev + rng.Normal(0.0, 0.05);  // Pulls back down.
+    }
+    series.push_back(prev);
+  }
+  SetarForecaster setar(3, 1);
+  ArForecaster ar(3);
+  double setar_sse = 0.0;
+  double ar_sse = 0.0;
+  for (std::size_t t = 200; t < series.size(); ++t) {
+    const std::span<const double> h(series.data(), t);
+    const double target = series[t];
+    const double es = setar.Forecast(h, 1)[0] - target;
+    const double ea = ar.Forecast(h, 1)[0] - target;
+    setar_sse += es * es;
+    ar_sse += ea * ea;
+  }
+  EXPECT_LT(setar_sse, ar_sse);
+}
+
+TEST(FftForecasterTest, ExtrapolatesPeriodicSignal) {
+  const std::size_t period = 24;
+  const auto h = Periodic(240, period, 10.0, 0.0);
+  FftForecaster f(10);
+  const auto out = f.Forecast(h, period);
+  ASSERT_EQ(out.size(), period);
+  // The forecast should be high in the first half-period, low in the second.
+  EXPECT_GT(out[period / 4], 5.0);
+  EXPECT_LT(out[3 * period / 4], 5.0);
+}
+
+TEST(FftForecasterTest, TinyHistoryRepeatsLastValue) {
+  FftForecaster f(10);
+  const std::vector<double> h = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(f.Forecast(h, 1)[0], 3.0);
+}
+
+TEST(ExpSmoothingTest, TracksLevelShift) {
+  std::vector<double> h(60, 2.0);
+  h.insert(h.end(), 60, 8.0);
+  ExponentialSmoothingForecaster f;
+  EXPECT_NEAR(f.Forecast(h, 1)[0], 8.0, 0.5);
+}
+
+TEST(HoltTest, ExtrapolatesLinearTrend) {
+  std::vector<double> h;
+  for (int i = 0; i < 120; ++i) {
+    h.push_back(10.0 + 0.5 * i);
+  }
+  HoltForecaster f;
+  const auto out = f.Forecast(h, 3);
+  EXPECT_NEAR(out[0], 10.0 + 0.5 * 120, 0.5);
+  EXPECT_NEAR(out[2], 10.0 + 0.5 * 122, 0.7);
+  EXPECT_GT(out[2], out[0]);  // Trend continues.
+}
+
+TEST(HoltTest, FlatSeriesHasNoTrend) {
+  HoltForecaster f;
+  const std::vector<double> h(100, 6.0);
+  const auto out = f.Forecast(h, 5);
+  EXPECT_NEAR(out[4], 6.0, 1e-6);
+}
+
+TEST(MarkovTest, LearnsAlternatingPattern) {
+  std::vector<double> h;
+  for (int i = 0; i < 200; ++i) {
+    h.push_back(i % 2 == 0 ? 0.0 : 10.0);
+  }
+  MarkovChainForecaster f(4);
+  // Last value is 10 (i=199 odd), so the next should be near 0.
+  const double pred = f.Forecast(h, 1)[0];
+  EXPECT_LT(pred, 3.0);
+}
+
+TEST(MarkovTest, ConstantSeriesPredictsConstant) {
+  MarkovChainForecaster f(4);
+  const std::vector<double> h(100, 7.0);
+  EXPECT_DOUBLE_EQ(f.Forecast(h, 1)[0], 7.0);
+}
+
+TEST(RegistryTest, BuildsEveryNamedForecaster) {
+  for (const char* name :
+       {"ar", "setar", "fft", "exp_smoothing", "holt", "markov_chain", "lstm",
+        "moving_average_3", "keep_alive_5min"}) {
+    const auto f = MakeForecasterByName(name);
+    ASSERT_NE(f, nullptr) << name;
+    EXPECT_EQ(f->name(), name);
+  }
+  EXPECT_EQ(MakeForecasterByName("nope"), nullptr);
+  EXPECT_EQ(MakeForecasterByName("keep_alive_min"), nullptr);
+  EXPECT_EQ(MakeForecasterByName("moving_average_0"), nullptr);
+}
+
+TEST(RegistryTest, FemuxSetHasSixForecasters) {
+  const auto set = MakeFemuxForecasterSet();
+  ASSERT_EQ(set.size(), 8u);
+  EXPECT_EQ(set[0]->name(), "ar");
+  EXPECT_EQ(set[5]->name(), "markov_chain");
+  EXPECT_EQ(set[6]->name(), "keep_alive_5min");
+  EXPECT_EQ(set[7]->name(), "moving_average_1");
+}
+
+TEST(RollingForecastTest, AlignsPredictionsWithTargets) {
+  // A perfect "predict last value" forecaster on a ramp must lag by one.
+  std::vector<double> series;
+  for (int i = 0; i < 50; ++i) {
+    series.push_back(static_cast<double>(i));
+  }
+  MovingAverageForecaster f(1);
+  const auto pred = RollingForecast(f, series, 20, 5);
+  ASSERT_EQ(pred.size(), series.size());
+  EXPECT_DOUBLE_EQ(pred[3], 0.0);  // Before warmup.
+  for (std::size_t t = 5; t < series.size(); ++t) {
+    EXPECT_DOUBLE_EQ(pred[t], series[t] - 1.0);
+  }
+}
+
+// Shared invariants across the whole registry.
+class ForecasterInvariantTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ForecasterInvariantTest, HorizonLengthAndNonNegativity) {
+  const auto f = MakeForecasterByName(GetParam());
+  ASSERT_NE(f, nullptr);
+  Rng rng(17);
+  std::vector<double> h;
+  for (int i = 0; i < 130; ++i) {
+    h.push_back(std::max(0.0, rng.Normal(3.0, 2.0)));
+  }
+  for (std::size_t horizon : {std::size_t{1}, std::size_t{5}}) {
+    const auto out = f->Forecast(h, horizon);
+    ASSERT_EQ(out.size(), horizon);
+    for (double v : out) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST_P(ForecasterInvariantTest, HandlesDegenerateHistories) {
+  const auto f = MakeForecasterByName(GetParam());
+  ASSERT_NE(f, nullptr);
+  for (const std::vector<double>& h :
+       {std::vector<double>{}, std::vector<double>{0.0},
+        std::vector<double>(200, 0.0), std::vector<double>(3, 1.0)}) {
+    const auto out = f->Forecast(h, 1);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(std::isfinite(out[0]));
+    EXPECT_GE(out[0], 0.0);
+  }
+}
+
+TEST_P(ForecasterInvariantTest, CloneIsIndependentAndSameName) {
+  const auto f = MakeForecasterByName(GetParam());
+  ASSERT_NE(f, nullptr);
+  const auto clone = f->Clone();
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->name(), f->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllForecasters, ForecasterInvariantTest,
+                         ::testing::Values("ar", "setar", "fft", "exp_smoothing",
+                                           "holt", "markov_chain",
+                                           "moving_average_1", "keep_alive_5min"));
+
+}  // namespace
+}  // namespace femux

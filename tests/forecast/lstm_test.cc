@@ -1,0 +1,99 @@
+#include "src/forecast/lstm.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace femux {
+namespace {
+
+LstmOptions FastOptions() {
+  LstmOptions options;
+  options.hidden = 8;
+  options.window = 16;
+  options.epochs = 4;
+  options.max_train_windows = 400;
+  return options;
+}
+
+TEST(LstmTest, TrainingReducesLoss) {
+  std::vector<double> series;
+  for (int i = 0; i < 600; ++i) {
+    series.push_back(5.0 + 4.0 * std::sin(2.0 * std::numbers::pi * i / 24.0));
+  }
+  LstmOptions options = FastOptions();
+  options.epochs = 1;
+  LstmForecaster one_epoch(options);
+  const double mse_after_one = one_epoch.TrainOnSeries(series);
+
+  options.epochs = 6;
+  LstmForecaster six_epochs(options);
+  const double mse_after_six = six_epochs.TrainOnSeries(series);
+  EXPECT_LT(mse_after_six, mse_after_one);
+}
+
+TEST(LstmTest, LearnsPeriodicSignalRoughly) {
+  std::vector<double> series;
+  for (int i = 0; i < 800; ++i) {
+    series.push_back(i % 8 < 4 ? 10.0 : 0.0);
+  }
+  LstmOptions options = FastOptions();
+  options.epochs = 8;
+  LstmForecaster lstm(options);
+  lstm.TrainOnSeries(series);
+  // Predict at a point where the pattern says "high" (i % 8 == 0..3).
+  const std::span<const double> history(series.data(), 800);
+  const double pred = lstm.Forecast(history, 1)[0];
+  // 800 % 8 == 0 -> next value is high (10). Accept generous slack: the
+  // point is that the network learned something, not that it is sharp.
+  EXPECT_GT(pred, 4.0);
+}
+
+TEST(LstmTest, ForecastWithoutTrainingSelfTrains) {
+  LstmForecaster lstm(FastOptions());
+  EXPECT_FALSE(lstm.trained());
+  std::vector<double> history(200, 3.0);
+  const auto out = lstm.Forecast(history, 2);
+  EXPECT_TRUE(lstm.trained());
+  ASSERT_EQ(out.size(), 2u);
+  for (double v : out) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(LstmTest, ShortSeriesTrainsToNoop) {
+  LstmForecaster lstm(FastOptions());
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(lstm.TrainOnSeries(tiny), 0.0);
+  EXPECT_TRUE(lstm.trained());
+  const auto out = lstm.Forecast(tiny, 1);
+  EXPECT_TRUE(std::isfinite(out[0]));
+}
+
+TEST(LstmTest, CloneIsUntrained) {
+  LstmForecaster lstm(FastOptions());
+  lstm.TrainOnSeries(std::vector<double>(300, 2.0));
+  ASSERT_TRUE(lstm.trained());
+  const auto clone = lstm.Clone();
+  // Clone gets fresh state; it must still work as a Forecaster.
+  EXPECT_EQ(clone->name(), "lstm");
+  const auto out = clone->Forecast(std::vector<double>(100, 2.0), 1);
+  EXPECT_TRUE(std::isfinite(out[0]));
+}
+
+TEST(LstmTest, DeterministicGivenSeed) {
+  std::vector<double> series;
+  for (int i = 0; i < 300; ++i) {
+    series.push_back(static_cast<double>(i % 10));
+  }
+  LstmForecaster a(FastOptions());
+  LstmForecaster b(FastOptions());
+  EXPECT_DOUBLE_EQ(a.TrainOnSeries(series), b.TrainOnSeries(series));
+  EXPECT_DOUBLE_EQ(a.Forecast(series, 1)[0], b.Forecast(series, 1)[0]);
+}
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,83 @@
+// End-to-end pipeline test: dataset generation -> CSV persistence ->
+// reload -> offline training -> model serialization -> reload -> online
+// policy driving the platform simulator. Verifies the hand-offs between
+// every layer of the repository.
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/femux.h"
+#include "src/forecast/registry.h"
+#include "src/core/serialize.h"
+#include "src/core/trainer.h"
+#include "src/sim/fleet.h"
+#include "src/trace/azure_generator.h"
+#include "src/trace/csv_io.h"
+#include "src/trace/split.h"
+
+namespace femux {
+namespace {
+
+TEST(PipelineTest, GenerateTrainSerializeSimulate) {
+  // 1. Generate and round-trip the dataset through CSV.
+  AzureGeneratorOptions options;
+  options.num_apps = 16;
+  options.duration_days = 2;
+  const Dataset generated = GenerateAzureDataset(options);
+  std::stringstream configs;
+  std::stringstream counts;
+  WriteDatasetCsv(generated, configs, counts);
+  const Dataset dataset = ReadDatasetCsv(configs, counts);
+  ASSERT_EQ(dataset.apps.size(), generated.apps.size());
+
+  // 2. Split and train.
+  const DatasetSplit split = SplitDataset(dataset, 5);
+  std::vector<int> train = split.train;
+  train.insert(train.end(), split.validation.begin(), split.validation.end());
+  TrainerOptions trainer;
+  trainer.clusters = 4;
+  trainer.refit_interval = 30;
+  const TrainResult trained = TrainFemux(dataset, train, Rum::Default(), trainer);
+  ASSERT_TRUE(trained.model.scaler.fitted());
+
+  // 3. Serialize and reload the model.
+  std::stringstream buffer;
+  SaveModel(trained.model, buffer);
+  auto model = std::make_shared<FemuxModel>();
+  ASSERT_TRUE(LoadModel(buffer, model.get()));
+
+  // 4. Drive the simulator with the reloaded model on the test apps.
+  const Dataset test = Subset(dataset, split.test);
+  const FemuxPolicy prototype(model);
+  const FleetResult result = SimulateFleetUniform(test, prototype, SimOptions{});
+  ASSERT_EQ(result.per_app.size(), test.apps.size());
+  EXPECT_GT(result.total.invocations, 0.0);
+  EXPECT_GE(result.total.allocated_gb_seconds, result.total.wasted_gb_seconds);
+
+  // 5. The reloaded model behaves identically to the in-memory one.
+  const FemuxPolicy original(std::make_shared<FemuxModel>(trained.model));
+  const FleetResult reference = SimulateFleetUniform(test, original, SimOptions{});
+  EXPECT_DOUBLE_EQ(result.total.cold_starts, reference.total.cold_starts);
+  EXPECT_DOUBLE_EQ(result.total.wasted_gb_seconds, reference.total.wasted_gb_seconds);
+}
+
+TEST(PipelineTest, MetricsAreInternallyConsistent) {
+  AzureGeneratorOptions options;
+  options.num_apps = 8;
+  options.duration_days = 1;
+  const Dataset dataset = GenerateAzureDataset(options);
+  ForecasterPolicy policy(MakeForecasterByName("exp_smoothing"));
+  const FleetResult result = SimulateFleetUniform(dataset, policy, SimOptions{});
+  for (const SimMetrics& m : result.per_app) {
+    EXPECT_GE(m.allocated_gb_seconds, m.wasted_gb_seconds);
+    EXPECT_GE(m.invocations, m.cold_invocations);
+    EXPECT_GE(m.service_seconds, m.execution_seconds);
+    EXPECT_NEAR(m.cold_start_seconds, m.cold_starts * kDefaultColdStartSeconds, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace femux

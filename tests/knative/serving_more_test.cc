@@ -1,0 +1,109 @@
+// Additional Knative deployment-model coverage: panic mode, scale-down
+// delay, predictive pre-warming semantics, and metric consistency.
+#include <gtest/gtest.h>
+
+#include "src/knative/serving_sim.h"
+#include "src/trace/trace.h"
+
+namespace femux {
+namespace {
+
+Dataset OneApp(std::vector<double> counts, double exec_ms = 60000.0,
+               int concurrency = 1, int min_scale = 0) {
+  Dataset data;
+  data.duration_days = 1;
+  AppTrace app;
+  app.id = "app";
+  app.mean_execution_ms = exec_ms;
+  app.config.container_concurrency = concurrency;
+  app.config.min_scale = min_scale;
+  app.minute_counts = std::move(counts);
+  app.minute_counts.resize(kMinutesPerDay, 0.0);
+  data.apps = {app};
+  return data;
+}
+
+ServingOptions ShortRun(int minutes) {
+  ServingOptions options;
+  options.replay_minutes = minutes;
+  return options;
+}
+
+TEST(ServingPanicTest, BurstTriggersFasterScaleUpThanStableWindow) {
+  // One quiet hour, then a 10x burst. The stable 60 s window alone would
+  // need a minute to see the burst; the panic window reacts within ticks.
+  std::vector<double> counts(120, 1.0);
+  for (int m = 60; m < 120; ++m) {
+    counts[m] = 40.0;
+  }
+  const Dataset data = OneApp(counts);
+  const ServingResult r = SimulateServing(data, ShortRun(120));
+  // The burst is eventually served: execution seconds accumulate.
+  EXPECT_GT(r.total.execution_seconds, 0.5 * 60.0 * 40.0 * 60.0 / 60.0);
+  EXPECT_GT(r.per_app[0].peak_pods, 20.0);
+}
+
+TEST(ServingScaleDownTest, PodsLingerForTheKeepAliveWindow) {
+  // Traffic for 30 minutes, then nothing. Allocated pod-time must cover at
+  // least the busy period plus the 60 s scale-down delay, but not hours.
+  std::vector<double> counts(30, 10.0);
+  const Dataset data = OneApp(counts);
+  ServingOptions options = ShortRun(120);
+  const ServingResult r = SimulateServing(data, options);
+  const double pod_seconds = r.total.allocated_gb_seconds / options.memory_gb_per_pod;
+  EXPECT_GT(pod_seconds, 10.0 * 60.0);          // Served the busy half hour.
+  EXPECT_LT(pod_seconds, 60.0 * 60.0 * 20.0);   // Not provisioned forever.
+}
+
+TEST(ServingPredictiveTest, OverrideControlsProvisioningLevel) {
+  // A hook that massively over-provisions must show up as allocation.
+  std::vector<double> counts(60, 5.0);
+  const Dataset data = OneApp(counts);
+  const auto overprovision = [](int, std::span<const double>) { return 50.0; };
+  const ServingResult big = SimulateServing(data, ShortRun(60), overprovision);
+  const ServingResult normal = SimulateServing(data, ShortRun(60));
+  EXPECT_GT(big.total.allocated_gb_seconds, 2.0 * normal.total.allocated_gb_seconds);
+}
+
+TEST(ServingPredictiveTest, NegativeHookMeansPureReactive) {
+  std::vector<double> counts(60, 5.0);
+  const Dataset data = OneApp(counts);
+  const auto no_override = [](int, std::span<const double>) { return -1.0; };
+  const ServingResult hooked = SimulateServing(data, ShortRun(60), no_override);
+  const ServingResult plain = SimulateServing(data, ShortRun(60));
+  EXPECT_DOUBLE_EQ(hooked.total.cold_starts, plain.total.cold_starts);
+  EXPECT_DOUBLE_EQ(hooked.total.allocated_gb_seconds,
+                   plain.total.allocated_gb_seconds);
+}
+
+TEST(ServingMetricsTest, InvariantsHold) {
+  std::vector<double> counts(90, 0.0);
+  for (int m = 0; m < 90; m += 7) {
+    counts[m] = 12.0;
+  }
+  const Dataset data = OneApp(counts, 30000.0, 10);
+  const ServingResult r = SimulateServing(data, ShortRun(90));
+  EXPECT_GE(r.total.allocated_gb_seconds, r.total.wasted_gb_seconds);
+  EXPECT_GE(r.total.invocations, r.total.cold_invocations);
+  EXPECT_GE(r.total.service_seconds, r.total.execution_seconds - 1e-9);
+}
+
+TEST(ServingStartMinuteTest, WindowSelectsTraceRegion) {
+  // All traffic in the second hour; replaying only the first hour sees none.
+  std::vector<double> counts(kMinutesPerDay, 0.0);
+  for (int m = 60; m < 120; ++m) {
+    counts[m] = 10.0;
+  }
+  Dataset data = OneApp({});
+  data.apps[0].minute_counts = counts;
+  ServingOptions first_hour = ShortRun(60);
+  const ServingResult none = SimulateServing(data, first_hour);
+  EXPECT_DOUBLE_EQ(none.total.invocations, 0.0);
+  ServingOptions second_hour = ShortRun(60);
+  second_hour.start_minute = 60;
+  const ServingResult some = SimulateServing(data, second_hour);
+  EXPECT_GT(some.total.invocations, 0.0);
+}
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,139 @@
+#include "src/sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace femux {
+namespace {
+
+std::vector<Invocation> Arrivals(std::initializer_list<std::int64_t> times_ms,
+                                 double exec_ms = 100.0) {
+  std::vector<Invocation> out;
+  for (std::int64_t t : times_ms) {
+    out.push_back({t, exec_ms, 0.0, false});
+  }
+  return out;
+}
+
+EventSimOptions Options() {
+  EventSimOptions options;
+  options.cold_start_ms = 1000.0;
+  options.memory_gb = 1.0;
+  return options;
+}
+
+TEST(EventSimTest, FirstInvocationIsAlwaysCold) {
+  FixedIdlePolicy policy(60000.0);
+  const SimMetrics m = SimulateEvents(Arrivals({0}), policy, Options());
+  EXPECT_DOUBLE_EQ(m.cold_starts, 1.0);
+  EXPECT_DOUBLE_EQ(m.cold_start_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(m.invocations, 1.0);
+}
+
+TEST(EventSimTest, WarmHitWithinKeepAlive) {
+  FixedIdlePolicy policy(60000.0);
+  // Second arrival 30 s after the first completes: inside the keep-alive.
+  const SimMetrics m = SimulateEvents(Arrivals({0, 30000}), policy, Options());
+  EXPECT_DOUBLE_EQ(m.cold_starts, 1.0);
+}
+
+TEST(EventSimTest, ColdAgainAfterKeepAliveExpires) {
+  FixedIdlePolicy policy(10000.0);
+  const SimMetrics m = SimulateEvents(Arrivals({0, 120000}), policy, Options());
+  EXPECT_DOUBLE_EQ(m.cold_starts, 2.0);
+}
+
+TEST(EventSimTest, ConcurrentArrivalsNeedSeparateContainers) {
+  FixedIdlePolicy policy(60000.0);
+  // Three arrivals within the execution time of each other.
+  const SimMetrics m =
+      SimulateEvents(Arrivals({0, 10, 20}, /*exec_ms=*/5000.0), policy, Options());
+  EXPECT_DOUBLE_EQ(m.cold_starts, 3.0);
+}
+
+TEST(EventSimTest, LongerKeepAliveWastesMoreMemory) {
+  const auto invocations = Arrivals({0, 300000, 600000});
+  FixedIdlePolicy short_ka(10000.0);
+  FixedIdlePolicy long_ka(600000.0);
+  const SimMetrics s = SimulateEvents(invocations, short_ka, Options());
+  const SimMetrics l = SimulateEvents(invocations, long_ka, Options());
+  EXPECT_GT(s.cold_starts, l.cold_starts);
+  EXPECT_GT(l.wasted_gb_seconds, s.wasted_gb_seconds);
+}
+
+TEST(EventSimTest, ServiceTimeIncludesColdWait) {
+  FixedIdlePolicy policy(60000.0);
+  const SimMetrics m = SimulateEvents(Arrivals({0}, 500.0), policy, Options());
+  EXPECT_DOUBLE_EQ(m.execution_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(m.service_seconds, 1.5);  // 1 s boot + 0.5 s execution.
+}
+
+TEST(HybridHistogramTest, FallbackBeforeEnoughObservations) {
+  HybridHistogramPolicy policy;
+  const IdleDecision d = policy.OnContainerIdle();
+  EXPECT_DOUBLE_EQ(d.keep_alive_ms, 10.0 * 60.0 * 1000.0);
+  EXPECT_LT(d.prewarm_after_ms, 0.0);
+}
+
+TEST(HybridHistogramTest, PredictableIdleTimesTriggerPrewarmWindow) {
+  HybridHistogramPolicy policy;
+  // 30-minute gaps, perfectly regular.
+  for (int i = 0; i < 50; ++i) {
+    policy.ObserveArrival(30.0 * 60000.0);
+  }
+  const IdleDecision d = policy.OnContainerIdle();
+  EXPECT_GE(d.prewarm_after_ms, 0.0);
+  EXPECT_LT(d.prewarm_after_ms, 31.0 * 60000.0);
+  EXPECT_GE(d.keep_alive_ms, d.prewarm_after_ms);
+}
+
+TEST(HybridHistogramTest, ErraticIdleTimesFallBackToTailKeepAlive) {
+  HybridHistogramPolicy::Options options;
+  options.predictable_cv = 0.5;
+  HybridHistogramPolicy policy(options);
+  // Wildly varying gaps: CV above the threshold.
+  for (int i = 0; i < 50; ++i) {
+    policy.ObserveArrival(i % 2 == 0 ? 1000.0 : 90.0 * 60000.0);
+  }
+  const IdleDecision d = policy.OnContainerIdle();
+  EXPECT_LT(d.prewarm_after_ms, 0.0);
+  EXPECT_GE(d.keep_alive_ms, 80.0 * 60000.0);  // ~p99 of the gaps.
+}
+
+TEST(HybridHistogramTest, PrewarmingBeatsFixedKeepAliveOnRegularTraffic) {
+  // Cron-like traffic: one invocation every 30 minutes for a day.
+  std::vector<Invocation> invocations;
+  for (int i = 0; i < 48; ++i) {
+    invocations.push_back({i * 30LL * 60000LL, 200.0, 0.0, false});
+  }
+  HybridHistogramPolicy histogram;
+  FixedIdlePolicy fixed(10.0 * 60000.0);  // 10-min keep-alive: always cold.
+  const SimMetrics h = SimulateEvents(invocations, histogram, Options());
+  const SimMetrics f = SimulateEvents(invocations, fixed, Options());
+  EXPECT_LT(h.cold_starts, f.cold_starts);
+  EXPECT_LT(h.wasted_gb_seconds, 0.7 * 35.0 * 60.0 * 48.0);  // Far below always-on.
+}
+
+TEST(SynthesizeArrivalsTest, CountsAndOrdering) {
+  AppTrace app;
+  app.mean_execution_ms = 100.0;
+  app.execution_sigma = 0.0;
+  app.minute_counts = {3.0, 0.0, 2.0};
+  const auto arrivals = SynthesizeArrivals(app, 1);
+  ASSERT_EQ(arrivals.size(), 5u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i].arrival_ms, arrivals[i - 1].arrival_ms);
+  }
+  // First three land in minute 0, last two in minute 2.
+  EXPECT_LT(arrivals[2].arrival_ms, 60000);
+  EXPECT_GE(arrivals[3].arrival_ms, 120000);
+  EXPECT_DOUBLE_EQ(arrivals[0].execution_ms, 100.0);
+}
+
+TEST(SynthesizeArrivalsTest, MaxMinutesTruncates) {
+  AppTrace app;
+  app.minute_counts = {1.0, 1.0, 1.0};
+  EXPECT_EQ(SynthesizeArrivals(app, 1, 2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,124 @@
+#include "src/sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "src/forecast/simple.h"
+#include "src/trace/ibm_generator.h"
+
+namespace femux {
+namespace {
+
+Dataset SmallDataset() {
+  IbmGeneratorOptions options;
+  options.num_apps = 20;
+  options.duration_days = 1;
+  options.detail_window_minutes = 0;
+  return GenerateIbmDataset(options);
+}
+
+TEST(DemandSeriesTest, MinuteEpochDividesByConcurrencyLimit) {
+  AppTrace app;
+  app.mean_execution_ms = 60000.0;  // Concurrency == count.
+  app.minute_counts = {100.0, 50.0};
+  app.config.container_concurrency = 100;
+  const auto demand = DemandSeries(app, 60.0);
+  ASSERT_EQ(demand.size(), 2u);
+  EXPECT_DOUBLE_EQ(demand[0], 1.0);
+  EXPECT_DOUBLE_EQ(demand[1], 0.5);
+}
+
+TEST(DemandSeriesTest, SubMinuteEpochsReplicateMinutes) {
+  AppTrace app;
+  app.mean_execution_ms = 60000.0;
+  app.minute_counts = {6.0};
+  app.config.container_concurrency = 1;
+  const auto demand = DemandSeries(app, 10.0);
+  ASSERT_EQ(demand.size(), 6u);
+  for (double d : demand) {
+    EXPECT_DOUBLE_EQ(d, 6.0);
+  }
+}
+
+TEST(DemandSeriesTest, CoarseEpochsAverageMinutes) {
+  AppTrace app;
+  app.mean_execution_ms = 60000.0;
+  app.minute_counts = {2.0, 4.0, 6.0, 8.0};
+  app.config.container_concurrency = 1;
+  const auto demand = DemandSeries(app, 120.0);
+  ASSERT_EQ(demand.size(), 2u);
+  EXPECT_DOUBLE_EQ(demand[0], 3.0);
+  EXPECT_DOUBLE_EQ(demand[1], 7.0);
+}
+
+TEST(ArrivalSeriesTest, SubMinuteSplitsCounts) {
+  AppTrace app;
+  app.minute_counts = {30.0};
+  const auto arrivals = ArrivalSeries(app, 10.0);
+  ASSERT_EQ(arrivals.size(), 6u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 5.0);
+}
+
+TEST(ArrivalSeriesTest, CoarseEpochsSumCounts) {
+  AppTrace app;
+  app.minute_counts = {10.0, 20.0, 30.0};
+  const auto arrivals = ArrivalSeries(app, 120.0);
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 30.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 30.0);
+}
+
+TEST(FleetTest, AggregatesPerAppMetrics) {
+  const Dataset data = SmallDataset();
+  ForecasterPolicy prototype(std::make_unique<MovingAverageForecaster>(1));
+  const FleetResult result = SimulateFleetUniform(data, prototype, SimOptions{});
+  ASSERT_EQ(result.per_app.size(), data.apps.size());
+  SimMetrics sum;
+  for (const SimMetrics& m : result.per_app) {
+    sum += m;
+  }
+  EXPECT_DOUBLE_EQ(sum.invocations, result.total.invocations);
+  EXPECT_DOUBLE_EQ(sum.wasted_gb_seconds, result.total.wasted_gb_seconds);
+  EXPECT_GT(result.total.invocations, 0.0);
+}
+
+TEST(FleetTest, DeterministicAcrossThreadCounts) {
+  const Dataset data = SmallDataset();
+  ForecasterPolicy prototype(std::make_unique<KeepAliveForecaster>(5));
+  const FleetResult serial = SimulateFleetUniform(data, prototype, SimOptions{},
+                                                  /*respect_app_min_scale=*/false,
+                                                  /*threads=*/1);
+  const FleetResult parallel = SimulateFleetUniform(data, prototype, SimOptions{},
+                                                    /*respect_app_min_scale=*/false,
+                                                    /*threads=*/8);
+  EXPECT_DOUBLE_EQ(serial.total.cold_starts, parallel.total.cold_starts);
+  EXPECT_DOUBLE_EQ(serial.total.wasted_gb_seconds, parallel.total.wasted_gb_seconds);
+}
+
+TEST(FleetTest, RespectingMinScaleReducesColdStartsAndAddsWaste) {
+  const Dataset data = SmallDataset();
+  ForecasterPolicy prototype(std::make_unique<MovingAverageForecaster>(1));
+  const FleetResult without =
+      SimulateFleetUniform(data, prototype, SimOptions{}, false);
+  const FleetResult with = SimulateFleetUniform(data, prototype, SimOptions{}, true);
+  EXPECT_LE(with.total.cold_starts, without.total.cold_starts);
+  EXPECT_GE(with.total.allocated_gb_seconds, without.total.allocated_gb_seconds);
+}
+
+TEST(FleetTest, PerAppPolicyFactoryReceivesIndices) {
+  const Dataset data = SmallDataset();
+  std::vector<int> seen(data.apps.size(), 0);
+  SimulateFleet(
+      data,
+      [&seen](int index) -> std::unique_ptr<ScalingPolicy> {
+        seen[index] = 1;
+        return std::make_unique<ForecasterPolicy>(
+            std::make_unique<MovingAverageForecaster>(1));
+      },
+      SimOptions{}, false, /*threads=*/1);
+  for (int s : seen) {
+    EXPECT_EQ(s, 1);
+  }
+}
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,56 @@
+#include "src/sim/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/forecast/fft_forecaster.h"
+#include "src/forecast/registry.h"
+#include "src/forecast/simple.h"
+
+namespace femux {
+namespace {
+
+TEST(ForecasterPolicyTest, MarginInflatesTarget) {
+  ForecasterPolicy plain(std::make_unique<MovingAverageForecaster>(1), 1.0);
+  ForecasterPolicy inflated(std::make_unique<MovingAverageForecaster>(1), 1.5);
+  const std::vector<double> history = {2.0, 4.0};
+  EXPECT_DOUBLE_EQ(plain.TargetUnits(history), 4.0);
+  EXPECT_DOUBLE_EQ(inflated.TargetUnits(history), 6.0);
+}
+
+TEST(ForecasterPolicyTest, EmptyHistoryTargetsZero) {
+  ForecasterPolicy policy(MakeForecasterByName("ar"));
+  EXPECT_DOUBLE_EQ(policy.TargetUnits({}), 0.0);
+}
+
+TEST(ForecasterPolicyTest, UsesForecasterPreferredHistory) {
+  // An FFT forecaster with a long preferred window must see beyond the
+  // 120-sample default: a 240-minute periodic signal is invisible in a
+  // 120-sample window but obvious in a 1440-sample one.
+  std::vector<double> history;
+  for (int i = 0; i < 1400; ++i) {
+    history.push_back(i % 240 < 120 ? 10.0 : 0.0);
+  }
+  // Sample 1400 sits mid-"low" phase (1400 % 240 = 200), so the next value
+  // continues low; mid-"high" (index 1300) continues high.
+  ForecasterPolicy wide(std::make_unique<FftForecaster>(10, 1, 1440));
+  EXPECT_LT(wide.TargetUnits(history), 5.0);
+  history.resize(1300);
+  ForecasterPolicy wide2(std::make_unique<FftForecaster>(10, 1, 1440));
+  EXPECT_GT(wide2.TargetUnits(history), 5.0);
+}
+
+TEST(ForecasterPolicyTest, CloneIsIndependent) {
+  ForecasterPolicy policy(MakeForecasterByName("exp_smoothing"), 2.0);
+  const auto clone = policy.Clone();
+  const std::vector<double> history(50, 3.0);
+  EXPECT_DOUBLE_EQ(policy.TargetUnits(history), clone->TargetUnits(history));
+  EXPECT_EQ(clone->name(), policy.name());
+}
+
+TEST(ForecasterPolicyTest, NameReflectsForecaster) {
+  ForecasterPolicy policy(MakeForecasterByName("markov_chain"));
+  EXPECT_EQ(policy.name(), "policy_markov_chain");
+}
+
+}  // namespace
+}  // namespace femux

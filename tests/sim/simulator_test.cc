@@ -1,0 +1,138 @@
+// Platform-simulator semantics: cold starts when demand beats provisioning,
+// waste when provisioning beats demand, min-scale floors, rate limits, and
+// the keep-alive override rules.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/forecast/simple.h"
+#include "src/sim/fleet.h"
+#include "src/sim/simulator.h"
+
+namespace femux {
+namespace {
+
+SimOptions MinuteOptions() {
+  SimOptions options;
+  options.epoch_seconds = 60.0;
+  options.memory_gb_per_unit = 1.0;  // 1 GB makes the math easy to read.
+  return options;
+}
+
+TEST(SimulatePlanTest, PerfectPlanHasNoColdStartsAndNoWaste) {
+  const std::vector<double> demand = {1.0, 2.0, 3.0, 2.0};
+  const SimMetrics m = SimulatePlan(demand, demand, demand, MinuteOptions());
+  EXPECT_DOUBLE_EQ(m.cold_starts, 0.0);
+  EXPECT_DOUBLE_EQ(m.wasted_gb_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(m.allocated_gb_seconds, (1 + 2 + 3 + 2) * 60.0);
+}
+
+TEST(SimulatePlanTest, UnderProvisioningColdStarts) {
+  const std::vector<double> demand = {2.0};
+  const std::vector<double> plan = {0.0};
+  const std::vector<double> arrivals = {10.0};
+  const SimMetrics m = SimulatePlan(demand, arrivals, plan, MinuteOptions());
+  EXPECT_DOUBLE_EQ(m.cold_starts, 2.0);
+  EXPECT_DOUBLE_EQ(m.cold_start_seconds, 2.0 * kDefaultColdStartSeconds);
+  EXPECT_DOUBLE_EQ(m.cold_invocations, 10.0);  // All arrivals hit cold units.
+  EXPECT_DOUBLE_EQ(m.invocations, 10.0);
+}
+
+TEST(SimulatePlanTest, OverProvisioningWastesMemory) {
+  const std::vector<double> demand = {1.0};
+  const std::vector<double> plan = {4.0};
+  const SimMetrics m = SimulatePlan(demand, demand, plan, MinuteOptions());
+  EXPECT_DOUBLE_EQ(m.cold_starts, 0.0);
+  EXPECT_DOUBLE_EQ(m.wasted_gb_seconds, 3.0 * 60.0);
+}
+
+TEST(SimulatePlanTest, FractionalDemandWastesIdleFraction) {
+  // 0.3 concurrency on 1 warm unit: 70 % of the unit-minute is idle.
+  const std::vector<double> demand = {0.3};
+  const std::vector<double> plan = {1.0};
+  const SimMetrics m = SimulatePlan(demand, demand, plan, MinuteOptions());
+  EXPECT_NEAR(m.wasted_gb_seconds, 0.7 * 60.0, 1e-9);
+}
+
+TEST(SimulatePlanTest, MinScaleKeepsFloor) {
+  SimOptions options = MinuteOptions();
+  options.min_scale = 2;
+  const std::vector<double> demand = {0.0, 0.0};
+  const std::vector<double> plan = {0.0, 0.0};
+  const SimMetrics m = SimulatePlan(demand, demand, plan, options);
+  EXPECT_DOUBLE_EQ(m.allocated_gb_seconds, 2.0 * 120.0);
+  EXPECT_DOUBLE_EQ(m.cold_starts, 0.0);
+}
+
+TEST(SimulatePlanTest, ColdStartedUnitsLiveToEpochEnd) {
+  // Epoch 0: plan 0, demand 2 -> 2 cold units, alive for the whole epoch.
+  // Their idle time within the epoch is not billed (they are busy), but
+  // epoch 1 with plan 2 inherits them warm -> no new cold starts.
+  const std::vector<double> demand = {2.0, 2.0};
+  const std::vector<double> plan = {0.0, 2.0};
+  const SimMetrics m = SimulatePlan(demand, demand, plan, MinuteOptions());
+  EXPECT_DOUBLE_EQ(m.cold_starts, 2.0);
+}
+
+TEST(SimulatePlanTest, ScaleUpRateLimitedAboveThreshold) {
+  SimOptions options = MinuteOptions();
+  options.scale_limit_threshold = 10.0;
+  options.scale_step_per_minute = 5.0;
+  // Warm pool starts at 0; first epoch demands 50 with plan 50: plan jumps
+  // from 0 (below threshold) -> allowed. Second epoch plan 100 from warm 50
+  // (above threshold) -> only +5 predictively; demand 100 forces cold
+  // starts, also capped at the ramp.
+  const std::vector<double> demand = {50.0, 100.0};
+  const std::vector<double> plan = {50.0, 100.0};
+  std::vector<EpochRecord> records;
+  const SimMetrics m = SimulatePlan(demand, demand, plan, options, &records);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[0].provisioned_units, 50.0);
+  // 50 + 5 predictive + 5 reactive (rate-limited cold starts).
+  EXPECT_DOUBLE_EQ(records[1].provisioned_units, 60.0);
+  EXPECT_DOUBLE_EQ(m.cold_starts, 5.0);
+}
+
+TEST(SimulateAppTest, ReactivePolicyLagsDemand) {
+  // Knative-style reactive policy: provision last epoch's demand. A demand
+  // step from 0 to 3 must cold-start 3 units exactly once.
+  const std::vector<double> demand = {0.0, 3.0, 3.0, 3.0};
+  ForecasterPolicy policy(std::make_unique<MovingAverageForecaster>(1));
+  const SimMetrics m = SimulateApp(demand, demand, policy, MinuteOptions());
+  EXPECT_DOUBLE_EQ(m.cold_starts, 3.0);
+}
+
+TEST(SimulateAppTest, KeepAlivePolicyAvoidsRepeatColdStarts) {
+  // Intermittent demand with a 5-minute keep-alive: only the first burst
+  // cold-starts; later bursts within the window find warm units.
+  std::vector<double> demand(12, 0.0);
+  demand[1] = demand[4] = demand[7] = demand[10] = 1.0;
+  ForecasterPolicy keep_alive(std::make_unique<KeepAliveForecaster>(5));
+  const SimMetrics ka = SimulateApp(demand, demand, keep_alive, MinuteOptions());
+
+  ForecasterPolicy reactive(std::make_unique<MovingAverageForecaster>(1));
+  const SimMetrics re = SimulateApp(demand, demand, reactive, MinuteOptions());
+
+  EXPECT_LT(ka.cold_starts, re.cold_starts);
+  EXPECT_GT(ka.wasted_gb_seconds, re.wasted_gb_seconds);
+}
+
+TEST(MetricsTest, AdditionAggregates) {
+  SimMetrics a;
+  a.invocations = 10;
+  a.cold_starts = 1;
+  SimMetrics b;
+  b.invocations = 20;
+  b.cold_invocations = 2;
+  const SimMetrics c = a + b;
+  EXPECT_DOUBLE_EQ(c.invocations, 30.0);
+  EXPECT_DOUBLE_EQ(c.cold_starts, 1.0);
+  EXPECT_DOUBLE_EQ(c.ColdStartPercent(), 100.0 * 2.0 / 30.0);
+}
+
+TEST(MetricsTest, ColdPercentZeroWhenIdle) {
+  EXPECT_DOUBLE_EQ(SimMetrics{}.ColdStartPercent(), 0.0);
+}
+
+}  // namespace
+}  // namespace femux

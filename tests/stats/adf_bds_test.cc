@@ -1,0 +1,114 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/adf.h"
+#include "src/stats/bds.h"
+#include "src/stats/rng.h"
+
+namespace femux {
+namespace {
+
+std::vector<double> WhiteNoise(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = rng.Normal(0.0, 1.0);
+  }
+  return v;
+}
+
+std::vector<double> RandomWalk(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double acc = 0.0;
+  for (double& x : v) {
+    acc += rng.Normal(0.0, 1.0);
+    x = acc;
+  }
+  return v;
+}
+
+TEST(AdfTest, WhiteNoiseIsStationary) {
+  const AdfResult r = AdfTest(WhiteNoise(504, 1));
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.stationary);
+  EXPECT_LT(r.statistic, r.critical_value_5);
+}
+
+TEST(AdfTest, RandomWalkIsNotStationary) {
+  const AdfResult r = AdfTest(RandomWalk(504, 2));
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.stationary);
+}
+
+TEST(AdfTest, Ar1IsStationary) {
+  Rng rng(3);
+  std::vector<double> v(504);
+  double prev = 0.0;
+  for (double& x : v) {
+    prev = 0.6 * prev + rng.Normal(0.0, 1.0);
+    x = prev;
+  }
+  const AdfResult r = AdfTest(v);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.stationary);
+}
+
+TEST(AdfTest, ConstantSeriesIsStationary) {
+  const std::vector<double> v(200, 4.0);
+  const AdfResult r = AdfTest(v);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.stationary);
+}
+
+TEST(AdfTest, TooShortSeriesNotOk) {
+  EXPECT_FALSE(AdfTest(WhiteNoise(8, 4)).ok);
+}
+
+TEST(BdsTest, IidNoiseAcceptedAsIid) {
+  const BdsResult r = BdsTest(WhiteNoise(504, 5));
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.iid) << "statistic=" << r.statistic;
+}
+
+TEST(BdsTest, NonlinearMapRejected) {
+  // Logistic map: deterministic nonlinear structure, classic BDS target.
+  std::vector<double> v(504);
+  double x = 0.3123;
+  for (double& value : v) {
+    x = 3.9 * x * (1.0 - x);
+    value = x;
+  }
+  const BdsResult r = BdsTest(v);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.iid);
+  EXPECT_GT(std::abs(r.statistic), 5.0);
+}
+
+TEST(BdsTest, ConstantSeriesIsTriviallyIid) {
+  const BdsResult r = BdsTest(std::vector<double>(504, 2.0));
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.iid);
+}
+
+TEST(BdsTest, ShortSeriesNotOk) {
+  EXPECT_FALSE(BdsTest(WhiteNoise(30, 6)).ok);
+}
+
+// The BDS false-positive rate on iid data should be modest across seeds.
+class BdsCalibrationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BdsCalibrationTest, StatisticIsBoundedOnIidData) {
+  const BdsResult r = BdsTest(WhiteNoise(450, 100 + GetParam()));
+  ASSERT_TRUE(r.ok);
+  // |z| < 4 is a loose bound: size distortion of the finite-sample BDS
+  // statistic is known, but gross blowups indicate an implementation bug.
+  EXPECT_LT(std::abs(r.statistic), 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BdsCalibrationTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,115 @@
+#include "src/stats/descriptive.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace femux {
+namespace {
+
+TEST(DescriptiveTest, MeanOfKnownValues) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+}
+
+TEST(DescriptiveTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(DescriptiveTest, VarianceUsesSampleDenominator) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance is 4; sample variance is 32/7.
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(DescriptiveTest, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{42.0}), 0.0);
+}
+
+TEST(DescriptiveTest, CoefficientOfVariationMatchesDefinition) {
+  const std::vector<double> v = {1.0, 3.0};
+  EXPECT_NEAR(CoefficientOfVariation(v), StdDev(v) / 2.0, 1e-12);
+}
+
+TEST(DescriptiveTest, CoefficientOfVariationZeroMean) {
+  const std::vector<double> v = {-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(v), 0.0);
+}
+
+TEST(DescriptiveTest, QuantileInterpolates) {
+  const std::vector<double> v = {3.0, 1.0, 2.0, 4.0};  // Unsorted on purpose.
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+}
+
+TEST(DescriptiveTest, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(DescriptiveTest, FractionBelowCountsStrictly) {
+  const std::vector<double> v = {1.0, 2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 10.0), 1.0);
+}
+
+TEST(DescriptiveTest, AutocorrelationOfAlternatingSeriesIsNegative) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EXPECT_LT(Autocorrelation(v, 1), -0.9);
+  EXPECT_GT(Autocorrelation(v, 2), 0.9);
+}
+
+TEST(DescriptiveTest, AutocorrelationOfConstantIsZero) {
+  const std::vector<double> v(50, 3.0);
+  EXPECT_DOUBLE_EQ(Autocorrelation(v, 1), 0.0);
+}
+
+TEST(DescriptiveTest, DiffProducesFirstDifferences) {
+  const std::vector<double> v = {1.0, 4.0, 2.0};
+  const std::vector<double> d = Diff(v);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], -2.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats stats;
+  for (double x : v) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), v.size());
+  EXPECT_NEAR(stats.mean(), Mean(v), 1e-12);
+  EXPECT_NEAR(stats.variance(), Variance(v), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+// Property sweep: quantile is monotone in q for arbitrary data.
+class QuantileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneInQ) {
+  std::vector<double> v;
+  // Deterministic pseudo-random data derived from the parameter.
+  unsigned state = static_cast<unsigned>(GetParam()) * 2654435761u + 1u;
+  for (int i = 0; i < 57; ++i) {
+    state = state * 1664525u + 1013904223u;
+    v.push_back(static_cast<double>(state % 1000) / 10.0);
+  }
+  double prev = Quantile(v, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = Quantile(v, q);
+    EXPECT_GE(cur, prev - 1e-12) << "q=" << q;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace femux

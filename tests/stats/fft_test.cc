@@ -1,0 +1,127 @@
+#include "src/stats/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace femux {
+namespace {
+
+std::vector<double> Sinusoid(std::size_t n, double cycles, double amplitude,
+                             double offset) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = offset + amplitude * std::sin(2.0 * std::numbers::pi * cycles *
+                                         static_cast<double>(i) / static_cast<double>(n));
+  }
+  return v;
+}
+
+TEST(FftTest, RoundTripPowerOfTwo) {
+  std::vector<std::complex<double>> x;
+  for (int i = 0; i < 16; ++i) {
+    x.emplace_back(static_cast<double>(i), static_cast<double>(-i));
+  }
+  const auto back = InverseFft(Fft(x));
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-9);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, RoundTripArbitraryLength) {
+  std::vector<std::complex<double>> x;
+  for (int i = 0; i < 120; ++i) {  // Non-power-of-two: Bluestein path.
+    x.emplace_back(std::cos(0.3 * i), std::sin(0.1 * i));
+  }
+  const auto back = InverseFft(Fft(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-8);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-8);
+  }
+}
+
+TEST(FftTest, DcComponentOfConstantSignal) {
+  const std::vector<double> x(64, 5.0);
+  const auto spectrum = FftReal(x);
+  EXPECT_NEAR(spectrum[0].real(), 5.0 * 64, 1e-9);
+  for (std::size_t bin = 1; bin < 64; ++bin) {
+    EXPECT_NEAR(std::abs(spectrum[bin]), 0.0, 1e-9);
+  }
+}
+
+TEST(TopHarmonicsTest, FindsDominantFrequency) {
+  const auto x = Sinusoid(128, 4.0, 2.0, 10.0);
+  const auto harmonics = TopHarmonics(x, 2);
+  ASSERT_EQ(harmonics.size(), 2u);
+  // DC (offset 10) has the largest amplitude; bin 4 next with amplitude 2.
+  EXPECT_EQ(harmonics[0].bin, 0u);
+  EXPECT_NEAR(harmonics[0].amplitude, 10.0, 1e-9);
+  EXPECT_EQ(harmonics[1].bin, 4u);
+  EXPECT_NEAR(harmonics[1].amplitude, 2.0, 1e-9);
+}
+
+TEST(TopHarmonicsTest, ReconstructionExtrapolatesPeriodicSignal) {
+  const std::size_t n = 120;
+  const auto x = Sinusoid(n, 5.0, 3.0, 7.0);
+  const auto harmonics = TopHarmonics(x, 5);
+  // The harmonic model evaluated beyond the window must track the periodic
+  // extension of the signal (period divides the window length).
+  for (std::size_t t = n; t < n + 24; ++t) {
+    const double expected = 7.0 + 3.0 * std::sin(2.0 * std::numbers::pi * 5.0 *
+                                                 static_cast<double>(t) /
+                                                 static_cast<double>(n));
+    EXPECT_NEAR(EvaluateHarmonics(harmonics, static_cast<double>(t), n), expected, 0.05);
+  }
+}
+
+TEST(SpectralConcentrationTest, PeriodicSignalNearOne) {
+  const auto x = Sinusoid(504, 6.0, 1.0, 2.0);
+  EXPECT_GT(SpectralConcentration(x, 10), 0.99);
+}
+
+TEST(SpectralConcentrationTest, WhiteNoiseLow) {
+  std::vector<double> x(504);
+  unsigned state = 12345u;
+  for (double& v : x) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<double>(state % 1000) / 1000.0;
+  }
+  // Top 10 of ~252 bins captures only a modest share of white-noise energy.
+  EXPECT_LT(SpectralConcentration(x, 10), 0.4);
+}
+
+TEST(SpectralConcentrationTest, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(SpectralConcentration(std::vector<double>{}, 10), 0.0);
+  EXPECT_DOUBLE_EQ(SpectralConcentration(std::vector<double>(504, 1.0), 10), 0.0);
+}
+
+// Property: Parseval's theorem holds across sizes (both FFT paths).
+class ParsevalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParsevalTest, EnergyPreserved) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  std::vector<double> x(n);
+  unsigned state = static_cast<unsigned>(n) * 7919u;
+  double time_energy = 0.0;
+  for (double& v : x) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<double>(state % 200) / 100.0 - 1.0;
+    time_energy += v * v;
+  }
+  const auto spectrum = FftReal(x);
+  double freq_energy = 0.0;
+  for (const auto& c : spectrum) {
+    freq_energy += std::norm(c);
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-6 * time_energy + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParsevalTest,
+                         ::testing::Values(8, 16, 60, 100, 120, 128, 504, 977));
+
+}  // namespace
+}  // namespace femux

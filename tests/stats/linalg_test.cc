@@ -1,0 +1,110 @@
+#include "src/stats/linalg.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace femux {
+namespace {
+
+TEST(MatrixTest, TransposeSwapsIndices) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.Transposed();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a(2, 3, {1, 0, 2, 0, 1, -1});
+  const std::vector<double> v = {3.0, 4.0, 5.0};
+  const std::vector<double> out = a.Multiply(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 13.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(CholeskySolveTest, SolvesSpdSystem) {
+  // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5].
+  Matrix a(2, 2, {4, 2, 2, 3});
+  const std::vector<double> x = CholeskySolve(a, {10.0, 8.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.75, 1e-10);
+  EXPECT_NEAR(x[1], 1.5, 1e-10);
+}
+
+TEST(CholeskySolveTest, RecoversFromNearSingularWithJitter) {
+  // Rank-deficient matrix: jitter should still produce a finite solution.
+  Matrix a(2, 2, {1, 1, 1, 1});
+  const std::vector<double> x = CholeskySolve(a, {2.0, 2.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_TRUE(std::isfinite(x[0]));
+  EXPECT_TRUE(std::isfinite(x[1]));
+  // The jittered solution still approximately satisfies A x = b.
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+TEST(GaussianSolveTest, SolvesGeneralSystem) {
+  Matrix a(3, 3, {2, 1, -1, -3, -1, 2, -2, 1, 2});
+  const std::vector<double> x = GaussianSolve(a, {8.0, -11.0, -3.0});
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+  EXPECT_NEAR(x[2], -1.0, 1e-10);
+}
+
+TEST(GaussianSolveTest, SingularReturnsEmpty) {
+  Matrix a(2, 2, {1, 2, 2, 4});
+  EXPECT_TRUE(GaussianSolve(a, {1.0, 2.0}).empty());
+}
+
+TEST(DotTest, ComputesInnerProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+}
+
+// Property: Cholesky solution satisfies the original system for random SPD
+// matrices A = B^T B + I.
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, ResidualIsSmall) {
+  const int n = 4;
+  unsigned state = static_cast<unsigned>(GetParam()) * 97u + 13u;
+  Matrix b(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      state = state * 1664525u + 1013904223u;
+      b(r, c) = static_cast<double>(state % 2000) / 1000.0 - 1.0;
+    }
+  }
+  Matrix a = b.Transposed().Multiply(b);
+  for (int i = 0; i < n; ++i) {
+    a(i, i) += 1.0;
+  }
+  std::vector<double> rhs(n);
+  for (int i = 0; i < n; ++i) {
+    state = state * 1664525u + 1013904223u;
+    rhs[i] = static_cast<double>(state % 100);
+  }
+  const std::vector<double> x = CholeskySolve(a, rhs);
+  const std::vector<double> ax = a.Multiply(x);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[i], rhs[i], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace femux

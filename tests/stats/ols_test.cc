@@ -1,0 +1,86 @@
+#include "src/stats/ols.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace femux {
+namespace {
+
+TEST(OlsTest, RecoversExactLinearRelation) {
+  // y = 2 + 3x, noiseless.
+  const int n = 20;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = static_cast<double>(i);
+    y[i] = 2.0 + 3.0 * static_cast<double>(i);
+  }
+  const OlsResult fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-8);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-8);
+  EXPECT_NEAR(fit.sigma2, 0.0, 1e-10);
+  for (double r : fit.residuals) {
+    EXPECT_NEAR(r, 0.0, 1e-8);
+  }
+}
+
+TEST(OlsTest, ResidualsOrthogonalToDesign) {
+  const int n = 50;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  unsigned state = 7u;
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    for (int c = 1; c < 3; ++c) {
+      state = state * 1664525u + 1013904223u;
+      x(i, c) = static_cast<double>(state % 1000) / 100.0;
+    }
+    state = state * 1664525u + 1013904223u;
+    y[i] = x(i, 1) - 0.5 * x(i, 2) + static_cast<double>(state % 100) / 50.0;
+  }
+  const OlsResult fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok);
+  for (int c = 0; c < 3; ++c) {
+    double dot = 0.0;
+    for (int i = 0; i < n; ++i) {
+      dot += x(i, c) * fit.residuals[i];
+    }
+    EXPECT_NEAR(dot, 0.0, 1e-6);
+  }
+}
+
+TEST(OlsTest, TStatLargeForStrongSignal) {
+  const int n = 100;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  unsigned state = 3u;
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = static_cast<double>(i) / 10.0;
+    state = state * 1664525u + 1013904223u;
+    const double noise = (static_cast<double>(state % 100) - 49.5) / 200.0;
+    y[i] = 1.0 + 5.0 * x(i, 1) + noise;
+  }
+  const OlsResult fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_GT(fit.TStat(1), 20.0);
+}
+
+TEST(OlsTest, RejectsUnderdeterminedSystem) {
+  Matrix x(2, 3);
+  const OlsResult fit = FitOls(x, {1.0, 2.0});
+  EXPECT_FALSE(fit.ok);
+}
+
+TEST(OlsTest, RejectsMismatchedLengths) {
+  Matrix x(5, 2);
+  const OlsResult fit = FitOls(x, {1.0, 2.0});
+  EXPECT_FALSE(fit.ok);
+}
+
+}  // namespace
+}  // namespace femux

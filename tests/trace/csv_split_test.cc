@@ -1,0 +1,117 @@
+// CSV round-trip and dataset splitting/sampling tests.
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/csv_io.h"
+#include "src/trace/ibm_generator.h"
+#include "src/trace/split.h"
+
+namespace femux {
+namespace {
+
+Dataset SmallDataset() {
+  IbmGeneratorOptions options;
+  options.num_apps = 12;
+  options.duration_days = 1;
+  options.detail_window_minutes = 0;
+  return GenerateIbmDataset(options);
+}
+
+TEST(CsvIoTest, RoundTripPreservesDataset) {
+  const Dataset original = SmallDataset();
+  std::stringstream configs;
+  std::stringstream counts;
+  WriteDatasetCsv(original, configs, counts);
+  const Dataset loaded = ReadDatasetCsv(configs, counts);
+
+  ASSERT_EQ(loaded.apps.size(), original.apps.size());
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.duration_days, original.duration_days);
+  for (std::size_t i = 0; i < original.apps.size(); ++i) {
+    const AppTrace& a = original.apps[i];
+    const AppTrace& b = loaded.apps[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.minute_counts, b.minute_counts);
+    EXPECT_DOUBLE_EQ(a.config.cpu_vcpu, b.config.cpu_vcpu);
+    EXPECT_DOUBLE_EQ(a.config.memory_gb, b.config.memory_gb);
+    EXPECT_EQ(a.config.container_concurrency, b.config.container_concurrency);
+    EXPECT_EQ(a.config.min_scale, b.config.min_scale);
+    EXPECT_EQ(a.config.image, b.config.image);
+    EXPECT_EQ(a.config.workload, b.config.workload);
+    EXPECT_DOUBLE_EQ(a.mean_execution_ms, b.mean_execution_ms);
+    EXPECT_DOUBLE_EQ(a.consumed_memory_mb, b.consumed_memory_mb);
+  }
+}
+
+TEST(CsvIoTest, MalformedConfigRowReturnsEmpty) {
+  std::stringstream configs("# dataset=x duration_days=1\nheader\nbad,row\n");
+  std::stringstream counts("bad,1,2\n");
+  const Dataset loaded = ReadDatasetCsv(configs, counts);
+  EXPECT_TRUE(loaded.apps.empty());
+}
+
+TEST(CsvIoTest, MismatchedCountsIdReturnsEmpty) {
+  const Dataset original = SmallDataset();
+  std::stringstream configs;
+  std::stringstream counts;
+  WriteDatasetCsv(original, configs, counts);
+  std::string counts_text = counts.str();
+  counts_text[0] = 'X';  // Corrupt the first app id.
+  std::stringstream bad_counts(counts_text);
+  EXPECT_TRUE(ReadDatasetCsv(configs, bad_counts).apps.empty());
+}
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  const Dataset data = SmallDataset();
+  const DatasetSplit split = SplitDataset(data, 1);
+  std::set<int> all;
+  for (const auto* part : {&split.train, &split.validation, &split.test}) {
+    for (int idx : *part) {
+      EXPECT_TRUE(all.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(all.size(), data.apps.size());
+  // 35/35/30 split.
+  EXPECT_NEAR(static_cast<double>(split.test.size()) / data.apps.size(), 0.3, 0.15);
+}
+
+TEST(SplitTest, DeterministicForSameSeed) {
+  const Dataset data = SmallDataset();
+  EXPECT_EQ(SplitDataset(data, 9).train, SplitDataset(data, 9).train);
+}
+
+TEST(SampleRepresentativeTest, ReturnsRequestedCountFromPool) {
+  const Dataset data = SmallDataset();
+  std::vector<int> pool;
+  for (int i = 0; i < static_cast<int>(data.apps.size()); ++i) {
+    pool.push_back(i);
+  }
+  const std::vector<int> sample = SampleRepresentative(data, pool, 5);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), sample.size());
+  for (int idx : sample) {
+    EXPECT_TRUE(std::find(pool.begin(), pool.end(), idx) != pool.end());
+  }
+}
+
+TEST(SampleRepresentativeTest, PoolSmallerThanCount) {
+  const Dataset data = SmallDataset();
+  const std::vector<int> pool = {0, 1, 2};
+  EXPECT_EQ(SampleRepresentative(data, pool, 10).size(), 3u);
+}
+
+TEST(SubsetTest, MaterializesSelectedApps) {
+  const Dataset data = SmallDataset();
+  const Dataset sub = Subset(data, {2, 0});
+  ASSERT_EQ(sub.apps.size(), 2u);
+  EXPECT_EQ(sub.apps[0].id, data.apps[2].id);
+  EXPECT_EQ(sub.apps[1].id, data.apps[0].id);
+  EXPECT_EQ(sub.duration_days, data.duration_days);
+}
+
+}  // namespace
+}  // namespace femux
