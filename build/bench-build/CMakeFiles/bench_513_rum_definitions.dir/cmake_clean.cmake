@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_513_rum_definitions"
+  "../bench/bench_513_rum_definitions.pdb"
+  "CMakeFiles/bench_513_rum_definitions.dir/bench_513_rum_definitions.cc.o"
+  "CMakeFiles/bench_513_rum_definitions.dir/bench_513_rum_definitions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_513_rum_definitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

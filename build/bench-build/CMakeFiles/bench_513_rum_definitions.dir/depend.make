@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_513_rum_definitions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appc_block_size"
+  "../bench/bench_appc_block_size.pdb"
+  "CMakeFiles/bench_appc_block_size.dir/bench_appc_block_size.cc.o"
+  "CMakeFiles/bench_appc_block_size.dir/bench_appc_block_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appc_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c1_metric_disagreement"
+  "../bench/bench_c1_metric_disagreement.pdb"
+  "CMakeFiles/bench_c1_metric_disagreement.dir/bench_c1_metric_disagreement.cc.o"
+  "CMakeFiles/bench_c1_metric_disagreement.dir/bench_c1_metric_disagreement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_metric_disagreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

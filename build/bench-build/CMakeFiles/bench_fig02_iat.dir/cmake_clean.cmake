@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_iat"
+  "../bench/bench_fig02_iat.pdb"
+  "CMakeFiles/bench_fig02_iat.dir/bench_fig02_iat.cc.o"
+  "CMakeFiles/bench_fig02_iat.dir/bench_fig02_iat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_iat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_exec_variability"
+  "../bench/bench_fig04_exec_variability.pdb"
+  "CMakeFiles/bench_fig04_exec_variability.dir/bench_fig04_exec_variability.cc.o"
+  "CMakeFiles/bench_fig04_exec_variability.dir/bench_fig04_exec_variability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_exec_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_configs"
+  "../bench/bench_fig07_configs.pdb"
+  "CMakeFiles/bench_fig07_configs.dir/bench_fig07_configs.cc.o"
+  "CMakeFiles/bench_fig07_configs.dir/bench_fig07_configs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_per_class"
+  "../bench/bench_fig08_per_class.pdb"
+  "CMakeFiles/bench_fig08_per_class.dir/bench_fig08_per_class.cc.o"
+  "CMakeFiles/bench_fig08_per_class.dir/bench_fig08_per_class.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_per_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_aquatope"
+  "../bench/bench_fig11_aquatope.pdb"
+  "CMakeFiles/bench_fig11_aquatope.dir/bench_fig11_aquatope.cc.o"
+  "CMakeFiles/bench_fig11_aquatope.dir/bench_fig11_aquatope.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_aquatope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_faascache"
+  "../bench/bench_fig11_faascache.pdb"
+  "CMakeFiles/bench_fig11_faascache.dir/bench_fig11_faascache.cc.o"
+  "CMakeFiles/bench_fig11_faascache.dir/bench_fig11_faascache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_faascache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

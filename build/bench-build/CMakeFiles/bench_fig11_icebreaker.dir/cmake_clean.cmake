@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_icebreaker"
+  "../bench/bench_fig11_icebreaker.pdb"
+  "CMakeFiles/bench_fig11_icebreaker.dir/bench_fig11_icebreaker.cc.o"
+  "CMakeFiles/bench_fig11_icebreaker.dir/bench_fig11_icebreaker.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_icebreaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_multi_tier"
+  "../bench/bench_fig12_multi_tier.pdb"
+  "CMakeFiles/bench_fig12_multi_tier.dir/bench_fig12_multi_tier.cc.o"
+  "CMakeFiles/bench_fig12_multi_tier.dir/bench_fig12_multi_tier.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_multi_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

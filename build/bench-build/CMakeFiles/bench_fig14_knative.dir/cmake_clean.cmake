@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_knative"
+  "../bench/bench_fig14_knative.pdb"
+  "CMakeFiles/bench_fig14_knative.dir/bench_fig14_knative.cc.o"
+  "CMakeFiles/bench_fig14_knative.dir/bench_fig14_knative.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_knative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_dataset_compare"
+  "../bench/bench_fig15_dataset_compare.pdb"
+  "CMakeFiles/bench_fig15_dataset_compare.dir/bench_fig15_dataset_compare.cc.o"
+  "CMakeFiles/bench_fig15_dataset_compare.dir/bench_fig15_dataset_compare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dataset_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_long_traces"
+  "../bench/bench_fig16_long_traces.pdb"
+  "CMakeFiles/bench_fig16_long_traces.dir/bench_fig16_long_traces.cc.o"
+  "CMakeFiles/bench_fig16_long_traces.dir/bench_fig16_long_traces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_long_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_vs_individual"
+  "../bench/bench_fig17_vs_individual.pdb"
+  "CMakeFiles/bench_fig17_vs_individual.dir/bench_fig17_vs_individual.cc.o"
+  "CMakeFiles/bench_fig17_vs_individual.dir/bench_fig17_vs_individual.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_vs_individual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

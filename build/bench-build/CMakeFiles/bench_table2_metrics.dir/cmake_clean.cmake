@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_metrics"
+  "../bench/bench_table2_metrics.pdb"
+  "CMakeFiles/bench_table2_metrics.dir/bench_table2_metrics.cc.o"
+  "CMakeFiles/bench_table2_metrics.dir/bench_table2_metrics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_trace.dir/characterize_trace.cpp.o"
+  "CMakeFiles/characterize_trace.dir/characterize_trace.cpp.o.d"
+  "characterize_trace"
+  "characterize_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_forecaster.dir/custom_forecaster.cpp.o"
+  "CMakeFiles/custom_forecaster.dir/custom_forecaster.cpp.o.d"
+  "custom_forecaster"
+  "custom_forecaster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_forecaster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knative_deployment.dir/knative_deployment.cpp.o"
+  "CMakeFiles/knative_deployment.dir/knative_deployment.cpp.o.d"
+  "knative_deployment"
+  "knative_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knative_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

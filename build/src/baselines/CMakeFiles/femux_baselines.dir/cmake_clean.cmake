@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femux_baselines.dir/baselines.cc.o"
+  "CMakeFiles/femux_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/femux_baselines.dir/faascache.cc.o"
+  "CMakeFiles/femux_baselines.dir/faascache.cc.o.d"
+  "libfemux_baselines.a"
+  "libfemux_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femux_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

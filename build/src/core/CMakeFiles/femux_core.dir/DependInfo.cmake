@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/femux_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/femux_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/femux_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/femux_core.dir/features.cc.o.d"
+  "/root/repo/src/core/femux.cc" "src/core/CMakeFiles/femux_core.dir/femux.cc.o" "gcc" "src/core/CMakeFiles/femux_core.dir/femux.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/femux_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/femux_core.dir/model.cc.o.d"
+  "/root/repo/src/core/rum.cc" "src/core/CMakeFiles/femux_core.dir/rum.cc.o" "gcc" "src/core/CMakeFiles/femux_core.dir/rum.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/femux_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/femux_core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/femux_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/femux_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/femux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/femux_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/femux_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/femux_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

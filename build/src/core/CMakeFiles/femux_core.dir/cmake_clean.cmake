@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femux_core.dir/classifier.cc.o"
+  "CMakeFiles/femux_core.dir/classifier.cc.o.d"
+  "CMakeFiles/femux_core.dir/features.cc.o"
+  "CMakeFiles/femux_core.dir/features.cc.o.d"
+  "CMakeFiles/femux_core.dir/femux.cc.o"
+  "CMakeFiles/femux_core.dir/femux.cc.o.d"
+  "CMakeFiles/femux_core.dir/model.cc.o"
+  "CMakeFiles/femux_core.dir/model.cc.o.d"
+  "CMakeFiles/femux_core.dir/rum.cc.o"
+  "CMakeFiles/femux_core.dir/rum.cc.o.d"
+  "CMakeFiles/femux_core.dir/serialize.cc.o"
+  "CMakeFiles/femux_core.dir/serialize.cc.o.d"
+  "CMakeFiles/femux_core.dir/trainer.cc.o"
+  "CMakeFiles/femux_core.dir/trainer.cc.o.d"
+  "libfemux_core.a"
+  "libfemux_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femux_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

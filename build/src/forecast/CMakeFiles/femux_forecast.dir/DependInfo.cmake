@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/ar.cc" "src/forecast/CMakeFiles/femux_forecast.dir/ar.cc.o" "gcc" "src/forecast/CMakeFiles/femux_forecast.dir/ar.cc.o.d"
+  "/root/repo/src/forecast/arima.cc" "src/forecast/CMakeFiles/femux_forecast.dir/arima.cc.o" "gcc" "src/forecast/CMakeFiles/femux_forecast.dir/arima.cc.o.d"
+  "/root/repo/src/forecast/fft_forecaster.cc" "src/forecast/CMakeFiles/femux_forecast.dir/fft_forecaster.cc.o" "gcc" "src/forecast/CMakeFiles/femux_forecast.dir/fft_forecaster.cc.o.d"
+  "/root/repo/src/forecast/forecaster.cc" "src/forecast/CMakeFiles/femux_forecast.dir/forecaster.cc.o" "gcc" "src/forecast/CMakeFiles/femux_forecast.dir/forecaster.cc.o.d"
+  "/root/repo/src/forecast/lstm.cc" "src/forecast/CMakeFiles/femux_forecast.dir/lstm.cc.o" "gcc" "src/forecast/CMakeFiles/femux_forecast.dir/lstm.cc.o.d"
+  "/root/repo/src/forecast/markov.cc" "src/forecast/CMakeFiles/femux_forecast.dir/markov.cc.o" "gcc" "src/forecast/CMakeFiles/femux_forecast.dir/markov.cc.o.d"
+  "/root/repo/src/forecast/registry.cc" "src/forecast/CMakeFiles/femux_forecast.dir/registry.cc.o" "gcc" "src/forecast/CMakeFiles/femux_forecast.dir/registry.cc.o.d"
+  "/root/repo/src/forecast/simple.cc" "src/forecast/CMakeFiles/femux_forecast.dir/simple.cc.o" "gcc" "src/forecast/CMakeFiles/femux_forecast.dir/simple.cc.o.d"
+  "/root/repo/src/forecast/smoothing.cc" "src/forecast/CMakeFiles/femux_forecast.dir/smoothing.cc.o" "gcc" "src/forecast/CMakeFiles/femux_forecast.dir/smoothing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/femux_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femux_forecast.dir/ar.cc.o"
+  "CMakeFiles/femux_forecast.dir/ar.cc.o.d"
+  "CMakeFiles/femux_forecast.dir/arima.cc.o"
+  "CMakeFiles/femux_forecast.dir/arima.cc.o.d"
+  "CMakeFiles/femux_forecast.dir/fft_forecaster.cc.o"
+  "CMakeFiles/femux_forecast.dir/fft_forecaster.cc.o.d"
+  "CMakeFiles/femux_forecast.dir/forecaster.cc.o"
+  "CMakeFiles/femux_forecast.dir/forecaster.cc.o.d"
+  "CMakeFiles/femux_forecast.dir/lstm.cc.o"
+  "CMakeFiles/femux_forecast.dir/lstm.cc.o.d"
+  "CMakeFiles/femux_forecast.dir/markov.cc.o"
+  "CMakeFiles/femux_forecast.dir/markov.cc.o.d"
+  "CMakeFiles/femux_forecast.dir/registry.cc.o"
+  "CMakeFiles/femux_forecast.dir/registry.cc.o.d"
+  "CMakeFiles/femux_forecast.dir/simple.cc.o"
+  "CMakeFiles/femux_forecast.dir/simple.cc.o.d"
+  "CMakeFiles/femux_forecast.dir/smoothing.cc.o"
+  "CMakeFiles/femux_forecast.dir/smoothing.cc.o.d"
+  "libfemux_forecast.a"
+  "libfemux_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femux_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

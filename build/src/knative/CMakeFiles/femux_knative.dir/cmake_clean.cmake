@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femux_knative.dir/femux_service.cc.o"
+  "CMakeFiles/femux_knative.dir/femux_service.cc.o.d"
+  "CMakeFiles/femux_knative.dir/serving_sim.cc.o"
+  "CMakeFiles/femux_knative.dir/serving_sim.cc.o.d"
+  "libfemux_knative.a"
+  "libfemux_knative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femux_knative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

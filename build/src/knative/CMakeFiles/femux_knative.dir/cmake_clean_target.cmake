@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfemux_knative.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for femux_knative.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cc" "src/sim/CMakeFiles/femux_sim.dir/event_sim.cc.o" "gcc" "src/sim/CMakeFiles/femux_sim.dir/event_sim.cc.o.d"
+  "/root/repo/src/sim/fleet.cc" "src/sim/CMakeFiles/femux_sim.dir/fleet.cc.o" "gcc" "src/sim/CMakeFiles/femux_sim.dir/fleet.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/femux_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/femux_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/policy.cc" "src/sim/CMakeFiles/femux_sim.dir/policy.cc.o" "gcc" "src/sim/CMakeFiles/femux_sim.dir/policy.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/femux_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/femux_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/forecast/CMakeFiles/femux_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/femux_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/femux_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femux_sim.dir/event_sim.cc.o"
+  "CMakeFiles/femux_sim.dir/event_sim.cc.o.d"
+  "CMakeFiles/femux_sim.dir/fleet.cc.o"
+  "CMakeFiles/femux_sim.dir/fleet.cc.o.d"
+  "CMakeFiles/femux_sim.dir/metrics.cc.o"
+  "CMakeFiles/femux_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/femux_sim.dir/policy.cc.o"
+  "CMakeFiles/femux_sim.dir/policy.cc.o.d"
+  "CMakeFiles/femux_sim.dir/simulator.cc.o"
+  "CMakeFiles/femux_sim.dir/simulator.cc.o.d"
+  "libfemux_sim.a"
+  "libfemux_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femux_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/adf.cc" "src/stats/CMakeFiles/femux_stats.dir/adf.cc.o" "gcc" "src/stats/CMakeFiles/femux_stats.dir/adf.cc.o.d"
+  "/root/repo/src/stats/bds.cc" "src/stats/CMakeFiles/femux_stats.dir/bds.cc.o" "gcc" "src/stats/CMakeFiles/femux_stats.dir/bds.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/femux_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/femux_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/fft.cc" "src/stats/CMakeFiles/femux_stats.dir/fft.cc.o" "gcc" "src/stats/CMakeFiles/femux_stats.dir/fft.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/femux_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/femux_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/linalg.cc" "src/stats/CMakeFiles/femux_stats.dir/linalg.cc.o" "gcc" "src/stats/CMakeFiles/femux_stats.dir/linalg.cc.o.d"
+  "/root/repo/src/stats/ols.cc" "src/stats/CMakeFiles/femux_stats.dir/ols.cc.o" "gcc" "src/stats/CMakeFiles/femux_stats.dir/ols.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/femux_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/femux_stats.dir/rng.cc.o.d"
+  "/root/repo/src/stats/scaler.cc" "src/stats/CMakeFiles/femux_stats.dir/scaler.cc.o" "gcc" "src/stats/CMakeFiles/femux_stats.dir/scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femux_stats.dir/adf.cc.o"
+  "CMakeFiles/femux_stats.dir/adf.cc.o.d"
+  "CMakeFiles/femux_stats.dir/bds.cc.o"
+  "CMakeFiles/femux_stats.dir/bds.cc.o.d"
+  "CMakeFiles/femux_stats.dir/descriptive.cc.o"
+  "CMakeFiles/femux_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/femux_stats.dir/fft.cc.o"
+  "CMakeFiles/femux_stats.dir/fft.cc.o.d"
+  "CMakeFiles/femux_stats.dir/histogram.cc.o"
+  "CMakeFiles/femux_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/femux_stats.dir/linalg.cc.o"
+  "CMakeFiles/femux_stats.dir/linalg.cc.o.d"
+  "CMakeFiles/femux_stats.dir/ols.cc.o"
+  "CMakeFiles/femux_stats.dir/ols.cc.o.d"
+  "CMakeFiles/femux_stats.dir/rng.cc.o"
+  "CMakeFiles/femux_stats.dir/rng.cc.o.d"
+  "CMakeFiles/femux_stats.dir/scaler.cc.o"
+  "CMakeFiles/femux_stats.dir/scaler.cc.o.d"
+  "libfemux_stats.a"
+  "libfemux_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femux_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

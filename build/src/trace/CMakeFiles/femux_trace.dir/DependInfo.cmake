@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/azure_generator.cc" "src/trace/CMakeFiles/femux_trace.dir/azure_generator.cc.o" "gcc" "src/trace/CMakeFiles/femux_trace.dir/azure_generator.cc.o.d"
+  "/root/repo/src/trace/csv_io.cc" "src/trace/CMakeFiles/femux_trace.dir/csv_io.cc.o" "gcc" "src/trace/CMakeFiles/femux_trace.dir/csv_io.cc.o.d"
+  "/root/repo/src/trace/ibm_generator.cc" "src/trace/CMakeFiles/femux_trace.dir/ibm_generator.cc.o" "gcc" "src/trace/CMakeFiles/femux_trace.dir/ibm_generator.cc.o.d"
+  "/root/repo/src/trace/split.cc" "src/trace/CMakeFiles/femux_trace.dir/split.cc.o" "gcc" "src/trace/CMakeFiles/femux_trace.dir/split.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/femux_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/femux_trace.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/femux_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

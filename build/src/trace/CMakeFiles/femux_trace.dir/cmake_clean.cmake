@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femux_trace.dir/azure_generator.cc.o"
+  "CMakeFiles/femux_trace.dir/azure_generator.cc.o.d"
+  "CMakeFiles/femux_trace.dir/csv_io.cc.o"
+  "CMakeFiles/femux_trace.dir/csv_io.cc.o.d"
+  "CMakeFiles/femux_trace.dir/ibm_generator.cc.o"
+  "CMakeFiles/femux_trace.dir/ibm_generator.cc.o.d"
+  "CMakeFiles/femux_trace.dir/split.cc.o"
+  "CMakeFiles/femux_trace.dir/split.cc.o.d"
+  "CMakeFiles/femux_trace.dir/trace.cc.o"
+  "CMakeFiles/femux_trace.dir/trace.cc.o.d"
+  "libfemux_trace.a"
+  "libfemux_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femux_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

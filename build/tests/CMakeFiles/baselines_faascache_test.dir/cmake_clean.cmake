@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_faascache_test.dir/baselines/faascache_test.cc.o"
+  "CMakeFiles/baselines_faascache_test.dir/baselines/faascache_test.cc.o.d"
+  "baselines_faascache_test"
+  "baselines_faascache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_faascache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

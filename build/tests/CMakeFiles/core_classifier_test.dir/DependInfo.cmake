@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/classifier_test.cc" "tests/CMakeFiles/core_classifier_test.dir/core/classifier_test.cc.o" "gcc" "tests/CMakeFiles/core_classifier_test.dir/core/classifier_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/knative/CMakeFiles/femux_knative.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/femux_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/femux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/femux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/femux_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/femux_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/femux_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

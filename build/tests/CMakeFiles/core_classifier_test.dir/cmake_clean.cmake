@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_classifier_test.dir/core/classifier_test.cc.o"
+  "CMakeFiles/core_classifier_test.dir/core/classifier_test.cc.o.d"
+  "core_classifier_test"
+  "core_classifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

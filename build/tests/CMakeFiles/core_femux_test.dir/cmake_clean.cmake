@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_femux_test.dir/core/femux_test.cc.o"
+  "CMakeFiles/core_femux_test.dir/core/femux_test.cc.o.d"
+  "core_femux_test"
+  "core_femux_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_femux_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_retrain_test.dir/core/retrain_test.cc.o"
+  "CMakeFiles/core_retrain_test.dir/core/retrain_test.cc.o.d"
+  "core_retrain_test"
+  "core_retrain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_retrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

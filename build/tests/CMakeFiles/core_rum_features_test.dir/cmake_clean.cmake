@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rum_features_test.dir/core/rum_features_test.cc.o"
+  "CMakeFiles/core_rum_features_test.dir/core/rum_features_test.cc.o.d"
+  "core_rum_features_test"
+  "core_rum_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rum_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_forecasters_test.dir/forecast/forecasters_test.cc.o"
+  "CMakeFiles/forecast_forecasters_test.dir/forecast/forecasters_test.cc.o.d"
+  "forecast_forecasters_test"
+  "forecast_forecasters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_forecasters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

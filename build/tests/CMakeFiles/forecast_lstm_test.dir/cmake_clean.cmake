@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_lstm_test.dir/forecast/lstm_test.cc.o"
+  "CMakeFiles/forecast_lstm_test.dir/forecast/lstm_test.cc.o.d"
+  "forecast_lstm_test"
+  "forecast_lstm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_lstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

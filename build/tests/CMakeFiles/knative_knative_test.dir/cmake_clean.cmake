@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knative_knative_test.dir/knative/knative_test.cc.o"
+  "CMakeFiles/knative_knative_test.dir/knative/knative_test.cc.o.d"
+  "knative_knative_test"
+  "knative_knative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knative_knative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knative_serving_more_test.dir/knative/serving_more_test.cc.o"
+  "CMakeFiles/knative_serving_more_test.dir/knative/serving_more_test.cc.o.d"
+  "knative_serving_more_test"
+  "knative_serving_more_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knative_serving_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fleet_test.dir/sim/fleet_test.cc.o"
+  "CMakeFiles/sim_fleet_test.dir/sim/fleet_test.cc.o.d"
+  "sim_fleet_test"
+  "sim_fleet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_policy_test.dir/sim/policy_test.cc.o"
+  "CMakeFiles/sim_policy_test.dir/sim/policy_test.cc.o.d"
+  "sim_policy_test"
+  "sim_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

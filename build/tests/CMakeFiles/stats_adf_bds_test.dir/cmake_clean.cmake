@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_adf_bds_test.dir/stats/adf_bds_test.cc.o"
+  "CMakeFiles/stats_adf_bds_test.dir/stats/adf_bds_test.cc.o.d"
+  "stats_adf_bds_test"
+  "stats_adf_bds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_adf_bds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

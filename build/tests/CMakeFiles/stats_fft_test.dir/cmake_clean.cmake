@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_fft_test.dir/stats/fft_test.cc.o"
+  "CMakeFiles/stats_fft_test.dir/stats/fft_test.cc.o.d"
+  "stats_fft_test"
+  "stats_fft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_linalg_test.dir/stats/linalg_test.cc.o"
+  "CMakeFiles/stats_linalg_test.dir/stats/linalg_test.cc.o.d"
+  "stats_linalg_test"
+  "stats_linalg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_ols_test.dir/stats/ols_test.cc.o"
+  "CMakeFiles/stats_ols_test.dir/stats/ols_test.cc.o.d"
+  "stats_ols_test"
+  "stats_ols_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_ols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

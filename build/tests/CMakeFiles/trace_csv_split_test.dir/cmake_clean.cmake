@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_csv_split_test.dir/trace/csv_split_test.cc.o"
+  "CMakeFiles/trace_csv_split_test.dir/trace/csv_split_test.cc.o.d"
+  "trace_csv_split_test"
+  "trace_csv_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_csv_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

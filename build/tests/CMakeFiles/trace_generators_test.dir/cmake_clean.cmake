@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_generators_test.dir/trace/generators_test.cc.o"
+  "CMakeFiles/trace_generators_test.dir/trace/generators_test.cc.o.d"
+  "trace_generators_test"
+  "trace_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
