@@ -1,0 +1,388 @@
+// Training-pipeline macro-benchmark (perf trajectory, not a paper figure).
+//
+// Runs the full FeMux offline training sweep — per-app rolling forecasts,
+// per-(block, forecaster, margin) RUM simulation, per-block feature
+// extraction — once with a faithful copy of the pre-optimization pipeline
+// (spawn-per-call threads, three-sweep O(n^2) BDS, plans re-derived per RUM
+// variant) and once with the optimized pipeline (persistent pool, single-
+// pass BDS, shared plan cache, reused scratch). Parity between the two
+// block tables is asserted, and the result is emitted as JSON so the perf
+// trajectory is tracked PR over PR (see scripts/bench_to_json).
+//
+// Usage: bench_train_pipeline [--smoke] [--apps=N] [--days=D]
+//                             [--json=PATH] [--skip-reference]
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/trainer.h"
+#include "src/forecast/registry.h"
+#include "src/sim/fleet.h"
+#include "src/sim/thread_pool.h"
+#include "src/stats/adf.h"
+#include "src/stats/bds.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/fft.h"
+#include "src/stats/ols.h"
+#include "src/trace/azure_generator.h"
+
+namespace femux {
+namespace legacy {
+
+// ---- Pre-PR pipeline, kept verbatim so the speedup is measured against
+// ---- the real baseline on the same machine, not a guess.
+
+// The original ParallelFor: spawns and joins fresh OS threads per call and
+// claims one item per atomic fetch.
+void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
+                 std::size_t threads = 0) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&next, count, &fn] {
+      for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+// The original per-block feature extraction: allocates per block and runs
+// the three-sweep BDS (BdsTestReference).
+std::vector<double> ArResiduals(std::span<const double> block) {
+  constexpr std::size_t kLags = 5;
+  if (block.size() <= kLags + 4 || Variance(block) == 0.0) {
+    return {};
+  }
+  const std::size_t rows = block.size() - kLags;
+  Matrix x(rows, kLags + 1);
+  std::vector<double> y(rows);
+  for (std::size_t t = kLags; t < block.size(); ++t) {
+    const std::size_t r = t - kLags;
+    y[r] = block[t];
+    x(r, 0) = 1.0;
+    for (std::size_t k = 1; k <= kLags; ++k) {
+      x(r, k) = block[t - k];
+    }
+  }
+  OlsResult fit = FitOls(x, y);
+  if (!fit.ok) {
+    return {};
+  }
+  return std::move(fit.residuals);
+}
+
+std::vector<double> Extract(const std::vector<Feature>& features,
+                            std::span<const double> block, double mean_execution_ms) {
+  std::vector<double> out;
+  out.reserve(features.size());
+  for (Feature f : features) {
+    switch (f) {
+      case Feature::kStationarity: {
+        const AdfResult adf = AdfTest(block, /*lags=*/4);
+        out.push_back(adf.ok ? std::max(adf.statistic, -50.0) : 0.0);
+        break;
+      }
+      case Feature::kLinearity: {
+        const std::vector<double> residuals = ArResiduals(block);
+        const BdsResult bds = BdsTestReference(residuals, /*dimension=*/2);
+        out.push_back(bds.ok ? std::min(std::abs(bds.statistic), 50.0) : 0.0);
+        break;
+      }
+      case Feature::kHarmonics:
+        out.push_back(SpectralConcentration(block, /*k=*/10));
+        break;
+      case Feature::kDensity: {
+        double total = 0.0;
+        for (double v : block) {
+          total += v;
+        }
+        out.push_back(std::log10(1.0 + total));
+        break;
+      }
+      case Feature::kExecTime:
+        out.push_back(std::log10(1.0 + std::max(0.0, mean_execution_ms)));
+        break;
+    }
+  }
+  return out;
+}
+
+// The original BuildBlockTable: plans re-derived for every call (so a
+// multi-RUM sweep re-simulates every rolling forecast per RUM).
+BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_indices,
+                           const Rum& rum, const TrainerOptions& options) {
+  const std::vector<std::string> names = options.forecaster_names;
+  const std::size_t num_apps = app_indices.size();
+  const std::size_t num_forecasters = names.size();
+  const std::size_t num_margins = options.margins.size();
+  const std::size_t num_candidates = num_forecasters * num_margins;
+
+  BlockTable table;
+  table.rum.resize(num_apps);
+  table.features.resize(num_apps);
+
+  ParallelFor(
+      num_apps,
+      [&](std::size_t a) {
+        const AppTrace& app = dataset.apps[static_cast<std::size_t>(app_indices[a])];
+        SimOptions sim = options.sim;
+        sim.min_scale = 0;
+        sim.memory_gb_per_unit = app.consumed_memory_mb > 0.0
+                                     ? app.consumed_memory_mb / 1024.0
+                                     : sim.memory_gb_per_unit;
+        const std::vector<double> demand = DemandSeries(app, sim.epoch_seconds);
+        const std::vector<double> arrivals = ArrivalSeries(app, sim.epoch_seconds);
+        const auto plans = SimulateForecasts(names, demand, options.refit_interval);
+
+        const std::size_t blocks = BlockCount(demand.size(), options.block_minutes);
+        table.rum[a].assign(blocks, std::vector<double>(num_candidates, 0.0));
+        table.features[a].resize(blocks);
+        const std::span<const double> demand_span(demand);
+        const std::span<const double> arrivals_span(arrivals);
+        std::vector<double> scaled_plan(options.block_minutes);
+        for (std::size_t b = 0; b < blocks; ++b) {
+          const auto demand_block = BlockSlice(demand_span, b, options.block_minutes);
+          const auto arrivals_block =
+              BlockSlice(arrivals_span, b, options.block_minutes);
+          for (std::size_t f = 0; f < num_forecasters; ++f) {
+            const auto plan_block =
+                BlockSlice(std::span<const double>(plans[f]), b, options.block_minutes);
+            for (std::size_t m = 0; m < num_margins; ++m) {
+              for (std::size_t i = 0; i < plan_block.size(); ++i) {
+                scaled_plan[i] = plan_block[i] * options.margins[m];
+              }
+              table.rum[a][b][f * num_margins + m] =
+                  BlockRum(rum, demand_block, arrivals_block, scaled_plan, sim);
+            }
+          }
+          table.features[a][b] = Extract(options.features, demand_block, 0.0);
+        }
+      },
+      options.threads);
+  return table;
+}
+
+}  // namespace legacy
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::size_t CountBlocks(const BlockTable& table) {
+  std::size_t blocks = 0;
+  for (const auto& app : table.rum) {
+    blocks += app.size();
+  }
+  return blocks;
+}
+
+double MaxAbsDiff(const BlockTable& a, const BlockTable& b) {
+  double max_diff = 0.0;
+  if (a.rum.size() != b.rum.size()) {
+    return 1e30;
+  }
+  for (std::size_t i = 0; i < a.rum.size(); ++i) {
+    if (a.rum[i].size() != b.rum[i].size() ||
+        a.features[i].size() != b.features[i].size()) {
+      return 1e30;
+    }
+    for (std::size_t j = 0; j < a.rum[i].size(); ++j) {
+      for (std::size_t c = 0; c < a.rum[i][j].size(); ++c) {
+        max_diff = std::max(max_diff, std::abs(a.rum[i][j][c] - b.rum[i][j][c]));
+      }
+      for (std::size_t c = 0; c < a.features[i][j].size(); ++c) {
+        max_diff =
+            std::max(max_diff, std::abs(a.features[i][j][c] - b.features[i][j][c]));
+      }
+    }
+  }
+  return max_diff;
+}
+
+struct Args {
+  std::size_t apps = 24;
+  std::size_t days = 4;
+  bool smoke = false;
+  bool skip_reference = false;
+  std::string json_path;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+      args.apps = 4;
+      args.days = 2;
+    } else if (arg == "--skip-reference") {
+      args.skip_reference = true;
+    } else if (arg.rfind("--apps=", 0) == 0) {
+      args.apps = static_cast<std::size_t>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--days=", 0) == 0) {
+      args.days = static_cast<std::size_t>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    }
+  }
+  return args;
+}
+
+std::vector<std::string> DefaultNames() {
+  std::vector<std::string> names;
+  for (const auto& f : MakeFemuxForecasterSet()) {
+    names.emplace_back(f->name());
+  }
+  return names;
+}
+
+}  // namespace
+}  // namespace femux
+
+int main(int argc, char** argv) {
+  using namespace femux;
+  const Args args = ParseArgs(argc, argv);
+
+  AzureGeneratorOptions gen;
+  gen.num_apps = static_cast<int>(args.apps);
+  gen.duration_days = static_cast<int>(args.days);
+  gen.seed = 7;
+  const Dataset dataset = GenerateAzureDataset(gen);
+  std::vector<int> apps;
+  for (int i = 0; i < static_cast<int>(dataset.apps.size()); ++i) {
+    apps.push_back(i);
+  }
+
+  TrainerOptions options;
+  options.refit_interval = 20;
+  options.forecaster_names = DefaultNames();
+  const std::vector<Rum> rums = {Rum::Default(), Rum::ColdStartFocused(),
+                                 Rum::MemoryFocused()};
+
+  std::printf("train-pipeline bench: %zu apps x %zu days, %zu forecasters x "
+              "%zu margins, %zu RUM variants, %zu configured threads\n",
+              dataset.apps.size(), args.days, options.forecaster_names.size(),
+              options.margins.size(), rums.size(), ConfiguredThreadCount());
+
+  // --- Reference sweep (pre-PR pipeline). One BuildBlockTable per RUM,
+  // each re-deriving every rolling plan.
+  double reference_seconds = 0.0;
+  std::size_t reference_blocks = 0;
+  std::vector<BlockTable> reference_tables;
+  if (!args.skip_reference) {
+    const auto start = std::chrono::steady_clock::now();
+    for (const Rum& rum : rums) {
+      reference_tables.push_back(legacy::BuildBlockTable(dataset, apps, rum, options));
+      reference_blocks += CountBlocks(reference_tables.back());
+    }
+    reference_seconds = Seconds(start);
+    std::printf("reference : %8.2f s  (%.1f blocks/s over %zu block-rows)\n",
+                reference_seconds,
+                reference_blocks / std::max(reference_seconds, 1e-9),
+                reference_blocks);
+  }
+
+  // --- Optimized sweep: persistent pool, single-pass BDS, one shared plan
+  // cache across the RUM variants, reused scratch buffers.
+  PlanCache cache;
+  TrainerOptions optimized = options;
+  optimized.plan_cache = &cache;
+  double optimized_seconds = 0.0;
+  std::size_t optimized_blocks = 0;
+  std::vector<BlockTable> optimized_tables;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (const Rum& rum : rums) {
+      FemuxModel discard;
+      optimized_tables.push_back(
+          BuildBlockTable(dataset, apps, rum, optimized, &discard));
+      optimized_blocks += CountBlocks(optimized_tables.back());
+    }
+    optimized_seconds = Seconds(start);
+    std::printf("optimized : %8.2f s  (%.1f blocks/s over %zu block-rows, "
+                "plan cache: %zu entries, %zu hits)\n",
+                optimized_seconds,
+                optimized_blocks / std::max(optimized_seconds, 1e-9),
+                optimized_blocks, cache.size(), cache.hits());
+  }
+
+  // --- Parity: the optimized sweep must reproduce the reference tables.
+  double parity = 0.0;
+  if (!args.skip_reference) {
+    for (std::size_t r = 0; r < rums.size(); ++r) {
+      parity = std::max(parity, MaxAbsDiff(reference_tables[r], optimized_tables[r]));
+    }
+    std::printf("parity    : max |reference - optimized| = %.3g %s\n", parity,
+                parity <= 1e-9 ? "(PASS <= 1e-9)" : "(FAIL > 1e-9)");
+  }
+
+  const double speedup = args.skip_reference || optimized_seconds <= 0.0
+                             ? 0.0
+                             : reference_seconds / optimized_seconds;
+  if (!args.skip_reference) {
+    std::printf("speedup   : %.2fx (reference / optimized, same machine, "
+                "same thread budget)\n", speedup);
+  }
+
+  bool json_ok = true;
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << "{\n"
+        << "  \"bench\": \"train_pipeline\",\n"
+        << "  \"config\": {\"apps\": " << dataset.apps.size()
+        << ", \"days\": " << args.days
+        << ", \"forecasters\": " << options.forecaster_names.size()
+        << ", \"margins\": " << options.margins.size()
+        << ", \"rum_variants\": " << rums.size()
+        << ", \"threads\": " << ConfiguredThreadCount()
+        << ", \"smoke\": " << (args.smoke ? "true" : "false") << "},\n"
+        << "  \"reference\": {\"wall_seconds\": " << reference_seconds
+        << ", \"blocks_per_sec\": "
+        << (reference_seconds > 0.0 ? reference_blocks / reference_seconds : 0.0)
+        << "},\n"
+        << "  \"optimized\": {\"wall_seconds\": " << optimized_seconds
+        << ", \"blocks_per_sec\": "
+        << (optimized_seconds > 0.0 ? optimized_blocks / optimized_seconds : 0.0)
+        << ", \"plan_cache_entries\": " << cache.size()
+        << ", \"plan_cache_hits\": " << cache.hits() << "},\n"
+        << "  \"speedup_vs_reference\": " << speedup << ",\n"
+        << "  \"parity_max_abs_diff\": " << parity << "\n"
+        << "}\n";
+    out.flush();
+    json_ok = out.good();
+    if (json_ok) {
+      std::printf("wrote %s\n", args.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", args.json_path.c_str());
+    }
+  }
+
+  const bool parity_ok = args.skip_reference || parity <= 1e-9;
+  return parity_ok && json_ok ? 0 : 1;
+}

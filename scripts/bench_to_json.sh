@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the training-pipeline macro-benchmark and records its JSON result at
+# the repo root (BENCH_train_pipeline.json), so the perf trajectory is
+# tracked PR over PR.
+#
+# Usage: scripts/bench_to_json.sh [output.json] [extra bench flags...]
+#   BUILD_DIR=...   override the build tree (default: <repo>/build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${1:-$ROOT/BENCH_train_pipeline.json}"
+shift || true
+
+BIN="$BUILD/bench/bench_train_pipeline"
+if [[ ! -x "$BIN" ]]; then
+  echo "building bench_train_pipeline in $BUILD ..."
+  cmake -B "$BUILD" -S "$ROOT" > /dev/null
+  cmake --build "$BUILD" --target bench_train_pipeline -j > /dev/null
+fi
+
+"$BIN" --json="$OUT" "$@"
+echo "recorded $OUT"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-stop verification entry point: tier-1 build + test, then a Release
+# bench smoke run of the training-pipeline macro-benchmark (parity between
+# the optimized and reference pipelines is asserted by the bench itself —
+# a non-zero exit means the optimization broke bit-parity).
+#
+# Usage: scripts/verify.sh [--skip-bench]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SKIP_BENCH=0
+[[ "${1:-}" == "--skip-bench" ]] && SKIP_BENCH=1
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j
+(cd "$ROOT/build" && ctest --output-on-failure -j)
+
+if [[ "$SKIP_BENCH" == "0" ]]; then
+  echo "== bench smoke (Release) =="
+  cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$ROOT/build-release" --target bench_train_pipeline -j > /dev/null
+  mkdir -p "$ROOT/bench/out"
+  "$ROOT/build-release/bench/bench_train_pipeline" --smoke \
+      --json="$ROOT/bench/out/smoke.bench-scratch.json" || {
+    echo "bench smoke FAILED (parity or runtime error)"; exit 1;
+  }
+fi
+echo "verify OK"

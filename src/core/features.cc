@@ -65,8 +65,22 @@ FeatureExtractor::FeatureExtractor(std::vector<Feature> features)
 
 std::vector<double> FeatureExtractor::Extract(std::span<const double> block,
                                               double mean_execution_ms) const {
-  std::vector<double> out;
+  Workspace workspace;
+  ExtractInto(block, mean_execution_ms, &workspace);
+  return std::move(workspace.out);
+}
+
+void FeatureExtractor::ExtractInto(std::span<const double> block,
+                                   double mean_execution_ms,
+                                   Workspace* workspace) const {
+  std::vector<double>& out = workspace->out;
+  out.clear();
   out.reserve(features_.size());
+
+  // The AR(5) residual fit feeds every residual-based feature (today the
+  // BDS linearity statistic); hoisting it here runs the OLS once per block
+  // no matter how many features consume it.
+  bool residuals_ready = false;
   for (Feature f : features_) {
     switch (f) {
       case Feature::kStationarity: {
@@ -77,8 +91,11 @@ std::vector<double> FeatureExtractor::Extract(std::span<const double> block,
         break;
       }
       case Feature::kLinearity: {
-        const std::vector<double> residuals = ArResiduals(block);
-        const BdsResult bds = BdsTest(residuals, /*dimension=*/2);
+        if (!residuals_ready) {
+          workspace->residuals = ArResiduals(block);
+          residuals_ready = true;
+        }
+        const BdsResult bds = BdsTest(workspace->residuals, /*dimension=*/2);
         out.push_back(bds.ok ? std::min(std::abs(bds.statistic), 50.0) : 0.0);
         break;
       }
@@ -98,7 +115,6 @@ std::vector<double> FeatureExtractor::Extract(std::span<const double> block,
         break;
     }
   }
-  return out;
 }
 
 std::size_t BlockCount(std::size_t n, std::size_t block_size) {

@@ -38,6 +38,14 @@ std::vector<Feature> DefaultFeatureSet();
 
 class FeatureExtractor {
  public:
+  // Reusable per-thread scratch for block-sweep callers (the trainer
+  // extracts features for thousands of blocks; reusing the AR-residual
+  // buffer and the output vector avoids one allocation wave per block).
+  struct Workspace {
+    std::vector<double> residuals;  // AR(5) residuals of the current block.
+    std::vector<double> out;
+  };
+
   explicit FeatureExtractor(std::vector<Feature> features = DefaultFeatureSet());
 
   // Extracts the configured features from one block of the concurrency
@@ -45,6 +53,12 @@ class FeatureExtractor {
   // Inexpensive by design: <5 ms per block (§4.3.2).
   std::vector<double> Extract(std::span<const double> block,
                               double mean_execution_ms = 0.0) const;
+
+  // Workspace-reusing variant; identical output. The AR-residual OLS fit is
+  // hoisted out of the per-feature dispatch and run at most once per block,
+  // shared by every feature that consumes it.
+  void ExtractInto(std::span<const double> block, double mean_execution_ms,
+                   Workspace* workspace) const;
 
   const std::vector<Feature>& features() const { return features_; }
   std::size_t dimension() const { return features_.size(); }

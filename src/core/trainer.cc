@@ -15,6 +15,48 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+// Rolling one-step forecasts of a single named forecaster. AR/SETAR/FFT are
+// stride-aware and honor the requested refit interval.
+std::vector<double> SimulateOnePlan(const std::string& name,
+                                    const std::vector<double>& demand,
+                                    std::size_t refit_interval) {
+  std::unique_ptr<Forecaster> forecaster;
+  if (name == "ar" || name == "setar" || name == "fft") {
+    FemuxModel stub;
+    stub.forecaster_names = {name};
+    stub.refit_interval = refit_interval;
+    forecaster = stub.MakeForecaster(0);
+  } else {
+    forecaster = MakeForecasterByName(name);
+  }
+  if (forecaster == nullptr) {
+    return std::vector<double>(demand.size(), 0.0);
+  }
+  return RollingForecast(*forecaster, demand);
+}
+
+// Per-app plans, shared with `cache` when provided so repeated sweeps over
+// the same dataset (e.g. one training pass per RUM variant) simulate each
+// (app, forecaster) rolling plan exactly once.
+std::vector<PlanCache::Plan> AppPlans(const std::vector<std::string>& forecaster_names,
+                                      const std::vector<double>& demand,
+                                      std::size_t refit_interval, PlanCache* cache,
+                                      int app_index, double epoch_seconds) {
+  std::vector<PlanCache::Plan> plans;
+  plans.reserve(forecaster_names.size());
+  for (const std::string& name : forecaster_names) {
+    if (cache != nullptr) {
+      plans.push_back(cache->GetOrCompute(
+          app_index, name, refit_interval, epoch_seconds,
+          [&] { return SimulateOnePlan(name, demand, refit_interval); }));
+    } else {
+      plans.push_back(std::make_shared<const std::vector<double>>(
+          SimulateOnePlan(name, demand, refit_interval)));
+    }
+  }
+  return plans;
+}
+
 std::vector<std::string> DefaultNames() {
   std::vector<std::string> names;
   for (const auto& f : MakeFemuxForecasterSet()) {
@@ -38,25 +80,42 @@ void ConfigureModel(const Rum& rum, const TrainerOptions& options, FemuxModel* m
 
 }  // namespace
 
+PlanCache::Plan PlanCache::GetOrCompute(
+    int app_index, const std::string& forecaster_name, std::size_t refit_interval,
+    double epoch_seconds, const std::function<std::vector<double>()>& compute) {
+  const Key key(app_index, forecaster_name, refit_interval,
+                static_cast<long long>(epoch_seconds * 1000.0));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  auto plan = std::make_shared<const std::vector<double>>(compute());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = plans_.emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+std::size_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
 std::vector<std::vector<double>> SimulateForecasts(
     const std::vector<std::string>& forecaster_names,
     const std::vector<double>& demand, std::size_t refit_interval) {
   std::vector<std::vector<double>> plans;
   plans.reserve(forecaster_names.size());
   for (const std::string& name : forecaster_names) {
-    std::unique_ptr<Forecaster> forecaster = MakeForecasterByName(name);
-    if (forecaster == nullptr) {
-      plans.emplace_back(demand.size(), 0.0);
-      continue;
-    }
-    // Recreate stride-aware forecasters with the requested refit interval.
-    if (name == "ar" || name == "setar" || name == "fft") {
-      FemuxModel stub;
-      stub.forecaster_names = {name};
-      stub.refit_interval = refit_interval;
-      forecaster = stub.MakeForecaster(0);
-    }
-    plans.push_back(RollingForecast(*forecaster, demand));
+    plans.push_back(SimulateOnePlan(name, demand, refit_interval));
   }
   return plans;
 }
@@ -101,22 +160,28 @@ BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_i
                                      : sim.memory_gb_per_unit;
         const std::vector<double> demand = DemandSeries(app, sim.epoch_seconds);
         const std::vector<double> arrivals = ArrivalSeries(app, sim.epoch_seconds);
-        const auto plans =
-            SimulateForecasts(model.forecaster_names, demand, options.refit_interval);
+        // One rolling plan per forecaster per app, sliced per block below —
+        // candidates (forecaster × margin) only rescale the slice. With a
+        // plan cache the simulation is also shared across training calls.
+        const std::vector<PlanCache::Plan> plans =
+            AppPlans(model.forecaster_names, demand, options.refit_interval,
+                     options.plan_cache, app_indices[a], sim.epoch_seconds);
 
         const std::size_t blocks = BlockCount(demand.size(), options.block_minutes);
         table.rum[a].assign(blocks, std::vector<double>(num_candidates, 0.0));
         table.features[a].resize(blocks);
         const std::span<const double> demand_span(demand);
         const std::span<const double> arrivals_span(arrivals);
+        // Scratch reused across every block/candidate of this app.
         std::vector<double> scaled_plan(options.block_minutes);
+        FeatureExtractor::Workspace workspace;
         for (std::size_t b = 0; b < blocks; ++b) {
           const auto demand_block = BlockSlice(demand_span, b, options.block_minutes);
           const auto arrivals_block =
               BlockSlice(arrivals_span, b, options.block_minutes);
           for (std::size_t f = 0; f < num_forecasters; ++f) {
-            const auto plan_block =
-                BlockSlice(std::span<const double>(plans[f]), b, options.block_minutes);
+            const auto plan_block = BlockSlice(std::span<const double>(*plans[f]), b,
+                                               options.block_minutes);
             for (std::size_t m = 0; m < num_margins; ++m) {
               for (std::size_t i = 0; i < plan_block.size(); ++i) {
                 scaled_plan[i] = plan_block[i] * model.margins[m];
@@ -125,8 +190,9 @@ BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_i
                   BlockRum(rum, demand_block, arrivals_block, scaled_plan, sim);
             }
           }
-          table.features[a][b] = extractor.Extract(
-              demand_block, exec_aware ? app.mean_execution_ms : 0.0);
+          extractor.ExtractInto(demand_block,
+                                exec_aware ? app.mean_execution_ms : 0.0, &workspace);
+          table.features[a][b] = workspace.out;
         }
       },
       options.threads);

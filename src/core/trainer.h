@@ -12,6 +12,12 @@
 #define SRC_CORE_TRAINER_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/core/model.h"
@@ -19,6 +25,33 @@
 #include "src/trace/trace.h"
 
 namespace femux {
+
+// Thread-safe memo of per-(app, forecaster) rolling forecast plans. A plan
+// depends only on the app's demand series (dataset + epoch length), the
+// forecaster configuration, and the refit stride — never on the RUM — so a
+// training sweep over several RUM variants can share one cache and pay for
+// each rolling simulation exactly once. Keys use the app's index into the
+// dataset: use one cache per dataset.
+class PlanCache {
+ public:
+  using Plan = std::shared_ptr<const std::vector<double>>;
+
+  // Returns the cached plan for the key, or runs `compute`, stores its
+  // result, and returns it. Concurrent misses on one key may compute twice;
+  // the first insertion wins (plans are deterministic, so both are equal).
+  Plan GetOrCompute(int app_index, const std::string& forecaster_name,
+                    std::size_t refit_interval, double epoch_seconds,
+                    const std::function<std::vector<double>()>& compute);
+
+  std::size_t size() const;
+  std::size_t hits() const;
+
+ private:
+  using Key = std::tuple<int, std::string, std::size_t, long long>;
+  mutable std::mutex mu_;
+  std::map<Key, Plan> plans_;
+  std::size_t hits_ = 0;
+};
 
 struct TrainerOptions {
   std::size_t block_minutes = kDefaultBlockMinutes;
@@ -35,6 +68,9 @@ struct TrainerOptions {
   // (the paper tunes forecaster parameters on RUM; asymmetric cold-start
   // vs memory costs reward upward-biased forecasts).
   std::vector<double> margins = {1.0, 1.25, 1.5};
+  // Optional cross-call rolling-plan reuse (multi-RUM sweeps over one
+  // dataset). Not owned; must outlive the training calls using it.
+  PlanCache* plan_cache = nullptr;
 };
 
 // Per-app, per-block, per-candidate RUM values plus per-block features.

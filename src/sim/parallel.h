@@ -1,44 +1,26 @@
-// Minimal parallel-for over app indices. Fleet simulations are trivially
-// parallel (one independent state machine per application), so a striped
-// thread pool is all that is needed.
+// Parallel-for over app indices. Fleet simulations are trivially parallel
+// (one independent state machine per application). Work is executed on the
+// process-wide persistent thread pool (see thread_pool.h): chunked claims,
+// nested-submission support, first-exception propagation to the caller,
+// and a FEMUX_THREADS environment override.
 #ifndef SRC_SIM_PARALLEL_H_
 #define SRC_SIM_PARALLEL_H_
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
-#include <thread>
-#include <vector>
+
+#include "src/sim/thread_pool.h"
 
 namespace femux {
 
-// Invokes fn(i) for i in [0, count) across up to `threads` workers
-// (0 = hardware concurrency). Exceptions in fn are not supported.
+// Invokes fn(i) for i in [0, count) across up to `threads` participants
+// (0 = FEMUX_THREADS or hardware concurrency), the calling thread included.
+// Blocks until all items have run. If fn throws, the first exception is
+// captured, remaining work is cancelled, workers drain, and the exception
+// is rethrown here.
 inline void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
                         std::size_t threads = 0) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, count);
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) {
-      fn(i);
-    }
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t w = 0; w < threads; ++w) {
-    pool.emplace_back([&next, count, &fn] {
-      for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
+  ThreadPool::Instance().ParallelFor(count, fn, threads);
 }
 
 }  // namespace femux

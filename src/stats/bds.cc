@@ -1,6 +1,9 @@
 #include "src/stats/bds.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 #include <vector>
 
 #include "src/stats/descriptive.h"
@@ -9,7 +12,7 @@ namespace femux {
 namespace {
 
 // Correlation integral at embedding dimension m: the fraction of pairs of
-// m-histories within sup-norm distance epsilon.
+// m-histories within sup-norm distance epsilon. (Reference path only.)
 double CorrelationIntegral(std::span<const double> x, std::size_t m, double epsilon,
                            std::size_t points) {
   std::size_t close = 0;
@@ -35,46 +38,15 @@ double CorrelationIntegral(std::span<const double> x, std::size_t m, double epsi
   return pairs == 0 ? 0.0 : static_cast<double>(close) / static_cast<double>(pairs);
 }
 
-}  // namespace
-
-BdsResult BdsTest(std::span<const double> series, std::size_t dimension,
-                  double epsilon_scale) {
+// Shared tail of both implementations: the Brock et al. asymptotic variance
+// and the standardized statistic, from the correlation integrals and the
+// raw K triple-sum. Keeping this in one place guarantees the optimized and
+// reference paths agree bit-for-bit.
+BdsResult FinishBds(double c1, double cm, double k_sum, std::size_t points,
+                    std::size_t dimension) {
   BdsResult result;
-  const std::size_t n = series.size();
-  if (n < 50 || dimension < 2) {
-    return result;
-  }
-  const double sd = StdDev(series);
-  if (sd == 0.0) {
-    // A constant series is trivially iid noise-free; report iid.
-    result.iid = true;
-    result.ok = true;
-    return result;
-  }
-  const double epsilon = epsilon_scale * sd;
-  // Use the same number of m-histories for every dimension so the integrals
-  // are comparable (standard practice).
-  const std::size_t points = n - dimension + 1;
-
-  const double c1 = CorrelationIntegral(series, 1, epsilon, points);
-  const double cm = CorrelationIntegral(series, dimension, epsilon, points);
   result.correlation_integral_1 = c1;
   result.correlation_integral_m = cm;
-
-  // K = E[h(i,j) h(j,k)] estimated over ordered triples via row sums.
-  std::vector<double> row(points, 0.0);
-  for (std::size_t i = 0; i < points; ++i) {
-    for (std::size_t j = i + 1; j < points; ++j) {
-      if (std::abs(series[i] - series[j]) <= epsilon) {
-        row[i] += 1.0;
-        row[j] += 1.0;
-      }
-    }
-  }
-  double k_sum = 0.0;
-  for (std::size_t j = 0; j < points; ++j) {
-    k_sum += row[j] * (row[j] - 1.0);
-  }
   const double np = static_cast<double>(points);
   const double k = k_sum / (np * (np - 1.0) * (np - 2.0));
 
@@ -96,6 +68,128 @@ BdsResult BdsTest(std::span<const double> series, std::size_t dimension,
   result.iid = std::abs(result.statistic) < 1.96;
   result.ok = true;
   return result;
+}
+
+}  // namespace
+
+BdsResult BdsTestReference(std::span<const double> series, std::size_t dimension,
+                           double epsilon_scale) {
+  BdsResult result;
+  const std::size_t n = series.size();
+  if (n < 50 || dimension < 2) {
+    return result;
+  }
+  const double sd = StdDev(series);
+  if (sd == 0.0) {
+    // A constant series is trivially iid noise-free; report iid.
+    result.iid = true;
+    result.ok = true;
+    return result;
+  }
+  const double epsilon = epsilon_scale * sd;
+  // Use the same number of m-histories for every dimension so the integrals
+  // are comparable (standard practice).
+  const std::size_t points = n - dimension + 1;
+
+  const double c1 = CorrelationIntegral(series, 1, epsilon, points);
+  const double cm = CorrelationIntegral(series, dimension, epsilon, points);
+
+  // K = E[h(i,j) h(j,k)] estimated over ordered triples via row sums.
+  std::vector<double> row(points, 0.0);
+  for (std::size_t i = 0; i < points; ++i) {
+    for (std::size_t j = i + 1; j < points; ++j) {
+      if (std::abs(series[i] - series[j]) <= epsilon) {
+        row[i] += 1.0;
+        row[j] += 1.0;
+      }
+    }
+  }
+  double k_sum = 0.0;
+  for (std::size_t j = 0; j < points; ++j) {
+    k_sum += row[j] * (row[j] - 1.0);
+  }
+  return FinishBds(c1, cm, k_sum, points, dimension);
+}
+
+BdsResult BdsTest(std::span<const double> series, std::size_t dimension,
+                  double epsilon_scale) {
+  BdsResult result;
+  const std::size_t n = series.size();
+  if (n < 50 || dimension < 2 || n - dimension + 1 < 3) {
+    return result;
+  }
+  const double sd = StdDev(series);
+  if (sd == 0.0) {
+    // A constant series is trivially iid noise-free; report iid.
+    result.iid = true;
+    result.ok = true;
+    return result;
+  }
+  if (!std::isfinite(sd)) {
+    // Non-finite data breaks the sort's ordering invariant; the reference
+    // sweep tolerates it (comparisons with NaN are simply false).
+    return BdsTestReference(series, dimension, epsilon_scale);
+  }
+  const double epsilon = epsilon_scale * sd;
+  const std::size_t points = n - dimension + 1;
+
+  // Single pass. Sort the `points` 1-D values; for each sorted position p
+  // the positions q > p within epsilon form one contiguous window, found
+  // with two monotone pointers. Every 1-D close pair is enumerated exactly
+  // once, yielding simultaneously:
+  //   - close_1: the C_1 numerator,
+  //   - degree[i]: per-point 1-D neighbor counts, whose pairwise products
+  //     give the K triple-sum without a third sweep,
+  //   - close_m: each 1-D close pair is extended incrementally to offsets
+  //     t = 1..m-1 under the sup-norm (early exit on the first violation);
+  //     pairs close at dimension m are a subset of pairs close at 1.
+  // Counts are integers, so C_1/C_m/K match the reference bit-for-bit.
+  std::vector<std::uint32_t> order(points);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [series](std::uint32_t a, std::uint32_t b) {
+    return series[a] < series[b];
+  });
+
+  std::uint64_t close_1 = 0;
+  std::uint64_t close_m = 0;
+  std::vector<std::uint32_t> degree(points, 0);
+  std::size_t hi = 1;
+  for (std::size_t p = 0; p < points; ++p) {
+    if (hi < p + 1) {
+      hi = p + 1;
+    }
+    const double base = series[order[p]];
+    while (hi < points && series[order[hi]] - base <= epsilon) {
+      ++hi;
+    }
+    const std::size_t window = hi - p - 1;
+    close_1 += window;
+    degree[order[p]] += static_cast<std::uint32_t>(window);
+    const std::size_t i = order[p];
+    for (std::size_t q = p + 1; q < hi; ++q) {
+      const std::size_t j = order[q];
+      ++degree[j];
+      bool within = true;
+      for (std::size_t t = 1; t < dimension; ++t) {
+        if (std::abs(series[i + t] - series[j + t]) > epsilon) {
+          within = false;
+          break;
+        }
+      }
+      close_m += within ? 1 : 0;
+    }
+  }
+
+  const double pairs =
+      static_cast<double>(points) * static_cast<double>(points - 1) / 2.0;
+  const double c1 = static_cast<double>(close_1) / pairs;
+  const double cm = static_cast<double>(close_m) / pairs;
+  double k_sum = 0.0;
+  for (std::size_t idx = 0; idx < points; ++idx) {
+    const double d = static_cast<double>(degree[idx]);
+    k_sum += d * (d - 1.0);
+  }
+  return FinishBds(c1, cm, k_sum, points, dimension);
 }
 
 }  // namespace femux

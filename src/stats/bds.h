@@ -21,9 +21,22 @@ struct BdsResult {
 };
 
 // Runs the BDS test with embedding dimension `dimension` (>= 2) and radius
-// `epsilon_scale` * stddev(series). O(n^2) in the series length.
+// `epsilon_scale` * stddev(series).
+//
+// Implementation: a single pass over value-sorted neighbor windows. The
+// 1-D close pairs, per-point degrees (for the K triple-sum), and the
+// C_m correlation integral (incremental sup-norm extension of each 1-D
+// close pair to higher embedding offsets, with early exit) all come from
+// one sweep, O(n log n + P·m) for P 1-D-close pairs instead of the three
+// O(n^2·m) sweeps of the textbook formulation. Counts are integers, so the
+// result is bit-for-bit identical to BdsTestReference.
 BdsResult BdsTest(std::span<const double> series, std::size_t dimension = 2,
                   double epsilon_scale = 1.5);
+
+// The original three-sweep O(n^2·m) implementation, kept as the golden
+// reference for parity tests and the training-pipeline macro-benchmark.
+BdsResult BdsTestReference(std::span<const double> series, std::size_t dimension = 2,
+                           double epsilon_scale = 1.5);
 
 }  // namespace femux
 

@@ -1,0 +1,140 @@
+// Persistent thread pool: chunked claims, nesting, exception propagation,
+// and the FEMUX_THREADS override.
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/parallel.h"
+#include "src/sim/thread_pool.h"
+
+namespace femux {
+namespace {
+
+// The pool is sized at first touch from FEMUX_THREADS / hardware
+// concurrency. CI machines can be single-core, so pin the pool to 4
+// workers-plus-caller before anything in this binary touches it.
+const bool kEnvReady = [] {
+  setenv("FEMUX_THREADS", "4", 1);
+  return true;
+}();
+
+TEST(ConfiguredThreadCountTest, HonorsEnvironmentOverride) {
+  ASSERT_TRUE(kEnvReady);
+  setenv("FEMUX_THREADS", "7", 1);
+  EXPECT_EQ(ConfiguredThreadCount(), 7u);
+  setenv("FEMUX_THREADS", "not-a-number", 1);
+  EXPECT_GE(ConfiguredThreadCount(), 1u);  // Falls back to hardware.
+  setenv("FEMUX_THREADS", "4", 1);
+}
+
+TEST(ThreadPoolTest, PoolIsPersistentAndSizedFromEnv) {
+  // 4 configured participants = caller + 3 workers.
+  EXPECT_EQ(ThreadPool::Instance().worker_count(), 3u);
+  EXPECT_EQ(&ThreadPool::Instance(), &ThreadPool::Instance());
+}
+
+TEST(ThreadPoolTest, OversubscriptionRunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 20000;  // count >> threads.
+  std::vector<std::atomic<int>> runs(kCount);
+  ParallelFor(kCount, [&](std::size_t i) { runs[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(runs[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, CountSmallerThanThreads) {
+  std::vector<std::atomic<int>> runs(3);
+  ParallelFor(3, [&](std::size_t i) { runs[i].fetch_add(1); }, 16);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(runs[i].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndOneItemRegions) {
+  int calls = 0;
+  ParallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionFromPooledTask) {
+  constexpr std::size_t kOuter = 6;
+  constexpr std::size_t kInner = 500;
+  std::vector<std::atomic<long>> totals(kOuter);
+  ParallelFor(kOuter, [&](std::size_t o) {
+    // A pooled task submitting its own region must make progress even when
+    // every worker is busy (the submitter participates in its own region).
+    ParallelFor(kInner, [&totals, o](std::size_t i) {
+      totals[o].fetch_add(static_cast<long>(i));
+    });
+  });
+  const long expected = static_cast<long>(kInner) * (kInner - 1) / 2;
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(totals[o].load(), expected);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionIsRethrownOnCaller) {
+  EXPECT_THROW(
+      ParallelFor(1000,
+                  [](std::size_t i) {
+                    if (i == 373) {
+                      throw std::runtime_error("boom");
+                    }
+                  }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionMessageIsPreservedAndPoolSurvives) {
+  std::string message;
+  try {
+    ParallelFor(256, [](std::size_t i) {
+      if (i == 0) {
+        throw std::runtime_error("first failure");
+      }
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  EXPECT_EQ(message, "first failure");
+  // The pool must stay usable after a failed region.
+  std::atomic<int> ok{0};
+  ParallelFor(100, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 100);
+}
+
+TEST(ThreadPoolTest, SerialPathPropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(10, [](std::size_t) { throw std::logic_error("serial"); }, 1),
+      std::logic_error);
+}
+
+TEST(ThreadPoolTest, FemuxThreadsOneIsSequentialAndDeterministic) {
+  setenv("FEMUX_THREADS", "1", 1);
+  std::vector<std::size_t> order;  // Unsynchronized on purpose: serial path.
+  ParallelFor(512, [&](std::size_t i) { order.push_back(i); });
+  setenv("FEMUX_THREADS", "4", 1);
+  ASSERT_EQ(order.size(), 512u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ASSERT_EQ(order[i], i);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentIndependentRegions) {
+  // Two sibling regions submitted from pooled tasks must not corrupt each
+  // other's work queues.
+  std::atomic<long> sum{0};
+  ParallelFor(2, [&](std::size_t) {
+    ParallelFor(1000, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  });
+  EXPECT_EQ(sum.load(), 2L * (1000L * 999L / 2));
+}
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,154 @@
+// Golden-parity and edge-case tests for the single-pass BDS rewrite: the
+// optimized BdsTest must reproduce the reference three-sweep implementation
+// on every series shape the trainer can feed it.
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/bds.h"
+#include "src/stats/rng.h"
+
+namespace femux {
+namespace {
+
+void ExpectSameResult(const std::vector<double>& series, std::size_t dimension,
+                      const char* label) {
+  const BdsResult ref = BdsTestReference(series, dimension);
+  const BdsResult opt = BdsTest(series, dimension);
+  ASSERT_EQ(ref.ok, opt.ok) << label;
+  ASSERT_EQ(ref.iid, opt.iid) << label;
+  if (!ref.ok) {
+    return;
+  }
+  // The sweeps count the same integer pair sets, so parity is exact, not
+  // merely within the 1e-9 budget.
+  EXPECT_DOUBLE_EQ(ref.correlation_integral_1, opt.correlation_integral_1) << label;
+  EXPECT_DOUBLE_EQ(ref.correlation_integral_m, opt.correlation_integral_m) << label;
+  EXPECT_DOUBLE_EQ(ref.statistic, opt.statistic) << label;
+}
+
+std::vector<double> WhiteNoise(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = rng.Normal(0.0, 1.0);
+  }
+  return v;
+}
+
+std::vector<double> Ar1(std::size_t n, std::uint64_t seed, double phi) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double prev = 0.0;
+  for (double& x : v) {
+    prev = phi * prev + rng.Normal(0.0, 1.0);
+    x = prev;
+  }
+  return v;
+}
+
+std::vector<double> LogisticMap(std::size_t n) {
+  std::vector<double> v(n);
+  double x = 0.3123;
+  for (double& value : v) {
+    x = 3.9 * x * (1.0 - x);
+    value = x;
+  }
+  return v;
+}
+
+// Integer-valued count series: lots of exactly-tied values, exercising the
+// sorted-window boundaries of the optimized sweep.
+std::vector<double> TiedCounts(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = std::floor(std::abs(rng.Normal(0.0, 2.0)));
+  }
+  return v;
+}
+
+class BdsParityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BdsParityTest, WhiteNoiseParityAcrossSeedsAndDimensions) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::size_t dimension : {2u, 3u, 4u}) {
+      ExpectSameResult(WhiteNoise(n, seed), dimension, "white noise");
+    }
+  }
+}
+
+TEST_P(BdsParityTest, Ar1Parity) {
+  const std::size_t n = GetParam();
+  ExpectSameResult(Ar1(n, 11, 0.6), 2, "ar1");
+  ExpectSameResult(Ar1(n, 12, -0.8), 3, "ar1 negative");
+}
+
+TEST_P(BdsParityTest, TiedCountSeriesParity) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    ExpectSameResult(TiedCounts(n, seed), 2, "tied counts");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BdsParityTest,
+                         ::testing::Values(50, 128, 504, 1000));
+
+TEST(BdsParityEdgeTest, LogisticMapParity) {
+  ExpectSameResult(LogisticMap(504), 2, "logistic map");
+  ExpectSameResult(LogisticMap(504), 3, "logistic map dim 3");
+}
+
+TEST(BdsParityEdgeTest, MostlyZeroSparseSeriesParity) {
+  std::vector<double> v(504, 0.0);
+  for (std::size_t i = 0; i < v.size(); i += 37) {
+    v[i] = static_cast<double>(i % 5 + 1);
+  }
+  ExpectSameResult(v, 2, "sparse");
+}
+
+TEST(BdsEdgeTest, ShortSeriesRejectedByBothPaths) {
+  const std::vector<double> v = WhiteNoise(49, 3);
+  EXPECT_FALSE(BdsTest(v).ok);
+  EXPECT_FALSE(BdsTestReference(v).ok);
+}
+
+TEST(BdsEdgeTest, ConstantSeriesTriviallyIid) {
+  const std::vector<double> v(504, 2.5);
+  const BdsResult opt = BdsTest(v);
+  EXPECT_TRUE(opt.ok);
+  EXPECT_TRUE(opt.iid);
+  EXPECT_EQ(opt.statistic, 0.0);
+}
+
+TEST(BdsEdgeTest, NearConstantSeriesParity) {
+  std::vector<double> v(504, 1.0);
+  v[100] = 1.0 + 1e-12;  // Epsilon shrinks with the stddev; ties abound.
+  ExpectSameResult(v, 2, "near constant");
+}
+
+TEST(BdsEdgeTest, DimensionTooSmallRejected) {
+  EXPECT_FALSE(BdsTest(WhiteNoise(504, 4), /*dimension=*/1).ok);
+  EXPECT_FALSE(BdsTest(WhiteNoise(504, 4), /*dimension=*/0).ok);
+}
+
+TEST(BdsEdgeTest, DegenerateEmbeddingGuardedInOptimizedPath) {
+  // dimension ~ n leaves fewer than 3 m-histories; the K denominator would
+  // be zero. The rewritten path reports not-ok instead of NaN.
+  EXPECT_FALSE(BdsTest(WhiteNoise(50, 5), /*dimension=*/49).ok);
+}
+
+TEST(BdsEdgeTest, NonFiniteValuesFallBackToReference) {
+  std::vector<double> v = WhiteNoise(504, 6);
+  v[10] = std::numeric_limits<double>::quiet_NaN();
+  const BdsResult ref = BdsTestReference(v);
+  const BdsResult opt = BdsTest(v);  // Must not crash in the sort.
+  EXPECT_EQ(ref.ok, opt.ok);
+  EXPECT_EQ(ref.iid, opt.iid);
+}
+
+}  // namespace
+}  // namespace femux
