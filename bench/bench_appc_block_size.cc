@@ -25,13 +25,16 @@ void Run() {
   const Rum rum = Rum::Default();
 
   std::vector<double> rums;
+  // The test set is fixed across block sizes; share the derived series.
+  SeriesCache series_cache;
   for (std::size_t block_minutes : {420u, 504u, 1008u}) {
     TrainerOptions trainer = BenchTrainerOptions();
     trainer.block_minutes = block_minutes;
     const TrainResult trained = TrainFemux(dataset, train, rum, trainer);
     auto model = std::make_shared<FemuxModel>(trained.model);
     const FemuxPolicy prototype(model);
-    const SimMetrics m = SimulateFleetUniform(test, prototype, SimOptions{}).total;
+    const SimMetrics m =
+        SimulateFleetUniform(test, prototype, SimOptions{}, false, 0, &series_cache).total;
     rums.push_back(rum.Evaluate(m));
     std::printf("block=%4zu min rum=%12.1f cold_s=%12.1f wasted_gbs=%14.0f\n",
                 block_minutes, rum.Evaluate(m), m.cold_start_seconds,

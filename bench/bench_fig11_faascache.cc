@@ -20,9 +20,11 @@ struct FemuxRun {
   SimMetrics metrics;
 };
 
-SimMetrics RunFemux(const Dataset& test, const TrainedFemux& trained) {
+SimMetrics RunFemux(const Dataset& test, const TrainedFemux& trained,
+                    SeriesCache* series_cache) {
   const FemuxPolicy prototype(trained.model);
-  return SimulateFleetUniform(test, prototype, SimOptions{}).total;
+  return SimulateFleetUniform(test, prototype, SimOptions{}, false, 0, series_cache)
+      .total;
 }
 
 void Run() {
@@ -37,8 +39,11 @@ void Run() {
   // its 2,523-app population; we anchor the sweep to this population's
   // working set instead — the average warm footprint of a 10-minute
   // keep-alive — and sweep the same ~(-11 %, 0, +11 %) band around it.
+  SeriesCache series_cache;
   const SimMetrics ka10 =
-      SimulateFleetUniform(test, *MakeKeepAlivePolicy(10), SimOptions{}).total;
+      SimulateFleetUniform(test, *MakeKeepAlivePolicy(10), SimOptions{}, false, 0,
+                           &series_cache)
+          .total;
   const double trace_seconds = dataset.duration_days * 24.0 * 3600.0;
   const double working_set_gb = ka10.allocated_gb_seconds / trace_seconds;
   std::vector<std::pair<double, FaasCacheResult>> sweep;
@@ -56,9 +61,11 @@ void Run() {
   }
 
   const FemuxRun runs[] = {
-      {"femux_default", RunFemux(test, GetOrTrainFemux(Rum::Default()))},
-      {"femux_cs", RunFemux(test, GetOrTrainFemux(Rum::ColdStartFocused()))},
-      {"femux_mem", RunFemux(test, GetOrTrainFemux(Rum::MemoryFocused()))},
+      {"femux_default", RunFemux(test, GetOrTrainFemux(Rum::Default()), &series_cache)},
+      {"femux_cs",
+       RunFemux(test, GetOrTrainFemux(Rum::ColdStartFocused()), &series_cache)},
+      {"femux_mem",
+       RunFemux(test, GetOrTrainFemux(Rum::MemoryFocused()), &series_cache)},
   };
   for (const FemuxRun& run : runs) {
     std::printf("%-24s %12.0f %12.3f %16.0f\n", run.label, run.metrics.cold_starts,

@@ -1,22 +1,24 @@
 #!/usr/bin/env bash
-# Runs the training-pipeline macro-benchmark and records its JSON result at
-# the repo root (BENCH_train_pipeline.json), so the perf trajectory is
-# tracked PR over PR.
+# Runs a perf macro-benchmark and records its JSON result at the repo root
+# (BENCH_<name>.json), so the perf trajectory is tracked PR over PR.
 #
 # Usage: scripts/bench_to_json.sh [output.json] [extra bench flags...]
+#   BENCH=...       bench to run, without the bench_ prefix
+#                   (default: train_pipeline; e.g. BENCH=serve_hot_path)
 #   BUILD_DIR=...   override the build tree (default: <repo>/build)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
-OUT="${1:-$ROOT/BENCH_train_pipeline.json}"
+BENCH="${BENCH:-train_pipeline}"
+OUT="${1:-$ROOT/BENCH_${BENCH}.json}"
 shift || true
 
-BIN="$BUILD/bench/bench_train_pipeline"
+BIN="$BUILD/bench/bench_${BENCH}"
 if [[ ! -x "$BIN" ]]; then
-  echo "building bench_train_pipeline in $BUILD ..."
+  echo "building bench_${BENCH} in $BUILD ..."
   cmake -B "$BUILD" -S "$ROOT" > /dev/null
-  cmake --build "$BUILD" --target bench_train_pipeline -j > /dev/null
+  cmake --build "$BUILD" --target "bench_${BENCH}" -j > /dev/null
 fi
 
 "$BIN" --json="$OUT" "$@"

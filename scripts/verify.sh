@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# One-stop verification entry point: tier-1 build + test, then a Release
-# bench smoke run of the training-pipeline macro-benchmark (parity between
-# the optimized and reference pipelines is asserted by the bench itself —
-# a non-zero exit means the optimization broke bit-parity).
+# One-stop verification entry point: tier-1 build + test, then Release bench
+# smoke runs of the perf macro-benchmarks (each asserts parity between its
+# optimized and reference paths — a non-zero exit means an optimization
+# broke parity).
 #
 # Usage: scripts/verify.sh [--skip-bench]
+#   FEMUX_SANITIZE=thread   additionally build the concurrency-sensitive
+#                           test targets (sim_*, forecast_*) under
+#                           ThreadSanitizer and run them with
+#                           FEMUX_THREADS=4.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,11 +23,36 @@ cmake --build "$ROOT/build" -j
 if [[ "$SKIP_BENCH" == "0" ]]; then
   echo "== bench smoke (Release) =="
   cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
-  cmake --build "$ROOT/build-release" --target bench_train_pipeline -j > /dev/null
+  cmake --build "$ROOT/build-release" --target bench_train_pipeline \
+      bench_serve_hot_path -j > /dev/null
   mkdir -p "$ROOT/bench/out"
   "$ROOT/build-release/bench/bench_train_pipeline" --smoke \
       --json="$ROOT/bench/out/smoke.bench-scratch.json" || {
-    echo "bench smoke FAILED (parity or runtime error)"; exit 1;
+    echo "train-pipeline bench smoke FAILED (parity or runtime error)"; exit 1;
   }
+  "$ROOT/build-release/bench/bench_serve_hot_path" --smoke \
+      --json="$ROOT/bench/out/serve-smoke.bench-scratch.json" || {
+    echo "serve hot-path bench smoke FAILED (parity or runtime error)"; exit 1;
+  }
+fi
+
+if [[ "${FEMUX_SANITIZE:-}" == "thread" ]]; then
+  echo "== ThreadSanitizer: sim + forecast tests =="
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
+  TSAN_TARGETS=()
+  for dir in sim forecast; do
+    for src in "$ROOT/tests/$dir"/*_test.cc; do
+      TSAN_TARGETS+=("${dir}_$(basename "$src" .cc)")
+    done
+  done
+  cmake --build "$ROOT/build-tsan" --target "${TSAN_TARGETS[@]}" -j > /dev/null
+  for t in "${TSAN_TARGETS[@]}"; do
+    echo "-- tsan: $t"
+    FEMUX_THREADS=4 "$ROOT/build-tsan/tests/$t" > /dev/null || {
+      echo "TSan run FAILED: $t"; exit 1;
+    }
+  done
 fi
 echo "verify OK"

@@ -25,6 +25,9 @@ void FemuxPolicy::CompleteBlock() {
     current_index_ = selected.forecaster;
     forecaster_ = model_->MakeForecaster(selected.forecaster);
     ++switch_count_;
+    // The fresh forecaster may reuse the old one's address, so the session
+    // must not trust pointer identity for stream continuity.
+    session_.Invalidate();
   }
   selected_margin_ = selected.margin;
   block_buffer_.clear();
@@ -42,12 +45,8 @@ double FemuxPolicy::TargetUnits(std::span<const double> demand_history) {
   if (demand_history.empty()) {
     return 0.0;
   }
-  const std::size_t window =
-      std::max(kDefaultHistoryMinutes, forecaster_->preferred_history());
-  const std::size_t start =
-      demand_history.size() > window ? demand_history.size() - window : 0;
-  return ForecastOne(*forecaster_, demand_history.subspan(start)) * margin_ *
-         selected_margin_;
+  return session_.ForecastOne(*forecaster_, demand_history, kDefaultHistoryMinutes) *
+         margin_ * selected_margin_;
 }
 
 std::unique_ptr<ScalingPolicy> FemuxPolicy::Clone() const {

@@ -50,6 +50,7 @@ class FemuxPolicy final : public ScalingPolicy {
   double margin_;
   std::vector<double> block_buffer_;
   std::unique_ptr<Forecaster> forecaster_;
+  IncrementalSession session_;
   int current_index_ = 0;
   double selected_margin_ = 1.0;
   int switch_count_ = 0;

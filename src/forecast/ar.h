@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/forecast/forecaster.h"
+#include "src/forecast/sliding.h"
 
 namespace femux {
 
@@ -26,13 +27,41 @@ class ArForecaster final : public Forecaster {
                                std::size_t horizon) override;
   std::unique_ptr<Forecaster> Clone() const override;
 
+  // Incremental protocol: the (p+1)x(p+1) Gram matrix and moment vector of
+  // the AR design are maintained under rank-1 row add/remove as the window
+  // slides; refits solve the tiny normal system instead of rebuilding the
+  // design. Parity bound vs the batch path: ~1e-9 relative (Gram sums are
+  // reassociated; the state is fully rebuilt every few hundred slides so
+  // add/remove cancellation error cannot accumulate).
+  bool SupportsIncremental() const override { return true; }
+  void BeginWindow(std::span<const double> history, std::size_t capacity) override;
+  void ObserveAppend(double value) override;
+  double ForecastNext() override;
+
   std::size_t lags() const { return lags_; }
 
  private:
+  void RebuildGram();
+  // Adds (sign=+1) or removes (sign=-1) the design row targeting window
+  // index `target` (regressors are the `lags_` preceding window samples).
+  void UpdateGramRow(std::size_t target, double sign);
+  std::vector<double> FitFromGram() const;
+  bool WindowVarianceIsZero() const;
+  double FallbackMeanNext() const;
+
   std::size_t lags_;
   std::size_t refit_interval_;
   std::size_t calls_since_fit_ = 0;
   std::vector<double> cached_coefficients_;  // intercept, lag1..lagp.
+
+  // Incremental sliding-window state (DESIGN.md §7).
+  WindowBuffer window_;
+  std::vector<double> gram_;     // Upper triangle of X'X, (p+1)^2 row-major.
+  std::vector<double> moments_;  // X'y.
+  std::size_t gram_rows_ = 0;
+  std::size_t slides_since_rebuild_ = 0;
+  std::size_t inc_calls_since_fit_ = 0;
+  std::vector<double> inc_coefficients_;
 };
 
 class SetarForecaster final : public Forecaster {

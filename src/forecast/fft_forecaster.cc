@@ -46,4 +46,22 @@ std::unique_ptr<Forecaster> FftForecaster::Clone() const {
   return std::make_unique<FftForecaster>(harmonics_, refit_interval_, history_minutes_);
 }
 
+void FftForecaster::BeginWindow(std::span<const double> history,
+                                std::size_t capacity) {
+  window_.Reset(history, capacity);
+}
+
+void FftForecaster::ObserveAppend(double value) {
+  window_.Append(value, nullptr);
+}
+
+double FftForecaster::ForecastNext() {
+  // Funnel into Forecast() so the refit-interval/phase-advance cache (the
+  // actual amortization for FFT) is shared between both paths; the window
+  // copy is trivial next to even a cached harmonic evaluation.
+  window_.CopyTo(&scratch_);
+  const auto out = Forecast(scratch_, 1);
+  return out.empty() ? 0.0 : out.front();
+}
+
 }  // namespace femux

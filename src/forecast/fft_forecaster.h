@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/forecast/forecaster.h"
+#include "src/forecast/sliding.h"
 #include "src/stats/fft.h"
 
 namespace femux {
@@ -29,6 +30,16 @@ class FftForecaster final : public Forecaster {
   std::unique_ptr<Forecaster> Clone() const override;
   std::size_t preferred_history() const override { return history_minutes_; }
 
+  // Incremental protocol: FFT already amortizes its refits via
+  // `refit_interval` and phase-advances in between, so the protocol simply
+  // maintains the window ring and funnels into the shared cached-model
+  // Forecast() logic. Parity vs the batch path is bit-identical (same code
+  // evaluates the same window).
+  bool SupportsIncremental() const override { return true; }
+  void BeginWindow(std::span<const double> history, std::size_t capacity) override;
+  void ObserveAppend(double value) override;
+  double ForecastNext() override;
+
   std::size_t harmonics() const { return harmonics_; }
 
  private:
@@ -38,6 +49,8 @@ class FftForecaster final : public Forecaster {
   std::vector<Harmonic> cached_model_;
   std::size_t cached_length_ = 0;
   std::size_t calls_since_fit_ = 0;
+  WindowBuffer window_;
+  std::vector<double> scratch_;
 };
 
 }  // namespace femux

@@ -12,14 +12,42 @@ double ForecastOne(Forecaster& forecaster, std::span<const double> history) {
 std::vector<double> RollingForecast(Forecaster& forecaster,
                                     std::span<const double> series,
                                     std::size_t history_len, std::size_t warmup) {
-  history_len = std::max(history_len, forecaster.preferred_history());
   std::vector<double> predictions(series.size(), 0.0);
+  IncrementalSession session;
   for (std::size_t t = warmup; t < series.size(); ++t) {
-    const std::size_t start = t > history_len ? t - history_len : 0;
-    const std::span<const double> history = series.subspan(start, t - start);
-    predictions[t] = ForecastOne(forecaster, history);
+    // The session windows the prefix to the last history_len samples (or
+    // the forecaster's preferred history) and feeds one-sample deltas to
+    // forecasters that maintain sliding-window state.
+    predictions[t] = session.ForecastOne(forecaster, series.subspan(0, t), history_len);
   }
   return predictions;
+}
+
+double IncrementalSession::ForecastOne(Forecaster& forecaster,
+                                       std::span<const double> history,
+                                       std::size_t window_hint) {
+  const std::size_t window = std::max(window_hint, forecaster.preferred_history());
+  const std::span<const double> windowed =
+      history.size() > window ? history.last(window) : history;
+  if (!forecaster.SupportsIncremental() || history.empty()) {
+    seeded_ = false;
+    return femux::ForecastOne(forecaster, windowed);
+  }
+  const bool contiguous =
+      seeded_ && bound_ == &forecaster && window_ == window &&
+      history.size() == last_size_ + 1 &&
+      (last_size_ == 0 || history[last_size_ - 1] == last_back_);
+  if (contiguous) {
+    forecaster.ObserveAppend(history.back());
+  } else {
+    forecaster.BeginWindow(windowed, window);
+    bound_ = &forecaster;
+    window_ = window;
+    seeded_ = true;
+  }
+  last_size_ = history.size();
+  last_back_ = history.back();
+  return forecaster.ForecastNext();
 }
 
 double ClampPrediction(double value) {

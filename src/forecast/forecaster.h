@@ -44,6 +44,67 @@ class Forecaster {
   // need to see whole periods (e.g. FFT wants multiple days at minute
   // granularity); local models are happier with the 2-hour default.
   virtual std::size_t preferred_history() const { return kDefaultHistoryMinutes; }
+
+  // ---- Incremental sliding-window protocol (opt-in; DESIGN.md §7) ----
+  //
+  // The serving loop slides each application's history window by exactly one
+  // sample per scaling epoch. A forecaster that opts in maintains
+  // sliding-window sufficient statistics (Gram matrices, smoothing-state
+  // folds, transition counts, ...) so a one-step forecast costs O(1)
+  // amortized per epoch instead of a full per-call refit. ForecastNext()
+  // must agree with Forecast(window, 1)[0] on the same window within the
+  // forecaster's documented parity bound (bit-identical where the math
+  // preserves association order, <= ~1e-9 relative where add/remove or fold
+  // regrouping inherently reassociates sums).
+  //
+  // Callers should drive the protocol through IncrementalSession below,
+  // which handles contiguity tracking and the batch fallback.
+
+  // True when ObserveAppend/ForecastNext are implemented.
+  virtual bool SupportsIncremental() const { return false; }
+
+  // Discards incremental state and re-seeds it from `history` (oldest
+  // first; only the last `capacity` samples are kept). Called on first use
+  // and whenever the caller's history jumps non-contiguously.
+  virtual void BeginWindow(std::span<const double> history, std::size_t capacity) {
+    (void)history;
+    (void)capacity;
+  }
+
+  // Slides the window forward by one sample (evicting the oldest once the
+  // window is at capacity).
+  virtual void ObserveAppend(double value) { (void)value; }
+
+  // One-step forecast from the current window state.
+  virtual double ForecastNext() { return 0.0; }
+};
+
+// Drives a Forecaster through the incremental protocol with automatic
+// fallback. Each call receives the caller's full observed history; the
+// session windows it to the last `window_hint` samples (at least the
+// forecaster's preferred history, matching the batch call sites) and
+//  - feeds a one-sample delta when `history` extends the previously seen
+//    history by exactly one sample,
+//  - re-seeds the forecaster's window state when the history jumped
+//    (different length delta, different series, changed window), and
+//  - uses the batch Forecast() path for forecasters that don't implement
+//    the protocol.
+// One session drives one forecaster stream; reset with Invalidate() when
+// the underlying forecaster is replaced (pointer identity alone is not a
+// safe signal — a fresh forecaster may reuse a freed address).
+class IncrementalSession {
+ public:
+  double ForecastOne(Forecaster& forecaster, std::span<const double> history,
+                     std::size_t window_hint = kDefaultHistoryMinutes);
+
+  void Invalidate() { seeded_ = false; }
+
+ private:
+  const Forecaster* bound_ = nullptr;
+  std::size_t window_ = 0;
+  std::size_t last_size_ = 0;
+  double last_back_ = 0.0;
+  bool seeded_ = false;
 };
 
 // Convenience: one-step forecast.

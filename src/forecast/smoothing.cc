@@ -8,6 +8,7 @@ namespace {
 
 constexpr std::array<double, 9> kAlphaGrid = {0.1, 0.2, 0.3, 0.4, 0.5,
                                               0.6, 0.7, 0.8, 0.9};
+constexpr std::array<double, 4> kBetaGrid = {0.05, 0.1, 0.3, 0.5};
 
 // One-step-ahead SSE of simple exponential smoothing with parameter alpha.
 double SesSse(std::span<const double> y, double alpha, double* out_level) {
@@ -75,6 +76,89 @@ std::unique_ptr<Forecaster> ExponentialSmoothingForecaster::Clone() const {
   return std::make_unique<ExponentialSmoothingForecaster>();
 }
 
+void ExponentialSmoothingForecaster::BeginWindow(std::span<const double> history,
+                                                 std::size_t capacity) {
+  window_.Reset(history, capacity);
+  for (auto& fold : folds_) {
+    fold.Clear();
+  }
+  for (std::size_t t = 1; t < window_.size(); ++t) {
+    const double y = window_[t];
+    for (std::size_t i = 0; i < kGridSize; ++i) {
+      folds_[i].Push(SesMap::Observe(y, kAlphaGrid[i]));
+    }
+  }
+}
+
+void ExponentialSmoothingForecaster::ObserveAppend(double value) {
+  const bool was_full = window_.full() && window_.size() > 0;
+  double evicted = 0.0;
+  window_.Append(value, &evicted);
+  for (std::size_t i = 0; i < kGridSize; ++i) {
+    // The old window's second sample becomes the new initial level, so its
+    // observation map leaves the fold.
+    if (was_full && !folds_[i].empty()) {
+      folds_[i].PopFront();
+    }
+    if (window_.size() >= 2) {
+      folds_[i].Push(SesMap::Observe(value, kAlphaGrid[i]));
+    }
+  }
+}
+
+double ExponentialSmoothingForecaster::ForecastNext() {
+  const std::size_t n = window_.size();
+  if (n == 0) {
+    return 0.0;
+  }
+  if (n == 1) {
+    return ClampPrediction(window_.front());
+  }
+  // Constant window: the batch recurrence keeps level == v and every SSE at
+  // exactly zero for every alpha, so the first grid point wins and the
+  // forecast is v. O(1) and bit-exact.
+  if (window_.Min() == window_.Max()) {
+    return ClampPrediction(window_.front());
+  }
+  double best_level = window_.back();
+  double best_sse = std::numeric_limits<double>::infinity();
+  double runner_up_sse = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < kGridSize; ++i) {
+    const SesMap* first = nullptr;
+    const SesMap* second = nullptr;
+    folds_[i].Parts(&first, &second);
+    double sse = 0.0;
+    double level = window_.front();
+    level = first->Apply(level, &sse);
+    level = second->Apply(level, &sse);
+    if (sse < best_sse) {
+      runner_up_sse = best_sse;
+      best_sse = sse;
+      best_level = level;
+    } else if (sse < runner_up_sse) {
+      runner_up_sse = sse;
+    }
+  }
+  // Near-tied grid points: the fold's reassociation noise (~1e-16 relative)
+  // could pick a different winner than the batch sweep, and the winning
+  // alpha feeds the output directly. Resolve ties with a bit-exact
+  // batch-order resweep; genuine separation (the common case) never pays it.
+  if (runner_up_sse - best_sse <= 1e-9 * best_sse) {
+    window_.CopyTo(&scratch_);
+    best_level = scratch_.back();
+    best_sse = std::numeric_limits<double>::infinity();
+    for (double alpha : kAlphaGrid) {
+      double level = 0.0;
+      const double sse = SesSse(scratch_, alpha, &level);
+      if (sse < best_sse) {
+        best_sse = sse;
+        best_level = level;
+      }
+    }
+  }
+  return ClampPrediction(best_level);
+}
+
 std::vector<double> HoltForecaster::Forecast(std::span<const double> history,
                                              std::size_t horizon) {
   if (history.size() < 3) {
@@ -84,7 +168,6 @@ std::vector<double> HoltForecaster::Forecast(std::span<const double> history,
   double best_level = history.back();
   double best_trend = 0.0;
   double best_sse = std::numeric_limits<double>::infinity();
-  constexpr std::array<double, 4> kBetaGrid = {0.05, 0.1, 0.3, 0.5};
   for (double alpha : kAlphaGrid) {
     for (double beta : kBetaGrid) {
       double level = 0.0;
@@ -107,6 +190,100 @@ std::vector<double> HoltForecaster::Forecast(std::span<const double> history,
 
 std::unique_ptr<Forecaster> HoltForecaster::Clone() const {
   return std::make_unique<HoltForecaster>();
+}
+
+void HoltForecaster::BeginWindow(std::span<const double> history,
+                                 std::size_t capacity) {
+  window_.Reset(history, capacity);
+  for (auto& fold : folds_) {
+    fold.Clear();
+  }
+  for (std::size_t t = 1; t < window_.size(); ++t) {
+    const double y = window_[t];
+    for (std::size_t a = 0; a < kAlphaCount; ++a) {
+      for (std::size_t b = 0; b < kBetaCount; ++b) {
+        folds_[a * kBetaCount + b].Push(
+            HoltMap::Observe(y, kAlphaGrid[a], kBetaGrid[b]));
+      }
+    }
+  }
+}
+
+void HoltForecaster::ObserveAppend(double value) {
+  const bool was_full = window_.full() && window_.size() > 0;
+  double evicted = 0.0;
+  window_.Append(value, &evicted);
+  for (std::size_t a = 0; a < kAlphaCount; ++a) {
+    for (std::size_t b = 0; b < kBetaCount; ++b) {
+      SlidingFold<HoltMap>& fold = folds_[a * kBetaCount + b];
+      if (was_full && !fold.empty()) {
+        fold.PopFront();
+      }
+      if (window_.size() >= 2) {
+        fold.Push(HoltMap::Observe(value, kAlphaGrid[a], kBetaGrid[b]));
+      }
+    }
+  }
+}
+
+double HoltForecaster::ForecastNext() {
+  const std::size_t n = window_.size();
+  if (n < 3) {
+    return ClampPrediction(n == 0 ? 0.0 : window_.back());
+  }
+  // Constant window: the batch recurrence keeps level == v and trend == 0
+  // exactly, every SSE is exactly zero, and the first grid point wins.
+  if (window_.Min() == window_.Max()) {
+    return ClampPrediction(window_.front());
+  }
+  const double init_level = window_.front();
+  const double init_trend = window_[1] - window_[0];
+  double best_level = window_.back();
+  double best_trend = 0.0;
+  double best_sse = std::numeric_limits<double>::infinity();
+  double runner_up_sse = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < kAlphaCount * kBetaCount; ++i) {
+    const HoltMap* first = nullptr;
+    const HoltMap* second = nullptr;
+    folds_[i].Parts(&first, &second);
+    double sse = 0.0;
+    double level = init_level;
+    double trend = init_trend;
+    first->Apply(&level, &trend, &sse);
+    second->Apply(&level, &trend, &sse);
+    if (sse < best_sse) {
+      runner_up_sse = best_sse;
+      best_sse = sse;
+      best_level = level;
+      best_trend = trend;
+    } else if (sse < runner_up_sse) {
+      runner_up_sse = sse;
+    }
+  }
+  // Exactly-tied batch SSEs show up here as ~1e-16 fold noise, and the
+  // winning (alpha, beta) feeds the output directly — e.g. at n == 3 the
+  // one-step error of the first sample is zero for every grid point, so the
+  // whole grid ties. Resolve near-ties with a bit-exact batch-order resweep.
+  if (runner_up_sse - best_sse <= 1e-9 * best_sse) {
+    window_.CopyTo(&scratch_);
+    best_level = scratch_.back();
+    best_trend = 0.0;
+    best_sse = std::numeric_limits<double>::infinity();
+    for (double alpha : kAlphaGrid) {
+      for (double beta : kBetaGrid) {
+        double level = 0.0;
+        double trend = 0.0;
+        const double sse = HoltSse(scratch_, alpha, beta, &level, &trend);
+        if (sse < best_sse) {
+          best_sse = sse;
+          best_level = level;
+          best_trend = trend;
+        }
+      }
+    }
+  }
+  // Horizon 1 of the batch path: level + 1 * trend.
+  return ClampPrediction(best_level + 1.0 * best_trend);
 }
 
 }  // namespace femux

@@ -6,7 +6,11 @@
 #ifndef SRC_FORECAST_SMOOTHING_H_
 #define SRC_FORECAST_SMOOTHING_H_
 
+#include <array>
+#include <vector>
+
 #include "src/forecast/forecaster.h"
+#include "src/forecast/sliding.h"
 
 namespace femux {
 
@@ -18,6 +22,27 @@ class ExponentialSmoothingForecaster final : public Forecaster {
   std::vector<double> Forecast(std::span<const double> history,
                                std::size_t horizon) override;
   std::unique_ptr<Forecaster> Clone() const override;
+
+  // Incremental protocol: one SlidingFold of SES observation maps per alpha
+  // grid point carries the level recurrence and in-sample SSE forward in
+  // O(1) amortized per epoch. Parity bound vs the batch path: ~1e-9 relative
+  // (fold grouping reassociates the level/SSE recurrences). Grid selection
+  // matches batch even on exactly-tied SSEs: constant windows short-circuit
+  // and near-tied folds fall back to a bit-exact batch-order resweep.
+  bool SupportsIncremental() const override { return true; }
+  void BeginWindow(std::span<const double> history, std::size_t capacity) override;
+  void ObserveAppend(double value) override;
+  double ForecastNext() override;
+
+  static constexpr std::size_t kGridSize = 9;
+
+ private:
+  WindowBuffer window_;
+  // Fold i covers window samples [1..n) for alpha grid point i (sample 0 is
+  // the initial level, not an observation).
+  std::array<SlidingFold<SesMap>, kGridSize> folds_;
+  // Scratch buffer for the near-tie resweep; reused across calls.
+  std::vector<double> scratch_;
 };
 
 class HoltForecaster final : public Forecaster {
@@ -28,6 +53,21 @@ class HoltForecaster final : public Forecaster {
   std::vector<double> Forecast(std::span<const double> history,
                                std::size_t horizon) override;
   std::unique_ptr<Forecaster> Clone() const override;
+
+  // Incremental protocol: one SlidingFold of Holt observation maps per
+  // (alpha, beta) grid point; same parity model as SES.
+  bool SupportsIncremental() const override { return true; }
+  void BeginWindow(std::span<const double> history, std::size_t capacity) override;
+  void ObserveAppend(double value) override;
+  double ForecastNext() override;
+
+  static constexpr std::size_t kAlphaCount = 9;
+  static constexpr std::size_t kBetaCount = 4;
+
+ private:
+  WindowBuffer window_;
+  std::array<SlidingFold<HoltMap>, kAlphaCount * kBetaCount> folds_;
+  std::vector<double> scratch_;
 };
 
 }  // namespace femux

@@ -37,7 +37,10 @@ void HybridHistogramPolicy::ObserveArrival(double idle_gap_ms) {
 }
 
 double HybridHistogramPolicy::Quantile(double q) const {
-  const double target = q * static_cast<double>(count_);
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double target = std::clamp(q, 0.0, 1.0) * static_cast<double>(count_);
   double cumulative = 0.0;
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     cumulative += static_cast<double>(counts_[b]);
@@ -53,7 +56,9 @@ double HybridHistogramPolicy::Quantile(double q) const {
 }
 
 IdleDecision HybridHistogramPolicy::OnContainerIdle() {
-  if (count_ < options_.min_observations) {
+  // count_ == 0 must take the fallback even if min_observations is 0: the
+  // mean/CV below divide by count_.
+  if (count_ == 0 || count_ < options_.min_observations) {
     return {.keep_alive_ms = options_.fallback_keep_alive_ms, .prewarm_after_ms = -1.0};
   }
   const double mean = sum_ / static_cast<double>(count_);

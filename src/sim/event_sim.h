@@ -88,14 +88,17 @@ class HybridHistogramPolicy final : public IdlePolicy {
 
   std::size_t observations() const { return count_; }
 
+  // Idle-gap quantile from the histogram (lower bucket edge). Total: `q` is
+  // clamped to [0, 1] and an empty histogram yields 0 (callers must not rely
+  // on it for decisions before any observation arrived).
+  double Quantile(double q) const;
+
  private:
   Options options_;
   std::vector<std::int64_t> counts_;
   std::size_t count_ = 0;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
-
-  double Quantile(double q) const;
 };
 
 struct EventSimOptions {

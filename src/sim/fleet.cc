@@ -79,9 +79,40 @@ std::vector<double> ArrivalSeries(const AppTrace& app, double epoch_seconds) {
   return arrivals;
 }
 
+SeriesCache::Series SeriesCache::GetOrCompute(const AppTrace& app, int app_index,
+                                              double epoch_seconds) {
+  const Key key{app_index, std::llround(epoch_seconds * 1000.0)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      return it->second;
+    }
+  }
+  // Compute outside the lock; concurrent first callers may duplicate the
+  // work, but the first insert wins and all callers share one copy.
+  Series series;
+  series.demand =
+      std::make_shared<const std::vector<double>>(DemandSeries(app, epoch_seconds));
+  series.arrivals =
+      std::make_shared<const std::vector<double>>(ArrivalSeries(app, epoch_seconds));
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.emplace(key, std::move(series)).first->second;
+}
+
+void SeriesCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::size_t SeriesCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 FleetResult SimulateFleet(const Dataset& dataset, const PolicyFactory& factory,
                           SimOptions options, bool respect_app_min_scale,
-                          std::size_t threads) {
+                          std::size_t threads, SeriesCache* series_cache) {
   FleetResult result;
   result.per_app.resize(dataset.apps.size());
   ParallelFor(
@@ -93,11 +124,21 @@ FleetResult SimulateFleet(const Dataset& dataset, const PolicyFactory& factory,
         app_options.memory_gb_per_unit =
             app.consumed_memory_mb > 0.0 ? app.consumed_memory_mb / 1024.0
                                          : options.memory_gb_per_unit;
-        const std::vector<double> demand = DemandSeries(app, app_options.epoch_seconds);
-        const std::vector<double> arrivals =
-            ArrivalSeries(app, app_options.epoch_seconds);
+        std::shared_ptr<const std::vector<double>> demand;
+        std::shared_ptr<const std::vector<double>> arrivals;
+        if (series_cache != nullptr) {
+          SeriesCache::Series series = series_cache->GetOrCompute(
+              app, static_cast<int>(i), app_options.epoch_seconds);
+          demand = std::move(series.demand);
+          arrivals = std::move(series.arrivals);
+        } else {
+          demand = std::make_shared<const std::vector<double>>(
+              DemandSeries(app, app_options.epoch_seconds));
+          arrivals = std::make_shared<const std::vector<double>>(
+              ArrivalSeries(app, app_options.epoch_seconds));
+        }
         std::unique_ptr<ScalingPolicy> policy = factory(static_cast<int>(i));
-        result.per_app[i] = SimulateApp(demand, arrivals, *policy, app_options);
+        result.per_app[i] = SimulateApp(*demand, *arrivals, *policy, app_options);
       },
       threads);
   for (const SimMetrics& m : result.per_app) {
@@ -108,10 +149,10 @@ FleetResult SimulateFleet(const Dataset& dataset, const PolicyFactory& factory,
 
 FleetResult SimulateFleetUniform(const Dataset& dataset, const ScalingPolicy& prototype,
                                  const SimOptions& options, bool respect_app_min_scale,
-                                 std::size_t threads) {
+                                 std::size_t threads, SeriesCache* series_cache) {
   return SimulateFleet(
       dataset, [&prototype](int) { return prototype.Clone(); }, options,
-      respect_app_min_scale, threads);
+      respect_app_min_scale, threads, series_cache);
 }
 
 }  // namespace femux

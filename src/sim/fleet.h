@@ -5,7 +5,10 @@
 #define SRC_SIM_FLEET_H_
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -22,19 +25,48 @@ struct FleetResult {
 // app index so callers can vary policies per app (e.g. multi-tier RUMs).
 using PolicyFactory = std::function<std::unique_ptr<ScalingPolicy>(int app_index)>;
 
+// Caches the derived per-app demand/arrival series across repeated
+// SimulateFleet calls over the same dataset (bench sweeps run many policies
+// over identical traces; the series expansion is pure per (app, epoch)).
+// Keyed by (app index, epoch length), so one cache must not be shared across
+// different datasets. Thread-safe: fleet workers hit it concurrently.
+class SeriesCache {
+ public:
+  struct Series {
+    std::shared_ptr<const std::vector<double>> demand;
+    std::shared_ptr<const std::vector<double>> arrivals;
+  };
+
+  // Returns the cached series for (app_index, epoch_seconds), computing and
+  // inserting them on first use. `app` must be the dataset entry the index
+  // refers to.
+  Series GetOrCompute(const AppTrace& app, int app_index, double epoch_seconds);
+
+  void Clear();
+  std::size_t size() const;
+
+ private:
+  using Key = std::pair<int, long long>;  // (app index, epoch milliseconds)
+  mutable std::mutex mu_;
+  std::map<Key, Series> entries_;
+};
+
 // Runs `factory`'s policies over all apps of `dataset`. `options.min_scale`
 // is overridden per app from its configuration when
 // `respect_app_min_scale` is set; the Azure-style evaluations disable it
 // (Azure Functions had no provisioned concurrency in 2019).
+// `series_cache` (optional) reuses demand/arrival series across calls;
+// single-shot callers pass nothing and pay no caching cost.
 FleetResult SimulateFleet(const Dataset& dataset, const PolicyFactory& factory,
                           SimOptions options, bool respect_app_min_scale = false,
-                          std::size_t threads = 0);
+                          std::size_t threads = 0, SeriesCache* series_cache = nullptr);
 
 // Convenience: every app uses a clone of `prototype`.
 FleetResult SimulateFleetUniform(const Dataset& dataset, const ScalingPolicy& prototype,
                                  const SimOptions& options,
                                  bool respect_app_min_scale = false,
-                                 std::size_t threads = 0);
+                                 std::size_t threads = 0,
+                                 SeriesCache* series_cache = nullptr);
 
 // Demand series (compute units per epoch) for one app at the given epoch
 // length. Minute-level counts are expanded/aggregated to the epoch grid;

@@ -12,11 +12,10 @@ double ForecasterPolicy::TargetUnits(std::span<const double> demand_history) {
   if (demand_history.empty()) {
     return 0.0;
   }
-  const std::size_t window = std::max(history_len_, forecaster_->preferred_history());
-  const std::size_t start =
-      demand_history.size() > window ? demand_history.size() - window : 0;
-  const double predicted =
-      ForecastOne(*forecaster_, demand_history.subspan(start));
+  // The session windows the history and feeds one-sample deltas to
+  // forecasters with sliding-window state; other forecasters fall back to
+  // the batch path on the same window.
+  const double predicted = session_.ForecastOne(*forecaster_, demand_history, history_len_);
   const double target = predicted * margin_;
   if (reactive_floor_) {
     return std::max(target, demand_history.back());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace femux {
 namespace {
 
@@ -133,6 +135,35 @@ TEST(SynthesizeArrivalsTest, MaxMinutesTruncates) {
   AppTrace app;
   app.minute_counts = {1.0, 1.0, 1.0};
   EXPECT_EQ(SynthesizeArrivals(app, 1, 2).size(), 2u);
+}
+
+TEST(HybridHistogramQuantileTest, TotalOnEmptyHistogram) {
+  HybridHistogramPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(policy.Quantile(1.0), 0.0);
+  // With min_observations == 0 the count_ == 0 guard must still route the
+  // very first decision to the fallback instead of dividing by zero.
+  HybridHistogramPolicy::Options options;
+  options.min_observations = 0;
+  HybridHistogramPolicy eager(options);
+  const IdleDecision decision = eager.OnContainerIdle();
+  EXPECT_TRUE(std::isfinite(decision.keep_alive_ms));
+  EXPECT_DOUBLE_EQ(decision.keep_alive_ms, options.fallback_keep_alive_ms);
+}
+
+TEST(HybridHistogramQuantileTest, ClampsQAndReadsBucketEdges) {
+  HybridHistogramPolicy policy;  // 1-minute buckets.
+  for (int i = 0; i < 10; ++i) {
+    policy.ObserveArrival(30.0 * 1000.0);  // Bucket 0.
+  }
+  for (int i = 0; i < 10; ++i) {
+    policy.ObserveArrival(150.0 * 1000.0);  // Bucket 2.
+  }
+  EXPECT_DOUBLE_EQ(policy.Quantile(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(policy.Quantile(0.99), 2.0 * 60.0 * 1000.0);
+  EXPECT_DOUBLE_EQ(policy.Quantile(-1.0), policy.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(policy.Quantile(2.0), policy.Quantile(1.0));
 }
 
 }  // namespace

@@ -120,5 +120,40 @@ TEST(FleetTest, PerAppPolicyFactoryReceivesIndices) {
   }
 }
 
+TEST(SeriesCacheTest, CachedFleetMatchesUncached) {
+  const Dataset data = SmallDataset();
+  ForecasterPolicy prototype(std::make_unique<MovingAverageForecaster>(3));
+  const FleetResult plain = SimulateFleetUniform(data, prototype, SimOptions{});
+  SeriesCache cache;
+  const FleetResult first =
+      SimulateFleetUniform(data, prototype, SimOptions{}, false, 0, &cache);
+  const FleetResult second =
+      SimulateFleetUniform(data, prototype, SimOptions{}, false, 0, &cache);
+  EXPECT_EQ(cache.size(), data.apps.size());
+  ASSERT_EQ(plain.per_app.size(), first.per_app.size());
+  for (std::size_t i = 0; i < plain.per_app.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.per_app[i].cold_starts, first.per_app[i].cold_starts);
+    EXPECT_DOUBLE_EQ(plain.per_app[i].wasted_gb_seconds,
+                     first.per_app[i].wasted_gb_seconds);
+    EXPECT_DOUBLE_EQ(second.per_app[i].cold_starts, first.per_app[i].cold_starts);
+    EXPECT_DOUBLE_EQ(second.per_app[i].wasted_gb_seconds,
+                     first.per_app[i].wasted_gb_seconds);
+  }
+}
+
+TEST(SeriesCacheTest, KeyedByAppAndEpoch) {
+  const Dataset data = SmallDataset();
+  SeriesCache cache;
+  const AppTrace& app = data.apps.front();
+  const SeriesCache::Series minute = cache.GetOrCompute(app, 0, 60.0);
+  const SeriesCache::Series coarse = cache.GetOrCompute(app, 0, 120.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(minute.demand->size(), coarse.demand->size());
+  // Repeat lookups share the already-computed series.
+  EXPECT_EQ(cache.GetOrCompute(app, 0, 60.0).demand.get(), minute.demand.get());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 }  // namespace
 }  // namespace femux
