@@ -1,0 +1,361 @@
+// Spectral engine macro-benchmark (perf trajectory, not a paper figure).
+//
+// Measures the plan-cached spectral engine (DESIGN.md §9) against the
+// verbatim pre-overhaul implementation (bench/legacy_spectral.h) on the
+// transforms the serving and feature paths actually issue:
+//
+//   1. Parity gates. Power-of-two complex FFTs must be bit-identical to
+//      the legacy code (the plan tables are built with the same recurrences
+//      the old inline loops used); Bluestein lengths, the packed real-input
+//      path, harmonic models, and spectral concentration must agree within
+//      1e-9 scale-relative. One Bluestein length is additionally checked
+//      against the naive O(n^2) DftReference.
+//   2. Batch sweep. TopHarmonics + SpectralConcentration over realistic
+//      window lengths (mostly Bluestein: 120/504/720/977/1440/2880 next to
+//      power-of-two 128/2048), legacy vs optimized. The aggregate speedup
+//      is the headline gate (target >= 3x).
+//   3. Sliding sweep. The pre-PR rolling serving loop over the legacy FFT
+//      forecaster vs the sliding-DFT incremental path, parity-checked
+//      epoch by epoch.
+//
+// Results are emitted as JSON so the perf trajectory is tracked PR over PR
+// (see scripts/bench_to_json.sh).
+//
+// Usage: bench_spectral [--smoke] [--json=PATH]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "bench/legacy_spectral.h"
+#include "src/forecast/fft_forecaster.h"
+#include "src/forecast/forecaster.h"
+#include "src/stats/fft.h"
+
+namespace femux {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Deterministic xorshift so runs are comparable across machines.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
+  double Uniform() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return static_cast<double>(state_ % 1000000) / 1000000.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Serverless-shaped series: diurnal sinusoids over a baseline plus sparse
+// bursts, so harmonic selection has real structure to rank.
+std::vector<double> DemandLike(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  const double cycles = 2.0 + 3.0 * rng.Uniform();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    out[i] = 5.0 + 3.0 * std::sin(2.0 * std::numbers::pi * cycles * t) +
+             1.5 * std::sin(2.0 * std::numbers::pi * 2.0 * cycles * t + 0.7);
+    if (rng.Uniform() < 0.1) {
+      out[i] += 20.0 + 40.0 * rng.Uniform();
+    }
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> RandomComplex(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::complex<double>> out(n);
+  for (auto& v : out) {
+    v = {2.0 * rng.Uniform() - 1.0, 2.0 * rng.Uniform() - 1.0};
+  }
+  return out;
+}
+
+// Scale-relative difference: |a - b| / max(1, |a|, |b|).
+double RelDiff(double a, double b) {
+  return std::fabs(a - b) / std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+double SpectrumRelDiff(const std::vector<std::complex<double>>& a,
+                       const std::vector<std::complex<double>>& b) {
+  double scale = 1.0;
+  for (const auto& v : a) {
+    scale = std::max(scale, std::abs(v));
+  }
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_rel = std::max(max_rel, std::abs(a[i] - b[i]) / scale);
+  }
+  return max_rel;
+}
+
+bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// The pre-PR rolling serving loop (same shape as bench_serve_hot_path's
+// legacy copy): every epoch re-windows and calls batch Forecast().
+std::vector<double> LegacyRolling(Forecaster& forecaster,
+                                  std::span<const double> series,
+                                  std::size_t history_len, std::size_t warmup) {
+  history_len = std::max(history_len, forecaster.preferred_history());
+  std::vector<double> predictions(series.size(), 0.0);
+  for (std::size_t t = warmup; t < series.size(); ++t) {
+    const std::size_t start = t > history_len ? t - history_len : 0;
+    predictions[t] = ForecastOne(forecaster, series.subspan(start, t - start));
+  }
+  return predictions;
+}
+
+struct LengthResult {
+  std::size_t n = 0;
+  bool bit_exact = false;   // Power-of-two complex path gated bit-identical.
+  double parity_max_rel = 0.0;
+  bool parity_ok = true;
+  double legacy_seconds = 0.0;
+  double optimized_seconds = 0.0;
+  double speedup = 0.0;
+};
+
+}  // namespace
+}  // namespace femux
+
+int main(int argc, char** argv) {
+  using namespace femux;
+  constexpr double kParityBound = 1e-9;
+  constexpr std::size_t kHarmonics = 10;
+
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    }
+  }
+
+  // Window lengths the feature and serving paths actually see: day-scale
+  // minute windows and their truncations. All but 128/2048 take the
+  // Bluestein path, which is where the precomputed chirp tables pay off.
+  const std::vector<std::size_t> lengths =
+      smoke ? std::vector<std::size_t>{60, 64, 120, 128}
+            : std::vector<std::size_t>{120, 128, 504, 720, 977, 1440, 2048, 2880};
+  const std::size_t iter_budget = smoke ? 6000 : 240000;
+
+  std::printf("spectral bench: legacy (pre-overhaul) vs plan-cached engine, "
+              "%zu lengths%s\n",
+              lengths.size(), smoke ? " [smoke]" : "");
+
+  bool parity_ok = true;
+  std::vector<LengthResult> rows;
+  double total_legacy = 0.0;
+  double total_optimized = 0.0;
+
+  for (const std::size_t n : lengths) {
+    LengthResult row;
+    row.n = n;
+    row.bit_exact = IsPowerOfTwo(n);
+
+    // --- Parity: complex transform (bit-exact on power-of-two lengths).
+    {
+      const auto x = RandomComplex(n, 7 * n + 1);
+      const auto legacy = legacy_spectral::Fft(x);
+      const auto optimized = Fft(x);
+      if (row.bit_exact) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (legacy[i].real() != optimized[i].real() ||
+              legacy[i].imag() != optimized[i].imag()) {
+            row.parity_ok = false;
+          }
+        }
+      }
+      row.parity_max_rel =
+          std::max(row.parity_max_rel, SpectrumRelDiff(legacy, optimized));
+    }
+
+    // --- Parity: packed real path, harmonic model, concentration.
+    const std::vector<std::vector<double>> series = {
+        DemandLike(n, 11 * n + 1), DemandLike(n, 11 * n + 2),
+        DemandLike(n, 11 * n + 3), DemandLike(n, 11 * n + 4)};
+    for (const auto& x : series) {
+      row.parity_max_rel = std::max(
+          row.parity_max_rel,
+          SpectrumRelDiff(legacy_spectral::FftReal(x), FftReal(x)));
+      const auto legacy_model = legacy_spectral::TopHarmonics(x, kHarmonics);
+      const auto optimized_model = TopHarmonics(x, kHarmonics);
+      // Tied bins may be ordered differently by the legacy std::sort, so
+      // compare the models where it matters: the evaluated forecasts.
+      for (std::size_t t = n; t < n + 8; ++t) {
+        row.parity_max_rel = std::max(
+            row.parity_max_rel,
+            RelDiff(EvaluateHarmonics(legacy_model, static_cast<double>(t), n),
+                    EvaluateHarmonics(optimized_model, static_cast<double>(t), n)));
+      }
+      row.parity_max_rel = std::max(
+          row.parity_max_rel,
+          RelDiff(legacy_spectral::SpectralConcentration(x, kHarmonics),
+                  SpectralConcentration(x, kHarmonics)));
+    }
+    if (row.parity_max_rel > kParityBound) {
+      row.parity_ok = false;
+    }
+
+    // --- Batch sweep: the feature/fit hot path (TopHarmonics + spectral
+    // concentration) per engine. One untimed warm-up pass per path; the
+    // plan build is one-time and amortizes to nothing over a sweep.
+    const std::size_t iters = std::max<std::size_t>(8, iter_budget / n);
+    double sink = 0.0;
+    sink += legacy_spectral::SpectralConcentration(series[0], kHarmonics);
+    sink += SpectralConcentration(series[0], kHarmonics);
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t it = 0; it < iters; ++it) {
+        const auto& x = series[it % series.size()];
+        sink += legacy_spectral::TopHarmonics(x, kHarmonics).front().amplitude;
+        sink += legacy_spectral::SpectralConcentration(x, kHarmonics);
+      }
+      row.legacy_seconds = Seconds(start);
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t it = 0; it < iters; ++it) {
+        const auto& x = series[it % series.size()];
+        sink += TopHarmonics(x, kHarmonics).front().amplitude;
+        sink += SpectralConcentration(x, kHarmonics);
+      }
+      row.optimized_seconds = Seconds(start);
+    }
+    // Defeat dead-code elimination of the timed loops.
+    if (sink == 0.123456789) {
+      std::fprintf(stderr, "unexpected sink %f\n", sink);
+    }
+
+    row.speedup = row.optimized_seconds > 0.0
+                      ? row.legacy_seconds / row.optimized_seconds
+                      : 0.0;
+    total_legacy += row.legacy_seconds;
+    total_optimized += row.optimized_seconds;
+    parity_ok = parity_ok && row.parity_ok;
+    std::printf("n=%-5zu legacy %7.3f s  optimized %7.3f s  speedup %6.2fx  "
+                "parity %.3g %s%s\n",
+                n, row.legacy_seconds, row.optimized_seconds, row.speedup,
+                row.parity_max_rel, row.parity_ok ? "(PASS" : "(FAIL",
+                row.bit_exact ? ", pow2 bit-exact)" : ", <= 1e-9 rel)");
+    rows.push_back(row);
+  }
+
+  // --- Cross-check one Bluestein length against the naive O(n^2) DFT so
+  // the legacy-vs-optimized agreement can't hide a shared systematic bug.
+  double dft_max_rel = 0.0;
+  {
+    const std::size_t n = smoke ? 120 : 720;
+    const auto x = RandomComplex(n, 4242);
+    dft_max_rel = SpectrumRelDiff(DftReference(x), Fft(x));
+    if (dft_max_rel > kParityBound) {
+      parity_ok = false;
+    }
+    std::printf("dft-ref    : n=%zu max rel %.3g %s\n", n, dft_max_rel,
+                dft_max_rel <= kParityBound ? "(PASS)" : "(FAIL)");
+  }
+
+  const double batch_speedup =
+      total_optimized > 0.0 ? total_legacy / total_optimized : 0.0;
+  std::printf("gate       : batch sweep speedup %.2fx (target >= 3x)\n",
+              batch_speedup);
+
+  // --- Sliding sweep: pre-PR rolling loop over the legacy forecaster vs
+  // the sliding-DFT incremental serving path, on a day-scale window.
+  const std::size_t window = smoke ? 240 : 1440;
+  const std::size_t warmup = 10;
+  const auto demand = DemandLike(4 * window, 97);
+  double sliding_legacy_s = 0.0;
+  double sliding_optimized_s = 0.0;
+  double sliding_max_rel = 0.0;
+  {
+    legacy_spectral::FftForecaster legacy(kHarmonics, 5, window);
+    const auto start = std::chrono::steady_clock::now();
+    const auto reference = LegacyRolling(legacy, demand, window, warmup);
+    sliding_legacy_s = Seconds(start);
+
+    FftForecaster optimized(kHarmonics, 5, window);
+    const auto opt_start = std::chrono::steady_clock::now();
+    const auto incremental = RollingForecast(optimized, demand, window, warmup);
+    sliding_optimized_s = Seconds(opt_start);
+
+    for (std::size_t t = 0; t < reference.size(); ++t) {
+      sliding_max_rel = std::max(sliding_max_rel,
+                                 RelDiff(reference[t], incremental[t]));
+    }
+    if (sliding_max_rel > kParityBound) {
+      parity_ok = false;
+    }
+  }
+  const double sliding_speedup =
+      sliding_optimized_s > 0.0 ? sliding_legacy_s / sliding_optimized_s : 0.0;
+  std::printf("sliding    : legacy %7.3f s  incremental %7.3f s  speedup "
+              "%6.2fx  parity %.3g %s\n",
+              sliding_legacy_s, sliding_optimized_s, sliding_speedup,
+              sliding_max_rel,
+              sliding_max_rel <= kParityBound ? "(PASS <= 1e-9 rel)"
+                                              : "(FAIL > 1e-9 rel)");
+
+  bool json_ok = true;
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"spectral\",\n"
+        << "  \"config\": {\"harmonics\": " << kHarmonics
+        << ", \"sliding_window\": " << window
+        << ", \"smoke\": " << (smoke ? "true" : "false") << "},\n"
+        << "  \"lengths\": {\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const LengthResult& r = rows[i];
+      out << "    \"" << r.n << "\": {\"legacy_seconds\": " << r.legacy_seconds
+          << ", \"optimized_seconds\": " << r.optimized_seconds
+          << ", \"speedup\": " << r.speedup
+          << ", \"parity_max_rel\": " << r.parity_max_rel
+          << ", \"bit_exact\": " << (r.bit_exact ? "true" : "false")
+          << ", \"parity_ok\": " << (r.parity_ok ? "true" : "false") << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  },\n"
+        << "  \"dft_reference_max_rel\": " << dft_max_rel << ",\n"
+        << "  \"gate_speedup\": " << batch_speedup << ",\n"
+        << "  \"speedup_ok\": " << (batch_speedup >= 3.0 ? "true" : "false")
+        << ",\n"
+        << "  \"sliding\": {\"legacy_seconds\": " << sliding_legacy_s
+        << ", \"optimized_seconds\": " << sliding_optimized_s
+        << ", \"speedup\": " << sliding_speedup
+        << ", \"parity_max_rel\": " << sliding_max_rel << "},\n"
+        << "  \"parity_ok\": " << (parity_ok ? "true" : "false") << "\n"
+        << "}\n";
+    out.flush();
+    json_ok = out.good();
+    if (json_ok) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+    }
+  }
+
+  return parity_ok && json_ok ? 0 : 1;
+}

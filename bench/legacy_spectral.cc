@@ -1,0 +1,226 @@
+// See legacy_spectral.h: verbatim pre-overhaul spectral code. Do not
+// optimize anything in this file — its value is being the unchanged
+// baseline the perf gates compare against. EvaluateHarmonics is shared
+// with the library because the overhaul left it untouched.
+#include "bench/legacy_spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numbers>
+
+namespace femux {
+namespace legacy_spectral {
+namespace {
+
+bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Iterative radix-2 Cooley-Tukey; n must be a power of two.
+void Radix2(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(a[i], a[j]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wn(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wn;
+      }
+    }
+  }
+}
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Bluestein chirp-z transform: expresses a length-n DFT as a convolution,
+// evaluated with power-of-two FFTs. Handles arbitrary n.
+std::vector<std::complex<double>> Bluestein(const std::vector<std::complex<double>>& x,
+                                            bool inverse) {
+  const std::size_t n = x.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<std::complex<double>> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Use k^2 mod 2n to avoid overflow/precision loss for long series.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = sign * std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<std::complex<double>> a(m, {0.0, 0.0});
+  std::vector<std::complex<double>> b(m, {0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = x[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+    if (k != 0) {
+      b[m - k] = std::conj(chirp[k]);
+    }
+  }
+  Radix2(a, /*inverse=*/false);
+  Radix2(b, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) {
+    a[k] *= b[k];
+  }
+  Radix2(a, /*inverse=*/true);
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = a[k] / static_cast<double>(m) * chirp[k];
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> Transform(std::vector<std::complex<double>> input,
+                                            bool inverse) {
+  if (input.empty()) {
+    return input;
+  }
+  if (IsPowerOfTwo(input.size())) {
+    Radix2(input, inverse);
+  } else {
+    input = Bluestein(input, inverse);
+  }
+  if (inverse) {
+    for (auto& v : input) {
+      v /= static_cast<double>(input.size());
+    }
+  }
+  return input;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> Fft(std::vector<std::complex<double>> input) {
+  return Transform(std::move(input), /*inverse=*/false);
+}
+
+std::vector<std::complex<double>> InverseFft(std::vector<std::complex<double>> input) {
+  return Transform(std::move(input), /*inverse=*/true);
+}
+
+std::vector<std::complex<double>> FftReal(std::span<const double> input) {
+  std::vector<std::complex<double>> buf(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    buf[i] = {input[i], 0.0};
+  }
+  return Fft(std::move(buf));
+}
+
+std::vector<Harmonic> TopHarmonics(std::span<const double> series, std::size_t k) {
+  std::vector<Harmonic> out;
+  const std::size_t n = series.size();
+  if (n == 0 || k == 0) {
+    return out;
+  }
+  const auto spectrum = FftReal(series);
+  // Only bins [0, n/2] are independent for a real signal.
+  const std::size_t half = n / 2;
+  std::vector<Harmonic> all;
+  all.reserve(half + 1);
+  for (std::size_t bin = 0; bin <= half; ++bin) {
+    const double scale = (bin == 0 || (n % 2 == 0 && bin == half)) ? 1.0 : 2.0;
+    Harmonic h;
+    h.bin = bin;
+    h.frequency = static_cast<double>(bin) / static_cast<double>(n);
+    h.amplitude = scale * std::abs(spectrum[bin]) / static_cast<double>(n);
+    h.phase = std::arg(spectrum[bin]);
+    all.push_back(h);
+  }
+  std::sort(all.begin(), all.end(), [](const Harmonic& a, const Harmonic& b) {
+    return a.amplitude > b.amplitude;
+  });
+  for (const Harmonic& h : all) {
+    if (out.size() >= k) {
+      break;
+    }
+    out.push_back(h);
+  }
+  return out;
+}
+
+double SpectralConcentration(std::span<const double> series, std::size_t k) {
+  const std::size_t n = series.size();
+  if (n < 4) {
+    return 0.0;
+  }
+  const auto spectrum = FftReal(series);
+  const std::size_t half = n / 2;
+  std::vector<double> energy;
+  energy.reserve(half);
+  double total = 0.0;
+  for (std::size_t bin = 1; bin <= half; ++bin) {
+    const double e = std::norm(spectrum[bin]);
+    energy.push_back(e);
+    total += e;
+  }
+  // Treat numerically-zero non-DC energy (constant series through the
+  // Bluestein path) as aperiodic rather than ranking rounding noise.
+  const double dc_energy = std::norm(spectrum[0]);
+  if (total <= 1e-18 * (dc_energy + 1.0)) {
+    return 0.0;
+  }
+  std::sort(energy.begin(), energy.end(), std::greater<>());
+  double top = 0.0;
+  for (std::size_t i = 0; i < std::min(k, energy.size()); ++i) {
+    top += energy[i];
+  }
+  return top / total;
+}
+
+FftForecaster::FftForecaster(std::size_t harmonics, std::size_t refit_interval,
+                             std::size_t history_minutes)
+    : harmonics_(std::max<std::size_t>(1, harmonics)),
+      refit_interval_(std::max<std::size_t>(1, refit_interval)),
+      history_minutes_(std::max<std::size_t>(8, history_minutes)) {}
+
+std::vector<double> FftForecaster::Forecast(std::span<const double> history,
+                                            std::size_t horizon) {
+  if (history.size() < 8) {
+    const double last = history.empty() ? 0.0 : history.back();
+    return std::vector<double>(horizon, ClampPrediction(last));
+  }
+  const bool aligned = history.size() == cached_length_ + calls_since_fit_ ||
+                       history.size() == cached_length_;
+  const bool stale =
+      cached_model_.empty() || calls_since_fit_ >= refit_interval_ || !aligned;
+  if (stale) {
+    cached_model_ = TopHarmonics(history, harmonics_);
+    cached_length_ = history.size();
+    calls_since_fit_ = 0;
+  }
+  ++calls_since_fit_;
+  const double base = static_cast<double>(cached_length_ + calls_since_fit_ - 1);
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    out.push_back(ClampPrediction(
+        EvaluateHarmonics(cached_model_, base + static_cast<double>(h), cached_length_)));
+  }
+  return out;
+}
+
+std::unique_ptr<Forecaster> FftForecaster::Clone() const {
+  return std::make_unique<FftForecaster>(harmonics_, refit_interval_, history_minutes_);
+}
+
+}  // namespace legacy_spectral
+}  // namespace femux

@@ -1,0 +1,53 @@
+// Verbatim copy of the pre-overhaul spectral stack (src/stats/fft.{h,cc}
+// before the plan-cached engine, DESIGN.md §9), kept so the perf
+// macro-benchmarks measure the optimized paths against the real pre-PR
+// baseline on the same machine instead of a guess: per-call twiddle/chirp
+// recomputation, three full FFTs per Bluestein call, pad-to-complex real
+// transforms, and full-spectrum std::sort harmonic selection. Shared by
+// bench_spectral (batch sweep) and bench_serve_hot_path (fft row).
+#ifndef BENCH_LEGACY_SPECTRAL_H_
+#define BENCH_LEGACY_SPECTRAL_H_
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/forecast/forecaster.h"
+#include "src/stats/fft.h"
+
+namespace femux {
+namespace legacy_spectral {
+
+std::vector<std::complex<double>> Fft(std::vector<std::complex<double>> input);
+std::vector<std::complex<double>> InverseFft(std::vector<std::complex<double>> input);
+std::vector<std::complex<double>> FftReal(std::span<const double> input);
+std::vector<Harmonic> TopHarmonics(std::span<const double> series, std::size_t k);
+double SpectralConcentration(std::span<const double> series, std::size_t k);
+
+// The pre-overhaul FftForecaster batch path: refit-interval caching over
+// the legacy TopHarmonics, no incremental protocol.
+class FftForecaster final : public Forecaster {
+ public:
+  explicit FftForecaster(std::size_t harmonics = 10, std::size_t refit_interval = 1,
+                         std::size_t history_minutes = 2 * 1440);
+
+  std::string_view name() const override { return "fft"; }
+  std::vector<double> Forecast(std::span<const double> history,
+                               std::size_t horizon) override;
+  std::unique_ptr<Forecaster> Clone() const override;
+  std::size_t preferred_history() const override { return history_minutes_; }
+
+ private:
+  std::size_t harmonics_;
+  std::size_t refit_interval_;
+  std::size_t history_minutes_;
+  std::vector<Harmonic> cached_model_;
+  std::size_t cached_length_ = 0;
+  std::size_t calls_since_fit_ = 0;
+};
+
+}  // namespace legacy_spectral
+}  // namespace femux
+
+#endif  // BENCH_LEGACY_SPECTRAL_H_

@@ -9,6 +9,11 @@
 #                           test targets (sim_*, forecast_*) under
 #                           ThreadSanitizer and run them with
 #                           FEMUX_THREADS=4.
+#   FEMUX_SANITIZE=address  additionally build the numeric-kernel test
+#                           targets (stats_*, forecast_*) under
+#                           AddressSanitizer + UBSan — the spectral engine's
+#                           reused workspaces and lazily built plan tables
+#                           are exactly where lifetime bugs would hide.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -24,7 +29,7 @@ if [[ "$SKIP_BENCH" == "0" ]]; then
   echo "== bench smoke (Release) =="
   cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
   cmake --build "$ROOT/build-release" --target bench_train_pipeline \
-      bench_serve_hot_path -j > /dev/null
+      bench_serve_hot_path bench_spectral -j > /dev/null
   mkdir -p "$ROOT/bench/out"
   "$ROOT/build-release/bench/bench_train_pipeline" --smoke \
       --json="$ROOT/bench/out/smoke.bench-scratch.json" || {
@@ -33,6 +38,10 @@ if [[ "$SKIP_BENCH" == "0" ]]; then
   "$ROOT/build-release/bench/bench_serve_hot_path" --smoke \
       --json="$ROOT/bench/out/serve-smoke.bench-scratch.json" || {
     echo "serve hot-path bench smoke FAILED (parity or runtime error)"; exit 1;
+  }
+  "$ROOT/build-release/bench/bench_spectral" --smoke \
+      --json="$ROOT/bench/out/spectral-smoke.bench-scratch.json" || {
+    echo "spectral bench smoke FAILED (parity or runtime error)"; exit 1;
   }
 fi
 
@@ -52,6 +61,26 @@ if [[ "${FEMUX_SANITIZE:-}" == "thread" ]]; then
     echo "-- tsan: $t"
     FEMUX_THREADS=4 "$ROOT/build-tsan/tests/$t" > /dev/null || {
       echo "TSan run FAILED: $t"; exit 1;
+    }
+  done
+fi
+
+if [[ "${FEMUX_SANITIZE:-}" == "address" ]]; then
+  echo "== AddressSanitizer + UBSan: stats + forecast tests =="
+  cmake -B "$ROOT/build-asan" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" > /dev/null
+  ASAN_TARGETS=()
+  for dir in stats forecast; do
+    for src in "$ROOT/tests/$dir"/*_test.cc; do
+      ASAN_TARGETS+=("${dir}_$(basename "$src" .cc)")
+    done
+  done
+  cmake --build "$ROOT/build-asan" --target "${ASAN_TARGETS[@]}" -j > /dev/null
+  for t in "${ASAN_TARGETS[@]}"; do
+    echo "-- asan: $t"
+    "$ROOT/build-asan/tests/$t" > /dev/null || {
+      echo "ASan run FAILED: $t"; exit 1;
     }
   done
 fi

@@ -10,6 +10,7 @@
 #ifndef SRC_FORECAST_FFT_FORECASTER_H_
 #define SRC_FORECAST_FFT_FORECASTER_H_
 
+#include <complex>
 #include <cstddef>
 #include <vector>
 
@@ -30,11 +31,15 @@ class FftForecaster final : public Forecaster {
   std::unique_ptr<Forecaster> Clone() const override;
   std::size_t preferred_history() const override { return history_minutes_; }
 
-  // Incremental protocol: FFT already amortizes its refits via
-  // `refit_interval` and phase-advances in between, so the protocol simply
-  // maintains the window ring and funnels into the shared cached-model
-  // Forecast() logic. Parity vs the batch path is bit-identical (same code
-  // evaluates the same window).
+  // Incremental protocol (DESIGN.md §9): once the window is at capacity,
+  // its DFT bins are maintained by sliding-DFT updates — one complex
+  // multiply-add per bin per slide — so a refit is a top-k *re-selection*
+  // over the maintained bins instead of a full transform, and calls between
+  // refits phase-advance the cached model exactly like the batch path.
+  // Selection-boundary near-ties snap to an exact respectrum (mirroring the
+  // SES/Holt grid-argmin resweep), and the bins are rebuilt from the raw
+  // window every kRebuildSlides slides to bound rounding drift, keeping
+  // parity with Forecast(window, 1) within 1e-9 scale-relative.
   bool SupportsIncremental() const override { return true; }
   void BeginWindow(std::span<const double> history, std::size_t capacity) override;
   void ObserveAppend(double value) override;
@@ -43,14 +48,36 @@ class FftForecaster final : public Forecaster {
   std::size_t harmonics() const { return harmonics_; }
 
  private:
+  // Drift bound for the maintained bins: rebuilding every 512 slides keeps
+  // the accumulated sliding-DFT rounding ~1e-13 relative, two orders below
+  // the near-tie snap threshold.
+  static constexpr std::size_t kRebuildSlides = 512;
+
+  // Recomputes the maintained half-spectrum from the raw window.
+  void RebuildBins();
+  // Refits the cached incremental model (bin re-selection when the
+  // maintained bins are valid, full transform otherwise).
+  void RefitIncremental();
+
   std::size_t harmonics_;
   std::size_t refit_interval_;
   std::size_t history_minutes_;
+
+  // Batch-path cache (Forecast()).
   std::vector<Harmonic> cached_model_;
   std::size_t cached_length_ = 0;
   std::size_t calls_since_fit_ = 0;
+
+  // Incremental-path state.
   WindowBuffer window_;
   std::vector<double> scratch_;
+  std::vector<std::complex<double>> bins_;           // Maintained bins 0..n/2.
+  std::vector<std::complex<double>> slide_twiddle_;  // exp(+2*pi*i*k/n).
+  bool bins_valid_ = false;
+  std::size_t slides_since_rebuild_ = 0;
+  std::vector<Harmonic> inc_model_;
+  std::size_t inc_length_ = 0;
+  std::size_t inc_calls_since_fit_ = 0;
 };
 
 }  // namespace femux

@@ -1,0 +1,169 @@
+// Property tests for the plan-cached spectral engine (DESIGN.md §9):
+// the optimized transforms against the naive O(n^2) DftReference across
+// every small length plus primes, powers of two, and their neighbors
+// (2^k +/- 1 exercises the radix-2 and Bluestein paths side by side),
+// Parseval's identity, inverse round-trips through the Bluestein tables,
+// and thread-safety of the shared plan cache.
+#include "src/stats/fft.h"
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace femux {
+namespace {
+
+// Deterministic xorshift so the series are stable across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
+  double Uniform() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return static_cast<double>(state_ % 1000000) / 1000000.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::vector<std::complex<double>> RandomComplex(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::complex<double>> out(n);
+  for (auto& v : out) {
+    v = {2.0 * rng.Uniform() - 1.0, 2.0 * rng.Uniform() - 1.0};
+  }
+  return out;
+}
+
+std::vector<double> RandomReal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) {
+    v = 2.0 * rng.Uniform() - 1.0;
+  }
+  return out;
+}
+
+// Scale-relative bound: |a - b| / max(1, scale).
+void ExpectSpectraNear(const std::vector<std::complex<double>>& a,
+                       const std::vector<std::complex<double>>& b, double bound) {
+  ASSERT_EQ(a.size(), b.size());
+  double scale = 1.0;
+  for (const auto& v : a) {
+    scale = std::max(scale, std::abs(v));
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LE(std::abs(a[i] - b[i]) / scale, bound) << "bin " << i;
+  }
+}
+
+std::vector<int> PropertyLengths() {
+  std::vector<int> lengths;
+  for (int n = 1; n <= 64; ++n) {
+    lengths.push_back(n);
+  }
+  // Primes, powers of two, and 2^k +/- 1 (radix-2 next to Bluestein).
+  for (int n : {67, 97, 101, 127, 128, 129, 251, 255, 256, 257, 509, 511, 512,
+                513, 1023, 1024, 1025}) {
+    lengths.push_back(n);
+  }
+  return lengths;
+}
+
+class FftPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftPropertyTest, MatchesDftReference) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  const auto x = RandomComplex(n, 7919u * n + 3);
+  const auto fast = Fft(x);
+  const auto naive = DftReference(x);
+  ExpectSpectraNear(fast, naive, 1e-9);
+}
+
+TEST_P(FftPropertyTest, RealMatchesDftReference) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  const auto x = RandomReal(n, 104729u * n + 1);
+  std::vector<std::complex<double>> boxed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    boxed[i] = {x[i], 0.0};
+  }
+  const auto fast = FftReal(x);
+  const auto naive = DftReference(boxed);
+  ExpectSpectraNear(fast, naive, 1e-9);
+}
+
+TEST_P(FftPropertyTest, ParsevalIdentity) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  const auto x = RandomReal(n, 31u * n + 17);
+  double time_energy = 0.0;
+  for (double v : x) {
+    time_energy += v * v;
+  }
+  const auto spectrum = FftReal(x);
+  double freq_energy = 0.0;
+  for (const auto& c : spectrum) {
+    freq_energy += std::norm(c);
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-9 * (time_energy + 1.0));
+}
+
+TEST_P(FftPropertyTest, InverseRoundTrip) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  const auto x = RandomComplex(n, 53u * n + 29);
+  const auto back = InverseFft(Fft(x));
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(std::abs(back[i] - x[i]), 1e-9) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftPropertyTest,
+                         ::testing::ValuesIn(PropertyLengths()));
+
+TEST(FftPropertyTest, InverseRoundTripLongBluestein) {
+  // A long non-power-of-two length drives the lazily built inverse chirp
+  // tables through a realistic window size.
+  const std::size_t n = 1440;
+  const auto x = RandomComplex(n, 99);
+  const auto back = InverseFft(Fft(x));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(std::abs(back[i] - x[i]), 1e-8) << "i=" << i;
+  }
+}
+
+TEST(FftPropertyTest, PlanCacheIsThreadSafe) {
+  // Hammer the shared plan cache from several threads across a mix of
+  // lengths (including duplicates, so threads race on the same entries).
+  const std::vector<std::size_t> lengths = {60, 64, 100, 120, 128, 240, 97, 504};
+  std::vector<std::thread> threads;
+  std::vector<int> failures(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t, &lengths, &failures] {
+      for (int iter = 0; iter < 20; ++iter) {
+        for (const std::size_t n : lengths) {
+          const auto x = RandomReal(n, 1000u * t + iter);
+          const double c = SpectralConcentration(x, 10);
+          if (!(c >= 0.0 && c <= 1.0 + 1e-12)) {
+            ++failures[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace femux

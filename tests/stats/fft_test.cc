@@ -99,6 +99,47 @@ TEST(SpectralConcentrationTest, DegenerateInputsReturnZero) {
   EXPECT_DOUBLE_EQ(SpectralConcentration(std::vector<double>(504, 1.0), 10), 0.0);
 }
 
+TEST(TopHarmonicsTest, TiedAmplitudesBreakTowardLowerBin) {
+  // A unit impulse has a perfectly flat spectrum: every interior bin ties at
+  // amplitude 2/n (DC and Nyquist at 1/n). The selection must break the tie
+  // deterministically toward the lower bin index — the pre-overhaul
+  // std::sort left tied orderings unspecified.
+  std::vector<double> x(16, 0.0);
+  x[0] = 1.0;
+  const auto harmonics = TopHarmonics(x, 4);
+  ASSERT_EQ(harmonics.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(harmonics[i].bin, i + 1) << "rank " << i;
+    EXPECT_DOUBLE_EQ(harmonics[i].amplitude, 2.0 / 16.0);
+  }
+}
+
+TEST(TopHarmonicsTest, SelectionTieBreakAndExcludedAmplitude) {
+  // Hand-built half-spectrum of a length-8 series: DC and bins 1-3 all
+  // carry the same scaled magnitude (keys tie exactly), Nyquist is smaller.
+  // The cut must keep the lowest-indexed tied bins and report the first
+  // excluded amplitude.
+  const std::vector<std::complex<double>> half = {
+      {4.0, 0.0}, {0.0, 2.0}, {2.0, 0.0}, {0.0, -2.0}, {1.0, 0.0}};
+  std::vector<Harmonic> out;
+  const double excluded = SelectTopHarmonics(half, 8, 3, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].bin, 0u);
+  EXPECT_EQ(out[1].bin, 1u);
+  EXPECT_EQ(out[2].bin, 2u);
+  // First excluded is bin 3: amplitude 2 * |(0,-2)| / 8.
+  EXPECT_DOUBLE_EQ(excluded, 0.5);
+}
+
+TEST(SpectralConcentrationTest, TiedEnergiesAreDeterministic) {
+  // Flat impulse spectrum: 8 interior energy bins all tie at 1.0, so the
+  // top-3 share must come out exactly 3/8 no matter which tied bins the
+  // partition visits.
+  std::vector<double> x(16, 0.0);
+  x[0] = 1.0;
+  EXPECT_DOUBLE_EQ(SpectralConcentration(x, 3), 3.0 / 8.0);
+}
+
 // Property: Parseval's theorem holds across sizes (both FFT paths).
 class ParsevalTest : public ::testing::TestWithParam<int> {};
 
