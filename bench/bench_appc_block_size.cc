@@ -3,6 +3,7 @@
 // more slowly. 504 minutes balances the two (and divides the 14-day Azure
 // trace into 40 blocks; the BDS test needs >= 400 points).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
@@ -44,6 +45,12 @@ void Run() {
   const double hi = *std::max_element(rums.begin(), rums.end());
   PrintRow("max RUM spread across block sizes", 0.03, hi / lo - 1.0,
            "(paper: <3%)");
+
+  const SeriesCache::Stats stats = series_cache.stats();
+  PrintNote("series cache: " + std::to_string(stats.hits) + " hits, " +
+            std::to_string(stats.misses) + " misses, " +
+            std::to_string(stats.entries) +
+            " entries across the per-block-size evaluations");
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // vs FaasCache@240GB at -1% memory; default FeMux cuts RUM 30% vs
 // FaasCache@270GB.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
@@ -86,6 +87,13 @@ void Run() {
   const Rum rum = Rum::Default();
   PrintRow("FeMux RUM cut vs FaasCache@270GB", 0.30,
            1.0 - rum.Evaluate(runs[0].metrics) / rum.Evaluate(fc270));
+
+  const SeriesCache::Stats stats = series_cache.stats();
+  PrintNote("series cache: " + std::to_string(stats.hits) + " hits, " +
+            std::to_string(stats.misses) + " misses, " +
+            std::to_string(stats.entries) +
+            " entries (one demand/arrival expansion per app shared by every "
+            "policy sweep above)");
 }
 
 }  // namespace

@@ -61,6 +61,12 @@ void Run() {
            rum.Evaluate(femux) / best_single_rum);
   PrintRow("apps that switched forecasters", 0.65, switched / apps);
   PrintRow("apps using 4+ forecasters", 0.20, four_or_more / apps);
+
+  const SeriesCache::Stats stats = series_cache.stats();
+  PrintNote("series cache: " + std::to_string(stats.hits) + " hits, " +
+            std::to_string(stats.misses) + " misses, " +
+            std::to_string(stats.entries) +
+            " entries across the per-forecaster sweeps");
 }
 
 }  // namespace

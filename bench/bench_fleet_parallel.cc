@@ -1,0 +1,376 @@
+// Parallel fleet simulation + feature extraction macro-benchmark
+// (perf trajectory, not a paper figure; DESIGN.md §10).
+//
+// Runs a fig11/fig17-style policy sweep over one Azure-style population
+// twice: once through a verbatim copy of the pre-parallel serial fleet
+// loop (every app simulated in order on the caller, series recomputed per
+// policy) and once through SimulateFleetUniform (apps fanned out over the
+// process thread pool, demand/arrival series shared via a SeriesCache).
+// Every SimMetrics field of every per-app row and the total must be
+// bit-identical between the serial reference, a threads=2 run, and the
+// default-width run — the determinism contract the ctest harness
+// (tests/sim/fleet_determinism_test.cc) pins on a committed golden.
+//
+// A second section does the same for per-block feature extraction: a
+// serial ExtractInto walk vs the block-parallel ExtractBlockFeatures.
+//
+// The speedup gate scales with the machine: on >= 4 hardware threads the
+// parallel sweep must beat the serial reference by >= 3x; on smaller
+// machines (single-core CI) threading cannot win, so the gate degrades to
+// a no-regression bound (>= 0.8x — the SeriesCache still amortizes series
+// expansion across policies). `hardware_concurrency` is recorded in the
+// JSON so trajectory comparisons across machines stay honest. The FFT
+// plan-cache and SeriesCache observability counters are exported in the
+// same JSON (ROADMAP "Cache observability").
+//
+// Usage: bench_fleet_parallel [--smoke] [--apps=N] [--days=D] [--json=PATH]
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/features.h"
+#include "src/forecast/registry.h"
+#include "src/sim/fleet.h"
+#include "src/sim/policy.h"
+#include "src/sim/thread_pool.h"
+#include "src/stats/fft.h"
+#include "src/trace/azure_generator.h"
+
+namespace femux {
+namespace serial_reference {
+
+// ---- Pre-parallel fleet loop, kept verbatim so the speedup is measured
+// ---- against the real baseline on the same machine: one app at a time on
+// ---- the calling thread, series recomputed for every policy.
+FleetResult SimulateFleetUniform(const Dataset& dataset, const ScalingPolicy& prototype,
+                                 SimOptions options) {
+  FleetResult result;
+  result.per_app.resize(dataset.apps.size());
+  for (std::size_t i = 0; i < dataset.apps.size(); ++i) {
+    const AppTrace& app = dataset.apps[i];
+    SimOptions app_options = options;
+    app_options.min_scale = 0;
+    app_options.memory_gb_per_unit =
+        app.consumed_memory_mb > 0.0 ? app.consumed_memory_mb / 1024.0
+                                     : options.memory_gb_per_unit;
+    const std::vector<double> demand = DemandSeries(app, app_options.epoch_seconds);
+    const std::vector<double> arrivals = ArrivalSeries(app, app_options.epoch_seconds);
+    const std::unique_ptr<ScalingPolicy> policy = prototype.Clone();
+    result.per_app[i] = SimulateApp(demand, arrivals, *policy, app_options);
+  }
+  for (const SimMetrics& m : result.per_app) {
+    result.total += m;
+  }
+  return result;
+}
+
+}  // namespace serial_reference
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Args {
+  std::size_t apps = 32;
+  std::size_t days = 3;
+  bool smoke = false;
+  std::string json_path;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+      args.apps = 6;
+      args.days = 1;
+    } else if (arg.rfind("--apps=", 0) == 0) {
+      args.apps = static_cast<std::size_t>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--days=", 0) == 0) {
+      args.days = static_cast<std::size_t>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    }
+  }
+  return args;
+}
+
+constexpr std::size_t kMetricFields = 8;
+
+std::array<double, kMetricFields> Fields(const SimMetrics& m) {
+  return {m.invocations,        m.cold_starts,          m.cold_invocations,
+          m.cold_start_seconds, m.wasted_gb_seconds,    m.allocated_gb_seconds,
+          m.execution_seconds,  m.service_seconds};
+}
+
+// Bit-exact comparison of every field of every row (and the total).
+std::size_t CountRowMismatches(const FleetResult& a, const FleetResult& b) {
+  if (a.per_app.size() != b.per_app.size()) {
+    return a.per_app.size() + b.per_app.size();
+  }
+  std::size_t mismatches = 0;
+  const auto compare = [&mismatches](const SimMetrics& x, const SimMetrics& y) {
+    const auto fx = Fields(x);
+    const auto fy = Fields(y);
+    for (std::size_t f = 0; f < kMetricFields; ++f) {
+      if (std::bit_cast<std::uint64_t>(fx[f]) != std::bit_cast<std::uint64_t>(fy[f])) {
+        ++mismatches;
+      }
+    }
+  };
+  compare(a.total, b.total);
+  for (std::size_t i = 0; i < a.per_app.size(); ++i) {
+    compare(a.per_app[i], b.per_app[i]);
+  }
+  return mismatches;
+}
+
+struct PolicyTiming {
+  std::string name;
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+};
+
+}  // namespace
+}  // namespace femux
+
+int main(int argc, char** argv) {
+  using namespace femux;
+  const Args args = ParseArgs(argc, argv);
+
+  const std::size_t hardware = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t configured = ConfiguredThreadCount();
+  // Machine-scaled gate (see header comment): threading can only win where
+  // there are cores to win on.
+  const bool multicore = configured >= 4 && hardware >= 4;
+  const double fleet_target = multicore ? 3.0 : 0.8;
+  const double feature_target = multicore ? 2.0 : 0.8;
+
+  AzureGeneratorOptions gen;
+  gen.num_apps = static_cast<int>(args.apps);
+  gen.duration_days = static_cast<int>(args.days);
+  gen.seed = 11;
+  const Dataset dataset = GenerateAzureDataset(gen);
+
+  std::printf("fleet parallel bench: %zu apps x %zu days, %zu hardware threads, "
+              "%zu configured (gate >= %.2fx fleet, >= %.2fx features)\n",
+              dataset.apps.size(), args.days, hardware, configured, fleet_target,
+              feature_target);
+
+  const std::vector<std::string> policy_names = {"ar", "exp_smoothing", "holt",
+                                                 "moving_average_1"};
+  std::vector<std::unique_ptr<ScalingPolicy>> prototypes;
+  for (const std::string& name : policy_names) {
+    prototypes.push_back(
+        std::make_unique<ForecasterPolicy>(MakeForecasterByName(name)));
+  }
+
+  // --- Fleet sweep: serial reference vs pooled + SeriesCache, policy by
+  // policy, with bit-exact parity against serial, threads=2, and default.
+  std::vector<PolicyTiming> timings;
+  std::vector<FleetResult> serial_results;
+  double fleet_serial = 0.0;
+  double fleet_parallel = 0.0;
+  std::size_t parity_mismatches = 0;
+  SeriesCache series_cache;
+  for (std::size_t p = 0; p < prototypes.size(); ++p) {
+    PolicyTiming t;
+    t.name = policy_names[p];
+    {
+      const auto start = std::chrono::steady_clock::now();
+      serial_results.push_back(
+          serial_reference::SimulateFleetUniform(dataset, *prototypes[p], SimOptions{}));
+      t.serial_seconds = Seconds(start);
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      const FleetResult parallel =
+          SimulateFleetUniform(dataset, *prototypes[p], SimOptions{},
+                               /*respect_app_min_scale=*/false, /*threads=*/0,
+                               &series_cache);
+      t.parallel_seconds = Seconds(start);
+      parity_mismatches += CountRowMismatches(serial_results.back(), parallel);
+    }
+    // Parity at a fixed small width too (exercises the pooled path even
+    // when the default width differs), untimed.
+    const FleetResult two =
+        SimulateFleetUniform(dataset, *prototypes[p], SimOptions{},
+                             /*respect_app_min_scale=*/false, /*threads=*/2,
+                             &series_cache);
+    parity_mismatches += CountRowMismatches(serial_results.back(), two);
+    fleet_serial += t.serial_seconds;
+    fleet_parallel += t.parallel_seconds;
+    std::printf("%-18s serial %7.3f s  parallel %7.3f s  speedup %6.2fx\n",
+                t.name.c_str(), t.serial_seconds, t.parallel_seconds,
+                t.parallel_seconds > 0.0 ? t.serial_seconds / t.parallel_seconds : 0.0);
+    timings.push_back(t);
+  }
+  const double fleet_speedup =
+      fleet_parallel > 0.0 ? fleet_serial / fleet_parallel : 0.0;
+  const bool fleet_parity_ok = parity_mismatches == 0;
+  const bool fleet_gate_ok = fleet_speedup >= fleet_target;
+  std::printf("fleet sweep: serial %7.3f s  parallel %7.3f s  speedup %5.2fx  "
+              "%s (target >= %.2fx)  parity %s (%zu mismatched fields)\n",
+              fleet_serial, fleet_parallel, fleet_speedup,
+              fleet_gate_ok ? "PASS" : "FAIL", fleet_target,
+              fleet_parity_ok ? "PASS" : "FAIL", parity_mismatches);
+
+  // --- Feature extraction: serial per-block ExtractInto walk vs the
+  // block-parallel ExtractBlockFeatures, bit-exact row parity.
+  const std::size_t block_minutes = std::min<std::size_t>(
+      kDefaultBlockMinutes, std::max<std::size_t>(60, args.days * kMinutesPerDay / 4));
+  std::vector<std::vector<double>> demands;
+  demands.reserve(dataset.apps.size());
+  for (const AppTrace& app : dataset.apps) {
+    demands.push_back(DemandSeries(app, 60.0));
+  }
+  const FeatureExtractor extractor;
+  double features_serial = 0.0;
+  double features_parallel = 0.0;
+  std::size_t feature_mismatches = 0;
+  std::size_t feature_rows = 0;
+  {
+    // Warm the FFT plan cache so the serial walk (which runs first) is not
+    // charged for first-touch plan construction.
+    (void)ExtractBlockFeatures(extractor, demands.front(), block_minutes);
+    std::vector<std::vector<std::vector<double>>> serial_rows(demands.size());
+    const auto start = std::chrono::steady_clock::now();
+    FeatureExtractor::Workspace workspace;
+    for (std::size_t a = 0; a < demands.size(); ++a) {
+      const std::span<const double> series(demands[a]);
+      const std::size_t blocks = BlockCount(series.size(), block_minutes);
+      serial_rows[a].resize(blocks);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        extractor.ExtractInto(BlockSlice(series, b, block_minutes), 0.0, &workspace);
+        serial_rows[a][b] = workspace.out;
+      }
+    }
+    features_serial = Seconds(start);
+
+    const auto parallel_start = std::chrono::steady_clock::now();
+    std::vector<std::vector<std::vector<double>>> parallel_rows(demands.size());
+    for (std::size_t a = 0; a < demands.size(); ++a) {
+      parallel_rows[a] = ExtractBlockFeatures(extractor, demands[a], block_minutes);
+    }
+    features_parallel = Seconds(parallel_start);
+
+    for (std::size_t a = 0; a < demands.size(); ++a) {
+      feature_rows += serial_rows[a].size();
+      if (serial_rows[a].size() != parallel_rows[a].size()) {
+        ++feature_mismatches;
+        continue;
+      }
+      for (std::size_t b = 0; b < serial_rows[a].size(); ++b) {
+        if (serial_rows[a][b].size() != parallel_rows[a][b].size()) {
+          ++feature_mismatches;
+          continue;
+        }
+        for (std::size_t f = 0; f < serial_rows[a][b].size(); ++f) {
+          if (std::bit_cast<std::uint64_t>(serial_rows[a][b][f]) !=
+              std::bit_cast<std::uint64_t>(parallel_rows[a][b][f])) {
+            ++feature_mismatches;
+          }
+        }
+      }
+    }
+  }
+  const double features_speedup =
+      features_parallel > 0.0 ? features_serial / features_parallel : 0.0;
+  const bool features_parity_ok = feature_mismatches == 0;
+  const bool features_gate_ok = features_speedup >= feature_target;
+  std::printf("features   : serial %7.3f s  parallel %7.3f s  speedup %5.2fx  "
+              "%s (target >= %.2fx)  parity %s (%zu rows, %zu mismatches)\n",
+              features_serial, features_parallel, features_speedup,
+              features_gate_ok ? "PASS" : "FAIL", feature_target,
+              features_parity_ok ? "PASS" : "FAIL", feature_rows,
+              feature_mismatches);
+
+  // --- Cache observability: the counters the sweep above produced.
+  const SeriesCache::Stats series_stats = series_cache.stats();
+  const FftCacheStats fft_stats = GetFftCacheStats();
+  std::printf("series cache: %llu hits  %llu misses  %llu evictions  %zu entries\n",
+              static_cast<unsigned long long>(series_stats.hits),
+              static_cast<unsigned long long>(series_stats.misses),
+              static_cast<unsigned long long>(series_stats.evictions),
+              series_stats.entries);
+  std::printf("fft cache   : %llu hits  %llu misses  %llu evictions  %zu entries  "
+              "%zu table bytes\n",
+              static_cast<unsigned long long>(fft_stats.hits),
+              static_cast<unsigned long long>(fft_stats.misses),
+              static_cast<unsigned long long>(fft_stats.evictions),
+              fft_stats.entries, fft_stats.table_bytes);
+
+  bool json_ok = true;
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << "{\n"
+        << "  \"bench\": \"fleet_parallel\",\n"
+        << "  \"config\": {\"apps\": " << dataset.apps.size()
+        << ", \"days\": " << args.days
+        << ", \"block_minutes\": " << block_minutes
+        << ", \"hardware_concurrency\": " << hardware
+        << ", \"configured_threads\": " << configured
+        << ", \"smoke\": " << (args.smoke ? "true" : "false") << "},\n"
+        << "  \"policies\": {\n";
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+      const PolicyTiming& t = timings[i];
+      out << "    \"" << t.name << "\": {\"serial_seconds\": " << t.serial_seconds
+          << ", \"parallel_seconds\": " << t.parallel_seconds
+          << ", \"speedup\": "
+          << (t.parallel_seconds > 0.0 ? t.serial_seconds / t.parallel_seconds : 0.0)
+          << "}" << (i + 1 < timings.size() ? "," : "") << "\n";
+    }
+    out << "  },\n"
+        << "  \"fleet\": {\"serial_seconds\": " << fleet_serial
+        << ", \"parallel_seconds\": " << fleet_parallel
+        << ", \"speedup\": " << fleet_speedup
+        << ", \"target\": " << fleet_target
+        << ", \"gate_ok\": " << (fleet_gate_ok ? "true" : "false")
+        << ", \"parity_mismatched_fields\": " << parity_mismatches << "},\n"
+        << "  \"features\": {\"serial_seconds\": " << features_serial
+        << ", \"parallel_seconds\": " << features_parallel
+        << ", \"speedup\": " << features_speedup
+        << ", \"target\": " << feature_target
+        << ", \"gate_ok\": " << (features_gate_ok ? "true" : "false")
+        << ", \"rows\": " << feature_rows
+        << ", \"parity_mismatches\": " << feature_mismatches << "},\n"
+        << "  \"series_cache\": {\"hits\": " << series_stats.hits
+        << ", \"misses\": " << series_stats.misses
+        << ", \"evictions\": " << series_stats.evictions
+        << ", \"entries\": " << series_stats.entries << "},\n"
+        << "  \"fft_cache\": {\"hits\": " << fft_stats.hits
+        << ", \"misses\": " << fft_stats.misses
+        << ", \"evictions\": " << fft_stats.evictions
+        << ", \"entries\": " << fft_stats.entries
+        << ", \"table_bytes\": " << fft_stats.table_bytes << "},\n"
+        << "  \"parity_ok\": "
+        << (fleet_parity_ok && features_parity_ok ? "true" : "false") << "\n"
+        << "}\n";
+    out.flush();
+    json_ok = out.good();
+    if (json_ok) {
+      std::printf("wrote %s\n", args.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", args.json_path.c_str());
+    }
+  }
+
+  return fleet_parity_ok && features_parity_ok && fleet_gate_ok && features_gate_ok &&
+                 json_ok
+             ? 0
+             : 1;
+}

@@ -350,6 +350,7 @@ int main(int argc, char** argv) {
   double e2e_reference = 0.0;
   double e2e_optimized = 0.0;
   double e2e_metric_rel = 0.0;
+  SeriesCache::Stats series_stats;
   {
     const auto start = std::chrono::steady_clock::now();
     const FleetResult ref_ar = SimulateFleetUniform(
@@ -375,6 +376,7 @@ int main(int argc, char** argv) {
          RelDiff(ref_ar.total.wasted_gb_seconds, opt_ar.total.wasted_gb_seconds),
          RelDiff(ref_holt.total.cold_starts, opt_holt.total.cold_starts),
          RelDiff(ref_holt.total.wasted_gb_seconds, opt_holt.total.wasted_gb_seconds)});
+    series_stats = cache.stats();
   }
   // Fleet metrics pass through a ceil(), so 1e-9 prediction parity normally
   // lands them exactly equal; 1e-6 leaves headroom for a boundary flip.
@@ -408,12 +410,22 @@ int main(int argc, char** argv) {
           << ", \"parity_ok\": " << (r.parity_ok ? "true" : "false") << "}"
           << (i + 1 < results.size() ? "," : "") << "\n";
     }
+    const FftCacheStats fft_stats = GetFftCacheStats();
     out << "  },\n"
         << "  \"gate_speedup\": " << gate_speedup << ",\n"
         << "  \"end_to_end\": {\"reference_seconds\": " << e2e_reference
         << ", \"optimized_seconds\": " << e2e_optimized
         << ", \"speedup\": " << e2e_speedup
         << ", \"metric_max_rel_diff\": " << e2e_metric_rel << "},\n"
+        << "  \"series_cache\": {\"hits\": " << series_stats.hits
+        << ", \"misses\": " << series_stats.misses
+        << ", \"evictions\": " << series_stats.evictions
+        << ", \"entries\": " << series_stats.entries << "},\n"
+        << "  \"fft_cache\": {\"hits\": " << fft_stats.hits
+        << ", \"misses\": " << fft_stats.misses
+        << ", \"evictions\": " << fft_stats.evictions
+        << ", \"entries\": " << fft_stats.entries
+        << ", \"table_bytes\": " << fft_stats.table_bytes << "},\n"
         << "  \"parity_ok\": " << (parity_ok && e2e_ok ? "true" : "false") << "\n"
         << "}\n";
     out.flush();

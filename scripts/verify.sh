@@ -6,9 +6,10 @@
 #
 # Usage: scripts/verify.sh [--skip-bench]
 #   FEMUX_SANITIZE=thread   additionally build the concurrency-sensitive
-#                           test targets (sim_*, forecast_*) under
+#                           test targets (sim_*, core_*, forecast_*) under
 #                           ThreadSanitizer and run them with
-#                           FEMUX_THREADS=4.
+#                           FEMUX_THREADS=4 (fleet/feature fan-out, cache
+#                           counters, thread pool).
 #   FEMUX_SANITIZE=address  additionally build the numeric-kernel test
 #                           targets (stats_*, forecast_*) under
 #                           AddressSanitizer + UBSan — the spectral engine's
@@ -43,15 +44,20 @@ if [[ "$SKIP_BENCH" == "0" ]]; then
       --json="$ROOT/bench/out/spectral-smoke.bench-scratch.json" || {
     echo "spectral bench smoke FAILED (parity or runtime error)"; exit 1;
   }
+  cmake --build "$ROOT/build-release" --target bench_fleet_parallel -j > /dev/null
+  "$ROOT/build-release/bench/bench_fleet_parallel" --smoke \
+      --json="$ROOT/bench/out/fleet-parallel-smoke.bench-scratch.json" || {
+    echo "fleet-parallel bench smoke FAILED (parity, gate, or runtime error)"; exit 1;
+  }
 fi
 
 if [[ "${FEMUX_SANITIZE:-}" == "thread" ]]; then
-  echo "== ThreadSanitizer: sim + forecast tests =="
+  echo "== ThreadSanitizer: sim + core + forecast tests =="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
   TSAN_TARGETS=()
-  for dir in sim forecast; do
+  for dir in sim core forecast; do
     for src in "$ROOT/tests/$dir"/*_test.cc; do
       TSAN_TARGETS+=("${dir}_$(basename "$src" .cc)")
     done

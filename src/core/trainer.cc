@@ -172,28 +172,39 @@ BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_i
         table.features[a].resize(blocks);
         const std::span<const double> demand_span(demand);
         const std::span<const double> arrivals_span(arrivals);
-        // Scratch reused across every block/candidate of this app.
-        std::vector<double> scaled_plan(options.block_minutes);
-        FeatureExtractor::Workspace workspace;
-        for (std::size_t b = 0; b < blocks; ++b) {
-          const auto demand_block = BlockSlice(demand_span, b, options.block_minutes);
-          const auto arrivals_block =
-              BlockSlice(arrivals_span, b, options.block_minutes);
-          for (std::size_t f = 0; f < num_forecasters; ++f) {
-            const auto plan_block = BlockSlice(std::span<const double>(*plans[f]), b,
-                                               options.block_minutes);
-            for (std::size_t m = 0; m < num_margins; ++m) {
-              for (std::size_t i = 0; i < plan_block.size(); ++i) {
-                scaled_plan[i] = plan_block[i] * model.margins[m];
+        // Blocks fan out below the app level (nested submission is safe on
+        // the persistent pool): with few apps — incremental retraining,
+        // ablation reruns — the app loop alone cannot fill the pool. Each
+        // block job writes only its own rum/feature rows and block scoring
+        // is pure given the slices, so the table is bit-identical for any
+        // thread count. Scratch is per worker thread, reused across the
+        // blocks it claims.
+        ParallelFor(
+            blocks,
+            [&, a](std::size_t b) {
+              thread_local std::vector<double> scaled_plan;
+              thread_local FeatureExtractor::Workspace workspace;
+              scaled_plan.resize(options.block_minutes);
+              const auto demand_block =
+                  BlockSlice(demand_span, b, options.block_minutes);
+              const auto arrivals_block =
+                  BlockSlice(arrivals_span, b, options.block_minutes);
+              for (std::size_t f = 0; f < num_forecasters; ++f) {
+                const auto plan_block = BlockSlice(
+                    std::span<const double>(*plans[f]), b, options.block_minutes);
+                for (std::size_t m = 0; m < num_margins; ++m) {
+                  for (std::size_t i = 0; i < plan_block.size(); ++i) {
+                    scaled_plan[i] = plan_block[i] * model.margins[m];
+                  }
+                  table.rum[a][b][f * num_margins + m] =
+                      BlockRum(rum, demand_block, arrivals_block, scaled_plan, sim);
+                }
               }
-              table.rum[a][b][f * num_margins + m] =
-                  BlockRum(rum, demand_block, arrivals_block, scaled_plan, sim);
-            }
-          }
-          extractor.ExtractInto(demand_block,
-                                exec_aware ? app.mean_execution_ms : 0.0, &workspace);
-          table.features[a][b] = workspace.out;
-        }
+              extractor.ExtractInto(
+                  demand_block, exec_aware ? app.mean_execution_ms : 0.0, &workspace);
+              table.features[a][b] = workspace.out;
+            },
+            options.threads);
       },
       options.threads);
   return table;

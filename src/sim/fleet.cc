@@ -86,8 +86,12 @@ SeriesCache::Series SeriesCache::GetOrCompute(const AppTrace& app, int app_index
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
+      ++hits_;
       return it->second;
     }
+    // A miss per computing caller: racing first callers each pay the
+    // computation below, so the counter reflects work actually done.
+    ++misses_;
   }
   // Compute outside the lock; concurrent first callers may duplicate the
   // work, but the first insert wins and all callers share one copy.
@@ -102,12 +106,23 @@ SeriesCache::Series SeriesCache::GetOrCompute(const AppTrace& app, int app_index
 
 void SeriesCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  evictions_ += entries_.size();
   entries_.clear();
 }
 
 std::size_t SeriesCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+SeriesCache::Stats SeriesCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  return stats;
 }
 
 FleetResult SimulateFleet(const Dataset& dataset, const PolicyFactory& factory,

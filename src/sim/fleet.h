@@ -4,6 +4,7 @@
 #ifndef SRC_SIM_FLEET_H_
 #define SRC_SIM_FLEET_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -37,6 +38,17 @@ class SeriesCache {
     std::shared_ptr<const std::vector<double>> arrivals;
   };
 
+  // Observability counters. Monotonic for the cache's lifetime:
+  // hits + misses == GetOrCompute calls (a racing first computation counts
+  // one miss per computing caller), and evictions counts entries dropped by
+  // Clear(). Exported through the bench JSON (DESIGN.md §10).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
   // Returns the cached series for (app_index, epoch_seconds), computing and
   // inserting them on first use. `app` must be the dataset entry the index
   // refers to.
@@ -44,11 +56,15 @@ class SeriesCache {
 
   void Clear();
   std::size_t size() const;
+  Stats stats() const;
 
  private:
   using Key = std::pair<int, long long>;  // (app index, epoch milliseconds)
   mutable std::mutex mu_;
   std::map<Key, Series> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 // Runs `factory`'s policies over all apps of `dataset`. `options.min_scale`
@@ -57,6 +73,13 @@ class SeriesCache {
 // (Azure Functions had no provisioned concurrency in 2019).
 // `series_cache` (optional) reuses demand/arrival series across calls;
 // single-shot callers pass nothing and pay no caching cost.
+//
+// Determinism contract (DESIGN.md §10): apps fan out over the process
+// thread pool, each worker driving its own policy instance from `factory`
+// (clones must not share mutable state — see the Clone() audit test) and
+// writing only its own `per_app` row; the total is then reduced in app-index
+// order on the calling thread. The result is therefore bit-identical for
+// any thread count, including `threads == 1` (fully serial inline).
 FleetResult SimulateFleet(const Dataset& dataset, const PolicyFactory& factory,
                           SimOptions options, bool respect_app_min_scale = false,
                           std::size_t threads = 0, SeriesCache* series_cache = nullptr);

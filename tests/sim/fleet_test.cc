@@ -1,12 +1,32 @@
 #include "src/sim/fleet.h"
 
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "src/baselines/baselines.h"
+#include "src/core/femux.h"
+#include "src/core/trainer.h"
+#include "src/forecast/registry.h"
 #include "src/forecast/simple.h"
 #include "src/trace/ibm_generator.h"
 
 namespace femux {
 namespace {
+
+// Give the process pool real workers even on a single-core CI machine, so
+// the concurrency tests below actually run concurrently (an explicit
+// FEMUX_THREADS in the environment still wins).
+const bool kEnvReady = [] {
+  setenv("FEMUX_THREADS", "4", 0);
+  return true;
+}();
 
 Dataset SmallDataset() {
   IbmGeneratorOptions options;
@@ -153,6 +173,160 @@ TEST(SeriesCacheTest, KeyedByAppAndEpoch) {
   EXPECT_EQ(cache.GetOrCompute(app, 0, 60.0).demand.get(), minute.demand.get());
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SeriesCacheTest, CountersAccountForEveryLookup) {
+  const Dataset data = SmallDataset();
+  SeriesCache cache;
+  const SeriesCache::Stats empty = cache.stats();
+  EXPECT_EQ(empty.hits, 0u);
+  EXPECT_EQ(empty.misses, 0u);
+  EXPECT_EQ(empty.evictions, 0u);
+  EXPECT_EQ(empty.entries, 0u);
+
+  cache.GetOrCompute(data.apps[0], 0, 60.0);  // miss
+  cache.GetOrCompute(data.apps[0], 0, 60.0);  // hit
+  cache.GetOrCompute(data.apps[1], 1, 60.0);  // miss
+  cache.GetOrCompute(data.apps[0], 0, 120.0); // miss (distinct epoch)
+  const SeriesCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 0u);
+
+  cache.Clear();
+  const SeriesCache::Stats cleared = cache.stats();
+  EXPECT_EQ(cleared.evictions, 3u);
+  EXPECT_EQ(cleared.entries, 0u);
+  // hits/misses are monotonic across the cache's lifetime.
+  EXPECT_EQ(cleared.hits, stats.hits);
+  EXPECT_EQ(cleared.misses, stats.misses);
+
+  cache.GetOrCompute(data.apps[0], 0, 60.0);  // re-miss after eviction
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+// Thread-hammer: hits + misses must equal the exact number of GetOrCompute
+// calls even under contention, and every counter stays monotone. Racing
+// first lookups on one key may each count a miss (documented), which the
+// exact accounting below still covers: hits + misses == calls regardless of
+// how the race resolves.
+TEST(SeriesCacheTest, CountersAtomicUnderConcurrentHammer) {
+  const Dataset data = SmallDataset();
+  SeriesCache cache;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIterations = 200;
+  constexpr std::size_t kKeys = 5;  // Few keys -> heavy same-key contention.
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &data, t] {
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        const std::size_t key = (t + i) % kKeys;
+        const SeriesCache::Series series =
+            cache.GetOrCompute(data.apps[key], static_cast<int>(key), 60.0);
+        ASSERT_NE(series.demand, nullptr);
+        ASSERT_NE(series.arrivals, nullptr);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  const SeriesCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIterations);
+  EXPECT_EQ(stats.entries, kKeys);
+  EXPECT_GE(stats.misses, kKeys);  // At least one computation per key.
+  EXPECT_EQ(stats.evictions, 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().evictions, kKeys);
+}
+
+// Clone() audit (DESIGN.md §10): a policy clone must not share mutable
+// state with its prototype or siblings. Simulating the *same* app many
+// times concurrently through SimulateFleetUniform makes any shared RNG,
+// histogram, forecaster, or workspace state show up as row divergence.
+TEST(FleetTest, ClonesShareNoMutableStateAcrossPolicies) {
+  ASSERT_TRUE(kEnvReady);
+  const Dataset base = SmallDataset();
+  Dataset duplicated;
+  duplicated.duration_days = base.duration_days;
+  constexpr std::size_t kCopies = 8;
+  for (std::size_t i = 0; i < kCopies; ++i) {
+    duplicated.apps.push_back(base.apps[0]);
+  }
+
+  std::vector<std::pair<std::string, std::unique_ptr<ScalingPolicy>>> prototypes;
+  prototypes.emplace_back("knative_default", MakeKnativeDefaultPolicy());
+  prototypes.emplace_back("keep_alive_10", MakeKeepAlivePolicy(10));
+  prototypes.emplace_back("icebreaker", MakeIceBreakerPolicy());
+  prototypes.emplace_back("policy_ar", std::make_unique<ForecasterPolicy>(
+                                           MakeForecasterByName("ar")));
+  prototypes.emplace_back("policy_exp_smoothing",
+                          std::make_unique<ForecasterPolicy>(
+                              MakeForecasterByName("exp_smoothing")));
+  {
+    // A compact FeMux model over the same dataset: the multiplexer carries
+    // the most per-policy state (active forecaster, block buffer, margin).
+    TrainerOptions options;
+    options.block_minutes = 240;
+    options.clusters = 2;
+    options.forecaster_names = {"ar", "holt"};
+    options.margins = {1.0};
+    const TrainResult trained = TrainFemux(base, {0}, Rum::Default(), options);
+    prototypes.emplace_back(
+        "femux", std::make_unique<FemuxPolicy>(
+                     std::make_shared<const FemuxModel>(trained.model)));
+  }
+
+  for (const auto& [label, prototype] : prototypes) {
+    const FleetResult result =
+        SimulateFleetUniform(duplicated, *prototype, SimOptions{},
+                             /*respect_app_min_scale=*/false, /*threads=*/4);
+    ASSERT_EQ(result.per_app.size(), kCopies);
+    const SimMetrics& first = result.per_app.front();
+    for (std::size_t i = 1; i < kCopies; ++i) {
+      const SimMetrics& row = result.per_app[i];
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(first.cold_starts),
+                std::bit_cast<std::uint64_t>(row.cold_starts))
+          << label << " row " << i;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(first.cold_start_seconds),
+                std::bit_cast<std::uint64_t>(row.cold_start_seconds))
+          << label << " row " << i;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(first.wasted_gb_seconds),
+                std::bit_cast<std::uint64_t>(row.wasted_gb_seconds))
+          << label << " row " << i;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(first.allocated_gb_seconds),
+                std::bit_cast<std::uint64_t>(row.allocated_gb_seconds))
+          << label << " row " << i;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(first.service_seconds),
+                std::bit_cast<std::uint64_t>(row.service_seconds))
+          << label << " row " << i;
+    }
+  }
+}
+
+// A throwing policy factory propagates out of SimulateFleet (the fleet
+// path runs factories inside pool workers), and the pool survives to run
+// the next fleet normally.
+TEST(FleetTest, FactoryExceptionPropagatesAndPoolSurvives) {
+  ASSERT_TRUE(kEnvReady);
+  const Dataset data = SmallDataset();
+  const PolicyFactory throwing = [](int index) -> std::unique_ptr<ScalingPolicy> {
+    if (index == 3) {
+      throw std::runtime_error("factory failure");
+    }
+    return std::make_unique<ForecasterPolicy>(
+        std::make_unique<MovingAverageForecaster>(1));
+  };
+  EXPECT_THROW(SimulateFleet(data, throwing, SimOptions{}, false, /*threads=*/4),
+               std::runtime_error);
+  // The pool must stay serviceable after cancellation.
+  ForecasterPolicy prototype(std::make_unique<MovingAverageForecaster>(1));
+  const FleetResult after =
+      SimulateFleetUniform(data, prototype, SimOptions{}, false, /*threads=*/4);
+  EXPECT_EQ(after.per_app.size(), data.apps.size());
+  EXPECT_GT(after.total.invocations, 0.0);
 }
 
 }  // namespace

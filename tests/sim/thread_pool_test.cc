@@ -126,6 +126,29 @@ TEST(ThreadPoolTest, FemuxThreadsOneIsSequentialAndDeterministic) {
   }
 }
 
+TEST(ThreadPoolTest, NestedRegionExceptionPropagatesThroughOuter) {
+  // The fleet/trainer paths nest regions (per-app region submitting a
+  // per-block region). A throw inside the inner region must surface on the
+  // outer caller, cancel cleanly, and leave the pool serviceable.
+  std::string message;
+  try {
+    ParallelFor(4, [](std::size_t o) {
+      ParallelFor(200, [o](std::size_t i) {
+        if (o == 1 && i == 57) {
+          throw std::runtime_error("nested failure");
+        }
+      });
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  EXPECT_EQ(message, "nested failure");
+  std::atomic<int> ok{0};
+  ParallelFor(64, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 64);
+}
+
 TEST(ThreadPoolTest, ConcurrentIndependentRegions) {
   // Two sibling regions submitted from pooled tasks must not corrupt each
   // other's work queues.

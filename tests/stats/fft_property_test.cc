@@ -138,6 +138,86 @@ TEST(FftPropertyTest, InverseRoundTripLongBluestein) {
   }
 }
 
+TEST(FftCacheStatsTest, LookupAccountingIsExact) {
+  // The plan cache is a process-wide singleton, so assert on deltas. A
+  // fresh odd length not used anywhere else in this binary guarantees the
+  // first lookup is a miss and the second a hit.
+  constexpr std::size_t kFreshLength = 1931;
+  const FftCacheStats s0 = GetFftCacheStats();
+  const auto first = GetFftPlan(kFreshLength);
+  ASSERT_NE(first, nullptr);
+  const FftCacheStats s1 = GetFftCacheStats();
+  // Building a Bluestein plan recursively fetches sub-plans, so the miss
+  // delta is >= 1 and every lookup lands in exactly one counter.
+  EXPECT_GE(s1.misses, s0.misses + 1);
+  EXPECT_GE(s1.hits, s0.hits);
+  EXPECT_GE(s1.entries, s0.entries + 1);
+  EXPECT_GT(s1.table_bytes, 0u);
+
+  const auto second = GetFftPlan(kFreshLength);
+  EXPECT_EQ(second.get(), first.get());
+  const FftCacheStats s2 = GetFftCacheStats();
+  EXPECT_EQ(s2.hits, s1.hits + 1);
+  EXPECT_EQ(s2.misses, s1.misses);
+  EXPECT_EQ(s2.entries, s1.entries);
+}
+
+TEST(FftCacheStatsTest, EvictionAccountingUnderTinyBudget) {
+  // Shrink the budget to one byte: every insert must evict down to a
+  // single resident plan (the one just requested is never evicted), and
+  // each drop lands in the evictions counter.
+  const std::size_t previous = SetFftCacheBudget(1);
+  const FftCacheStats before = GetFftCacheStats();
+  const auto a = GetFftPlan(997);   // Prime: Bluestein + pow2 sub-plans.
+  const auto b = GetFftPlan(1009);  // Distinct prime: evicts the first chain.
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  const FftCacheStats after = GetFftCacheStats();
+  EXPECT_EQ(after.entries, 1u);
+  // Both request chains inserted at least one plan each; all but the last
+  // survivor were evicted.
+  EXPECT_GE(after.evictions, before.evictions + 2);
+  // The retained shared_ptrs stay valid after eviction.
+  EXPECT_EQ(a->length(), 997u);
+  EXPECT_EQ(b->length(), 1009u);
+  SetFftCacheBudget(previous);
+  // Monotonic: restoring the budget resets no counter.
+  const FftCacheStats restored = GetFftCacheStats();
+  EXPECT_GE(restored.hits, after.hits);
+  EXPECT_GE(restored.misses, after.misses);
+  EXPECT_GE(restored.evictions, after.evictions);
+}
+
+TEST(FftCacheStatsTest, CountersAtomicUnderConcurrentHammer) {
+  const FftCacheStats s0 = GetFftCacheStats();
+  const std::vector<std::size_t> lengths = {60, 64, 100, 120, 128, 240, 97, 504};
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &lengths] {
+      for (int iter = 0; iter < kIterations; ++iter) {
+        for (const std::size_t n : lengths) {
+          const auto x = RandomReal(n, 2000u * t + iter);
+          (void)SpectralConcentration(x, 10);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const FftCacheStats s1 = GetFftCacheStats();
+  // Every SpectralConcentration resolves at least one plan lookup; none of
+  // the increments may be lost under contention.
+  EXPECT_GE(s1.hits + s1.misses,
+            s0.hits + s0.misses +
+                static_cast<std::uint64_t>(kThreads * kIterations) * lengths.size());
+  EXPECT_GE(s1.hits, s0.hits);
+  EXPECT_GE(s1.misses, s0.misses);
+  EXPECT_GE(s1.evictions, s0.evictions);
+}
+
 TEST(FftPropertyTest, PlanCacheIsThreadSafe) {
   // Hammer the shared plan cache from several threads across a mix of
   // lengths (including duplicates, so threads race on the same entries).
