@@ -1,0 +1,387 @@
+// Streaming fleet-scale macro-benchmark: 10^2 -> 10^5+ apps under a fixed
+// memory budget (perf trajectory, not a paper figure; DESIGN.md §11).
+//
+// Two gated sections:
+//
+// 1. Parity @ 32 Azure apps. A verbatim copy of the pre-streaming resident
+//    fleet loop (one app at a time on the calling thread) is compared
+//    bit-for-bit against SimulateFleet and against SimulateFleetStream
+//    (per-app rows recovered through the ordered per_app_sink). Every
+//    SimMetrics field of every row and the total must match exactly, and
+//    the streamed result must be invariant across chunk sizes {1, 7, 64}
+//    and thread counts {1, default} — the DESIGN.md §10/§11 determinism
+//    contract. Mismatched-field count must be 0.
+//
+// 2. Huawei-preset scale sweep. SimulateFleetStream runs a cheap
+//    moving-average policy over lazily generated per-second Huawei-like
+//    fleets of 10^2, 10^3, 10^4 and 10^5 apps, recording wall time,
+//    apps/sec, epochs/sec and the process RSS high-water mark per point.
+//    The gate: peak RSS growth across the whole sweep (10^2 -> 10^5 apps,
+//    a 1000x fleet-size increase) must stay within the configured
+//    SeriesCache budget plus a fixed slack — flat memory, not linear in
+//    fleet size. The shared SeriesCache is deliberately undersized so the
+//    largest point forces evictions; its counters must show evictions > 0
+//    with resident bytes <= budget.
+//
+// Usage: bench_fleet_scale [--smoke] [--json=PATH]
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/forecast/registry.h"
+#include "src/sim/fleet.h"
+#include "src/sim/fleet_stream.h"
+#include "src/sim/policy.h"
+#include "src/sim/thread_pool.h"
+#include "src/trace/azure_generator.h"
+#include "src/trace/huawei_generator.h"
+#include "src/trace/stream.h"
+
+namespace femux {
+namespace resident_reference {
+
+// ---- Pre-streaming resident fleet loop, kept verbatim so the parity gate
+// ---- measures the streaming pipeline against the real baseline: the whole
+// ---- dataset materialized, every app simulated in order on the caller.
+FleetResult SimulateFleetUniform(const Dataset& dataset, const ScalingPolicy& prototype,
+                                 SimOptions options) {
+  FleetResult result;
+  result.per_app.resize(dataset.apps.size());
+  for (std::size_t i = 0; i < dataset.apps.size(); ++i) {
+    const AppTrace& app = dataset.apps[i];
+    SimOptions app_options = options;
+    app_options.min_scale = 0;
+    app_options.memory_gb_per_unit =
+        app.consumed_memory_mb > 0.0 ? app.consumed_memory_mb / 1024.0
+                                     : options.memory_gb_per_unit;
+    const std::vector<double> demand = DemandSeries(app, app_options.epoch_seconds);
+    const std::vector<double> arrivals = ArrivalSeries(app, app_options.epoch_seconds);
+    const std::unique_ptr<ScalingPolicy> policy = prototype.Clone();
+    result.per_app[i] = SimulateApp(demand, arrivals, *policy, app_options);
+  }
+  for (const SimMetrics& m : result.per_app) {
+    result.total += m;
+  }
+  return result;
+}
+
+}  // namespace resident_reference
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Args {
+  bool smoke = false;
+  std::string json_path;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    }
+  }
+  return args;
+}
+
+constexpr std::size_t kMetricFields = 8;
+
+std::array<double, kMetricFields> Fields(const SimMetrics& m) {
+  return {m.invocations,        m.cold_starts,          m.cold_invocations,
+          m.cold_start_seconds, m.wasted_gb_seconds,    m.allocated_gb_seconds,
+          m.execution_seconds,  m.service_seconds};
+}
+
+// Bit-exact comparison of every field of every row (and the total).
+std::size_t CountRowMismatches(const FleetResult& a, const FleetResult& b) {
+  if (a.per_app.size() != b.per_app.size()) {
+    return a.per_app.size() + b.per_app.size();
+  }
+  std::size_t mismatches = 0;
+  const auto compare = [&mismatches](const SimMetrics& x, const SimMetrics& y) {
+    const auto fx = Fields(x);
+    const auto fy = Fields(y);
+    for (std::size_t f = 0; f < kMetricFields; ++f) {
+      if (std::bit_cast<std::uint64_t>(fx[f]) != std::bit_cast<std::uint64_t>(fy[f])) {
+        ++mismatches;
+      }
+    }
+  };
+  compare(a.total, b.total);
+  for (std::size_t i = 0; i < a.per_app.size(); ++i) {
+    compare(a.per_app[i], b.per_app[i]);
+  }
+  return mismatches;
+}
+
+// Runs the streaming simulator and reassembles a FleetResult from the
+// ordered per-app sink, so the comparison covers every row, not just the
+// fold total.
+FleetResult StreamAsFleetResult(const TraceSource& source,
+                                const ScalingPolicy& prototype,
+                                FleetStreamOptions options) {
+  FleetResult out;
+  out.per_app.resize(source.app_count());
+  options.per_app_sink = [&out](std::size_t index, const SimMetrics& row) {
+    out.per_app[index] = row;
+  };
+  const FleetStreamResult streamed =
+      SimulateFleetStreamUniform(source, prototype, options);
+  out.total = streamed.total;
+  return out;
+}
+
+struct SweepPoint {
+  std::size_t apps = 0;
+  double seconds = 0.0;
+  std::uint64_t epochs = 0;
+  std::size_t chunks = 0;
+  std::size_t peak_pending_chunks = 0;
+  std::size_t current_rss_bytes = 0;
+  std::size_t peak_rss_bytes = 0;
+  SeriesCache::Stats cache;  // Cumulative at the end of the point.
+};
+
+}  // namespace
+}  // namespace femux
+
+int main(int argc, char** argv) {
+  using namespace femux;
+  const Args args = ParseArgs(argc, argv);
+
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t configured = ConfiguredThreadCount();
+
+  // --- Section 1: bit-exact parity at the pre-PR fleet size.
+  AzureGeneratorOptions gen;
+  gen.num_apps = 32;
+  gen.duration_days = args.smoke ? 1 : 3;
+  gen.seed = 11;
+  const Dataset dataset = GenerateAzureDataset(gen);
+  const DatasetTraceSource dataset_source(dataset);
+  const AzureTraceSource azure_source(gen);
+
+  std::printf("fleet scale bench: parity @ %zu Azure apps x %d days, "
+              "%zu hardware threads, %zu configured\n",
+              dataset.apps.size(), gen.duration_days, hardware, configured);
+
+  const std::vector<std::string> parity_policies = {"moving_average_1",
+                                                    "exp_smoothing"};
+  std::size_t resident_mismatches = 0;
+  std::size_t stream_mismatches = 0;
+  std::size_t variant_mismatches = 0;
+  const std::array<std::size_t, 3> parity_chunks = {1, 7, 64};
+  const std::array<std::size_t, 2> parity_threads = {1, 0};
+  for (const std::string& name : parity_policies) {
+    const ForecasterPolicy prototype(MakeForecasterByName(name));
+    const FleetResult reference =
+        resident_reference::SimulateFleetUniform(dataset, prototype, SimOptions{});
+    const FleetResult resident =
+        SimulateFleetUniform(dataset, prototype, SimOptions{});
+    resident_mismatches += CountRowMismatches(reference, resident);
+    for (const std::size_t chunk : parity_chunks) {
+      for (const std::size_t threads : parity_threads) {
+        FleetStreamOptions options;
+        options.chunk_apps = chunk;
+        options.threads = threads;
+        const FleetResult streamed =
+            StreamAsFleetResult(dataset_source, prototype, options);
+        const std::size_t mismatches = CountRowMismatches(reference, streamed);
+        stream_mismatches += mismatches;
+        if (chunk != parity_chunks.front() || threads != parity_threads.front()) {
+          variant_mismatches += mismatches;
+        }
+      }
+    }
+    // The lazily generated source must agree with the materialized dataset
+    // end to end, not just trace by trace.
+    FleetStreamOptions lazy;
+    lazy.chunk_apps = 8;
+    stream_mismatches +=
+        CountRowMismatches(reference, StreamAsFleetResult(azure_source, prototype, lazy));
+    std::printf("  %-18s resident %zu  stream %zu mismatched fields\n",
+                name.c_str(), resident_mismatches, stream_mismatches);
+  }
+  const std::size_t parity_total =
+      resident_mismatches + stream_mismatches + variant_mismatches;
+  const bool parity_ok = parity_total == 0;
+  std::printf("parity: %s (%zu mismatched fields across %zu policies x "
+              "%zu chunk sizes x %zu thread widths)\n",
+              parity_ok ? "PASS" : "FAIL", parity_total, parity_policies.size(),
+              parity_chunks.size(), parity_threads.size());
+
+  // --- Section 2: Huawei-preset scale sweep under a fixed memory budget.
+  // The cache budget is sized so the largest sweep point must evict:
+  // per-second traces at 10 s epochs produce ~2.3 KB of cached series per
+  // app, so 10^5 apps want ~230 MB against a 32 MB budget (smoke: 200 apps
+  // against 256 KB).
+  const std::size_t cache_budget =
+      args.smoke ? (256u << 10) : (32u << 20);
+  const std::size_t rss_slack = 128u << 20;
+  const std::vector<std::size_t> sweep_sizes =
+      args.smoke ? std::vector<std::size_t>{50, 200}
+                 : std::vector<std::size_t>{100, 1000, 10000, 100000};
+
+  HuaweiGeneratorOptions huawei;
+  huawei.duration_minutes = args.smoke ? 10 : 20;
+  huawei.seed = 2026;
+  SimOptions sweep_sim;
+  sweep_sim.epoch_seconds = 10.0;
+  const ForecasterPolicy sweep_policy(MakeForecasterByName("moving_average_1"));
+  SeriesCache series_cache;
+  series_cache.SetBudget(cache_budget);
+
+  std::printf("scale sweep: huawei preset, %d min @ %d s/sample, epoch %.0f s, "
+              "cache budget %.2f MB\n",
+              huawei.duration_minutes, huawei.seconds_per_sample,
+              sweep_sim.epoch_seconds, cache_budget / (1024.0 * 1024.0));
+  std::vector<SweepPoint> sweep;
+  for (const std::size_t apps : sweep_sizes) {
+    huawei.num_apps = static_cast<int>(apps);
+    const HuaweiTraceSource source(huawei);
+    FleetStreamOptions options;
+    options.sim = sweep_sim;
+    options.chunk_apps = 64;
+    options.series_cache = &series_cache;
+    const auto start = std::chrono::steady_clock::now();
+    const FleetStreamResult result =
+        SimulateFleetStreamUniform(source, sweep_policy, options);
+    SweepPoint point;
+    point.apps = result.apps;
+    point.seconds = Seconds(start);
+    point.epochs = result.epochs;
+    point.chunks = result.chunks;
+    point.peak_pending_chunks = result.peak_pending_chunks;
+    point.current_rss_bytes = CurrentRssBytes();
+    point.peak_rss_bytes = PeakRssBytes();
+    point.cache = series_cache.stats();
+    sweep.push_back(point);
+    std::printf("  %7zu apps  %8.3f s  %9.0f apps/s  %11.0f epochs/s  "
+                "peak rss %6.1f MB  cache %zu entries / %.1f MB (%llu evictions)\n",
+                point.apps, point.seconds,
+                point.seconds > 0.0 ? point.apps / point.seconds : 0.0,
+                point.seconds > 0.0 ? point.epochs / point.seconds : 0.0,
+                point.peak_rss_bytes / (1024.0 * 1024.0), point.cache.entries,
+                point.cache.bytes / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(point.cache.evictions));
+    // The cache is keyed by app index; distinct sweep points share indices
+    // but not traces, so drop the entries between points. Counters are
+    // monotonic and survive the clear.
+    series_cache.Clear();
+  }
+
+  // Flat-memory gate: RSS high-water growth across a 1000x fleet-size
+  // increase must stay within the cache budget plus fixed slack (allocator
+  // retention, thread stacks) — i.e. independent of fleet size.
+  const std::size_t rss_first = sweep.front().peak_rss_bytes;
+  const std::size_t rss_last = sweep.back().peak_rss_bytes;
+  const std::size_t rss_growth = rss_last > rss_first ? rss_last - rss_first : 0;
+  const bool rss_known = rss_first != 0 && rss_last != 0;
+  const bool flat_ok = !rss_known || rss_growth <= cache_budget + rss_slack;
+  std::printf("memory: peak rss %.1f MB -> %.1f MB (growth %.1f MB, "
+              "budget %.2f MB + %zu MB slack) %s%s\n",
+              rss_first / (1024.0 * 1024.0), rss_last / (1024.0 * 1024.0),
+              rss_growth / (1024.0 * 1024.0), cache_budget / (1024.0 * 1024.0),
+              rss_slack >> 20, flat_ok ? "PASS" : "FAIL",
+              rss_known ? "" : " (rss unavailable)");
+
+  // Eviction gate: the budget must actually have bounded the cache.
+  const SeriesCache::Stats final_cache = sweep.back().cache;
+  const bool evictions_ok = final_cache.evictions > 0;
+  const bool cache_bytes_ok = final_cache.bytes <= cache_budget;
+  std::printf("series cache: %llu hits  %llu misses  %llu evictions  "
+              "%zu bytes <= %zu budget  %s\n",
+              static_cast<unsigned long long>(final_cache.hits),
+              static_cast<unsigned long long>(final_cache.misses),
+              static_cast<unsigned long long>(final_cache.evictions),
+              final_cache.bytes, cache_budget,
+              evictions_ok && cache_bytes_ok ? "PASS" : "FAIL");
+
+  bool json_ok = true;
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << "{\n"
+        << "  \"bench\": \"fleet_scale\",\n"
+        << "  \"config\": {\"smoke\": " << (args.smoke ? "true" : "false")
+        << ", \"hardware_concurrency\": " << hardware
+        << ", \"configured_threads\": " << configured
+        << ", \"parity_apps\": " << dataset.apps.size()
+        << ", \"huawei_duration_minutes\": " << huawei.duration_minutes
+        << ", \"huawei_seconds_per_sample\": " << huawei.seconds_per_sample
+        << ", \"epoch_seconds\": " << sweep_sim.epoch_seconds
+        << ", \"chunk_apps\": 64"
+        << ", \"cache_budget_bytes\": " << cache_budget << "},\n"
+        << "  \"parity\": {\"resident_mismatched_fields\": " << resident_mismatches
+        << ", \"stream_mismatched_fields\": " << stream_mismatches
+        << ", \"variant_mismatched_fields\": " << variant_mismatches
+        << ", \"mismatched_fields\": " << parity_total
+        << ", \"ok\": " << (parity_ok ? "true" : "false") << "},\n"
+        << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& p = sweep[i];
+      out << "    {\"apps\": " << p.apps << ", \"seconds\": " << p.seconds
+          << ", \"apps_per_sec\": " << (p.seconds > 0.0 ? p.apps / p.seconds : 0.0)
+          << ", \"epochs\": " << p.epochs
+          << ", \"epochs_per_sec\": "
+          << (p.seconds > 0.0 ? p.epochs / p.seconds : 0.0)
+          << ", \"chunks\": " << p.chunks
+          << ", \"peak_pending_chunks\": " << p.peak_pending_chunks
+          << ", \"current_rss_bytes\": " << p.current_rss_bytes
+          << ", \"peak_rss_bytes\": " << p.peak_rss_bytes
+          << ", \"cache\": {\"hits\": " << p.cache.hits
+          << ", \"misses\": " << p.cache.misses
+          << ", \"evictions\": " << p.cache.evictions
+          << ", \"entries\": " << p.cache.entries
+          << ", \"bytes\": " << p.cache.bytes << "}}"
+          << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"memory\": {\"peak_rss_first_bytes\": " << rss_first
+        << ", \"peak_rss_last_bytes\": " << rss_last
+        << ", \"growth_bytes\": " << rss_growth
+        << ", \"budget_bytes\": " << cache_budget
+        << ", \"slack_bytes\": " << rss_slack
+        << ", \"rss_known\": " << (rss_known ? "true" : "false")
+        << ", \"flat_ok\": " << (flat_ok ? "true" : "false") << "},\n"
+        << "  \"series_cache\": {\"hits\": " << final_cache.hits
+        << ", \"misses\": " << final_cache.misses
+        << ", \"evictions\": " << final_cache.evictions
+        << ", \"bytes\": " << final_cache.bytes
+        << ", \"evictions_ok\": " << (evictions_ok ? "true" : "false")
+        << ", \"bytes_within_budget\": " << (cache_bytes_ok ? "true" : "false")
+        << "},\n"
+        << "  \"ok\": "
+        << (parity_ok && flat_ok && evictions_ok && cache_bytes_ok ? "true"
+                                                                   : "false")
+        << "\n}\n";
+    out.flush();
+    json_ok = out.good();
+    if (json_ok) {
+      std::printf("wrote %s\n", args.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", args.json_path.c_str());
+    }
+  }
+
+  return parity_ok && flat_ok && evictions_ok && cache_bytes_ok && json_ok ? 0 : 1;
+}

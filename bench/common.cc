@@ -1,7 +1,15 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace femux {
 namespace {
@@ -146,5 +154,55 @@ void PrintRow(const std::string& label, double paper, double measured,
 }
 
 void PrintNote(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+namespace {
+
+// Parses a "Vm...:  <kB> kB" line from /proc/self/status. Returns 0 when
+// the file or field is unavailable (non-Linux).
+std::size_t ProcStatusKb(const char* field) {
+  std::ifstream status("/proc/self/status");
+  if (!status.is_open()) {
+    return 0;
+  }
+  const std::size_t field_len = std::strlen(field);
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.compare(0, field_len, field) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(line.c_str() + field_len, nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+std::size_t RusageMaxRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  // Linux (and most BSDs) report kilobytes.
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::size_t CurrentRssBytes() {
+  const std::size_t kb = ProcStatusKb("VmRSS:");
+  return kb != 0 ? kb * 1024 : 0;
+}
+
+std::size_t PeakRssBytes() {
+  const std::size_t kb = ProcStatusKb("VmHWM:");
+  return kb != 0 ? kb * 1024 : RusageMaxRssBytes();
+}
 
 }  // namespace femux

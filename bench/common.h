@@ -8,6 +8,7 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -81,6 +82,14 @@ void PrintHeader(const std::string& experiment, const std::string& claim);
 void PrintRow(const std::string& label, double paper, double measured,
               const std::string& unit = "");
 void PrintNote(const std::string& text);
+
+// Portable process-memory probes for the scale benches (bench_fleet_scale's
+// flat-memory gate). On Linux they read /proc/self/status (VmRSS / VmHWM in
+// kB); elsewhere they fall back to getrusage(ru_maxrss), which only gives
+// the peak. Returns 0 when no source is available — callers must treat 0 as
+// "unknown", not "zero bytes".
+std::size_t CurrentRssBytes();
+std::size_t PeakRssBytes();
 
 }  // namespace femux
 

@@ -49,6 +49,11 @@ if [[ "$SKIP_BENCH" == "0" ]]; then
       --json="$ROOT/bench/out/fleet-parallel-smoke.bench-scratch.json" || {
     echo "fleet-parallel bench smoke FAILED (parity, gate, or runtime error)"; exit 1;
   }
+  cmake --build "$ROOT/build-release" --target bench_fleet_scale -j > /dev/null
+  "$ROOT/build-release/bench/bench_fleet_scale" --smoke \
+      --json="$ROOT/bench/out/fleet-scale-smoke.bench-scratch.json" || {
+    echo "fleet-scale bench smoke FAILED (parity, memory gate, or runtime error)"; exit 1;
+  }
 fi
 
 if [[ "${FEMUX_SANITIZE:-}" == "thread" ]]; then

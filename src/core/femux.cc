@@ -1,5 +1,8 @@
 #include "src/core/femux.h"
 
+#include <algorithm>
+#include <cstddef>
+
 namespace femux {
 
 FemuxPolicy::FemuxPolicy(std::shared_ptr<const FemuxModel> model,
@@ -13,6 +16,23 @@ FemuxPolicy::FemuxPolicy(std::shared_ptr<const FemuxModel> model,
     selected_margin_ =
         model_->margins[static_cast<std::size_t>(model_->default_margin)];
   }
+  // Ring capacity: the largest effective window any forecaster in the set
+  // would use, so a block switch can warm-seed whichever forecaster the
+  // classifier picks next.
+  ring_capacity_ = kDefaultHistoryMinutes;
+  for (std::size_t i = 0; i < model_->forecaster_names.size(); ++i) {
+    const std::unique_ptr<Forecaster> f =
+        model_->MakeForecaster(static_cast<int>(i));
+    if (f != nullptr) {
+      ring_capacity_ = std::max(ring_capacity_, f->preferred_history());
+    }
+  }
+  series_ring_.reserve(2 * ring_capacity_);
+}
+
+std::span<const double> FemuxPolicy::RingWindow() const {
+  const std::size_t len = std::min(series_ring_.size(), ring_capacity_);
+  return std::span<const double>(series_ring_).last(len);
 }
 
 void FemuxPolicy::CompleteBlock() {
@@ -25,27 +45,42 @@ void FemuxPolicy::CompleteBlock() {
     current_index_ = selected.forecaster;
     forecaster_ = model_->MakeForecaster(selected.forecaster);
     ++switch_count_;
-    // The fresh forecaster may reuse the old one's address, so the session
-    // must not trust pointer identity for stream continuity.
-    session_.Invalidate();
+    // Block-boundary warm handoff: seed the fresh forecaster's sliding
+    // window from the series ring, so it starts with the same history a
+    // cold batch re-seed would have read — but pays the O(window) cost here
+    // at the block boundary, once, instead of leaving the session invalid.
+    // (The fresh forecaster may reuse the old one's address, so the session
+    // must not trust pointer identity for stream continuity; SeedStreamed
+    // rebinds it explicitly.)
+    session_.SeedStreamed(*forecaster_, RingWindow(), observed_,
+                          kDefaultHistoryMinutes);
   }
   selected_margin_ = selected.margin;
   block_buffer_.clear();
 }
 
 double FemuxPolicy::TargetUnits(std::span<const double> demand_history) {
-  if (!demand_history.empty()) {
-    // The simulator advances one epoch per call, so the newest history
-    // entry is exactly one unseen sample.
-    block_buffer_.push_back(demand_history.back());
-    if (block_buffer_.size() >= model_->block_minutes) {
-      CompleteBlock();
-    }
-  }
   if (demand_history.empty()) {
     return 0.0;
   }
-  return session_.ForecastOne(*forecaster_, demand_history, kDefaultHistoryMinutes) *
+  // The simulator advances one epoch per call, so the newest history entry
+  // is exactly one unseen sample — the only element the policy reads.
+  const double newest = demand_history.back();
+  ++observed_;
+  series_ring_.push_back(newest);
+  if (series_ring_.size() > 2 * ring_capacity_) {
+    // Amortized-O(1) compaction: drop the stale front half. The session
+    // tracks contiguity on `observed_`, so this is invisible to it.
+    series_ring_.erase(series_ring_.begin(),
+                       series_ring_.end() -
+                           static_cast<std::ptrdiff_t>(ring_capacity_));
+  }
+  block_buffer_.push_back(newest);
+  if (block_buffer_.size() >= model_->block_minutes) {
+    CompleteBlock();
+  }
+  return session_.ForecastStreamed(*forecaster_, RingWindow(), observed_,
+                                   kDefaultHistoryMinutes) *
          margin_ * selected_margin_;
 }
 

@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,9 @@ class FemuxPolicy final : public ScalingPolicy {
 
  private:
   void CompleteBlock();
+  // The retained tail of the demand series (newest last), sized to the
+  // largest window any forecaster in the model's set wants.
+  std::span<const double> RingWindow() const;
 
   std::shared_ptr<const FemuxModel> model_;
   FeatureExtractor extractor_;
@@ -51,6 +55,14 @@ class FemuxPolicy final : public ScalingPolicy {
   std::vector<double> block_buffer_;
   std::unique_ptr<Forecaster> forecaster_;
   IncrementalSession session_;
+  // Series ring: the policy keeps its own bounded copy of recent samples so
+  // (a) a fresh forecaster can be warm-seeded at a block switch and (b) the
+  // policy only ever reads history.back() — callers need not retain full
+  // histories. Stored as a growing vector compacted amortized-O(1); the
+  // session tracks contiguity on `observed_`, so compaction is invisible.
+  std::vector<double> series_ring_;
+  std::size_t ring_capacity_ = 0;
+  std::size_t observed_ = 0;  // Samples ever observed.
   int current_index_ = 0;
   double selected_margin_ = 1.0;
   int switch_count_ = 0;

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <utility>
 
 #include "src/forecast/registry.h"
 #include "src/sim/fleet.h"
 #include "src/sim/parallel.h"
+#include "src/sim/stream_fold.h"
 
 namespace femux {
 namespace {
@@ -78,6 +80,83 @@ void ConfigureModel(const Rum& rum, const TrainerOptions& options, FemuxModel* m
       options.margins.empty() ? std::vector<double>{1.0} : options.margins;
 }
 
+// Rolling plans, per-block RUM rows, and per-block features for one app.
+// This is the unit of work both the resident table builder and the
+// streaming trainer fan out; block scoring is pure given the app's series,
+// so results are bit-identical wherever the app came from.
+struct AppBlockRows {
+  std::vector<std::vector<double>> rum;       // [block][candidate]
+  std::vector<std::vector<double>> features;  // [block][feature]
+};
+
+AppBlockRows BuildAppBlockRows(const AppTrace& app, int app_index,
+                               const FemuxModel& model, const Rum& rum,
+                               const TrainerOptions& options,
+                               const FeatureExtractor& extractor, bool exec_aware) {
+  const std::size_t num_forecasters = model.forecaster_names.size();
+  const std::size_t num_margins = model.margins.size();
+  const std::size_t num_candidates = num_forecasters * num_margins;
+
+  SimOptions sim = options.sim;
+  sim.min_scale = 0;
+  sim.memory_gb_per_unit = app.consumed_memory_mb > 0.0
+                               ? app.consumed_memory_mb / 1024.0
+                               : sim.memory_gb_per_unit;
+  const std::vector<double> demand = DemandSeries(app, sim.epoch_seconds);
+  const std::vector<double> arrivals = ArrivalSeries(app, sim.epoch_seconds);
+  // One rolling plan per forecaster per app, sliced per block below —
+  // candidates (forecaster × margin) only rescale the slice. With a
+  // plan cache the simulation is also shared across training calls.
+  const std::vector<PlanCache::Plan> plans =
+      AppPlans(model.forecaster_names, demand, options.refit_interval,
+               options.plan_cache, app_index, sim.epoch_seconds);
+
+  const std::size_t blocks = BlockCount(demand.size(), options.block_minutes);
+  AppBlockRows out;
+  out.rum.assign(blocks, std::vector<double>(num_candidates, 0.0));
+  out.features.resize(blocks);
+  const std::span<const double> demand_span(demand);
+  const std::span<const double> arrivals_span(arrivals);
+  // Blocks fan out below the app level (nested submission is safe on
+  // the persistent pool): with few apps — incremental retraining,
+  // ablation reruns — the app loop alone cannot fill the pool. Each
+  // block job writes only its own rum/feature rows and block scoring
+  // is pure given the slices, so the rows are bit-identical for any
+  // thread count. Scratch is per worker thread, reused across the
+  // blocks it claims.
+  ParallelFor(
+      blocks,
+      [&](std::size_t b) {
+        thread_local std::vector<double> scaled_plan;
+        thread_local FeatureExtractor::Workspace workspace;
+        scaled_plan.resize(options.block_minutes);
+        const auto demand_block = BlockSlice(demand_span, b, options.block_minutes);
+        const auto arrivals_block =
+            BlockSlice(arrivals_span, b, options.block_minutes);
+        for (std::size_t f = 0; f < num_forecasters; ++f) {
+          const auto plan_block = BlockSlice(std::span<const double>(*plans[f]), b,
+                                             options.block_minutes);
+          for (std::size_t m = 0; m < num_margins; ++m) {
+            for (std::size_t i = 0; i < plan_block.size(); ++i) {
+              scaled_plan[i] = plan_block[i] * model.margins[m];
+            }
+            out.rum[b][f * num_margins + m] =
+                BlockRum(rum, demand_block, arrivals_block, scaled_plan, sim);
+          }
+        }
+        extractor.ExtractInto(demand_block,
+                              exec_aware ? app.mean_execution_ms : 0.0, &workspace);
+        out.features[b] = workspace.out;
+      },
+      options.threads);
+  return out;
+}
+
+bool IsExecAware(const FemuxModel& model) {
+  return std::find(model.features.begin(), model.features.end(),
+                   Feature::kExecTime) != model.features.end();
+}
+
 }  // namespace
 
 PlanCache::Plan PlanCache::GetOrCompute(
@@ -136,75 +215,22 @@ BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_i
   ConfigureModel(rum, options, &model);
 
   const std::size_t num_apps = app_indices.size();
-  const std::size_t num_forecasters = model.forecaster_names.size();
-  const std::size_t num_margins = model.margins.size();
-  const std::size_t num_candidates = num_forecasters * num_margins;
 
   BlockTable table;
   table.rum.resize(num_apps);
   table.features.resize(num_apps);
 
-  const bool exec_aware =
-      std::find(model.features.begin(), model.features.end(), Feature::kExecTime) !=
-      model.features.end();
+  const bool exec_aware = IsExecAware(model);
   const FeatureExtractor extractor(model.features);
 
   ParallelFor(
       num_apps,
       [&](std::size_t a) {
         const AppTrace& app = dataset.apps[static_cast<std::size_t>(app_indices[a])];
-        SimOptions sim = options.sim;
-        sim.min_scale = 0;
-        sim.memory_gb_per_unit = app.consumed_memory_mb > 0.0
-                                     ? app.consumed_memory_mb / 1024.0
-                                     : sim.memory_gb_per_unit;
-        const std::vector<double> demand = DemandSeries(app, sim.epoch_seconds);
-        const std::vector<double> arrivals = ArrivalSeries(app, sim.epoch_seconds);
-        // One rolling plan per forecaster per app, sliced per block below —
-        // candidates (forecaster × margin) only rescale the slice. With a
-        // plan cache the simulation is also shared across training calls.
-        const std::vector<PlanCache::Plan> plans =
-            AppPlans(model.forecaster_names, demand, options.refit_interval,
-                     options.plan_cache, app_indices[a], sim.epoch_seconds);
-
-        const std::size_t blocks = BlockCount(demand.size(), options.block_minutes);
-        table.rum[a].assign(blocks, std::vector<double>(num_candidates, 0.0));
-        table.features[a].resize(blocks);
-        const std::span<const double> demand_span(demand);
-        const std::span<const double> arrivals_span(arrivals);
-        // Blocks fan out below the app level (nested submission is safe on
-        // the persistent pool): with few apps — incremental retraining,
-        // ablation reruns — the app loop alone cannot fill the pool. Each
-        // block job writes only its own rum/feature rows and block scoring
-        // is pure given the slices, so the table is bit-identical for any
-        // thread count. Scratch is per worker thread, reused across the
-        // blocks it claims.
-        ParallelFor(
-            blocks,
-            [&, a](std::size_t b) {
-              thread_local std::vector<double> scaled_plan;
-              thread_local FeatureExtractor::Workspace workspace;
-              scaled_plan.resize(options.block_minutes);
-              const auto demand_block =
-                  BlockSlice(demand_span, b, options.block_minutes);
-              const auto arrivals_block =
-                  BlockSlice(arrivals_span, b, options.block_minutes);
-              for (std::size_t f = 0; f < num_forecasters; ++f) {
-                const auto plan_block = BlockSlice(
-                    std::span<const double>(*plans[f]), b, options.block_minutes);
-                for (std::size_t m = 0; m < num_margins; ++m) {
-                  for (std::size_t i = 0; i < plan_block.size(); ++i) {
-                    scaled_plan[i] = plan_block[i] * model.margins[m];
-                  }
-                  table.rum[a][b][f * num_margins + m] =
-                      BlockRum(rum, demand_block, arrivals_block, scaled_plan, sim);
-                }
-              }
-              extractor.ExtractInto(
-                  demand_block, exec_aware ? app.mean_execution_ms : 0.0, &workspace);
-              table.features[a][b] = workspace.out;
-            },
-            options.threads);
+        AppBlockRows rows = BuildAppBlockRows(app, app_indices[a], model, rum,
+                                              options, extractor, exec_aware);
+        table.rum[a] = std::move(rows.rum);
+        table.features[a] = std::move(rows.features);
       },
       options.threads);
   return table;
@@ -212,9 +238,8 @@ BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_i
 
 void FitFromTable(const BlockTable& table, const TrainerOptions& options,
                   FemuxModel* model, std::vector<std::size_t>* cluster_sizes) {
-  const std::size_t num_margins = model->margins.size();
-
-  // Flatten block rows.
+  // Flatten block rows (app-index order, then block order — the same order
+  // the streaming trainer folds rows in).
   std::vector<std::vector<double>> rows;
   std::vector<std::vector<double>> row_rums;
   for (std::size_t a = 0; a < table.rum.size(); ++a) {
@@ -223,6 +248,14 @@ void FitFromTable(const BlockTable& table, const TrainerOptions& options,
       row_rums.push_back(table.rum[a][b]);
     }
   }
+  FitFromRows(rows, row_rums, options, model, cluster_sizes);
+}
+
+void FitFromRows(const std::vector<std::vector<double>>& rows,
+                 const std::vector<std::vector<double>>& row_rums,
+                 const TrainerOptions& options, FemuxModel* model,
+                 std::vector<std::size_t>* cluster_sizes) {
+  const std::size_t num_margins = model->margins.size();
   if (rows.empty()) {
     return;
   }
@@ -312,6 +345,89 @@ TrainResult TrainFemux(const Dataset& dataset, const std::vector<int>& app_indic
 
   const auto cluster_start = std::chrono::steady_clock::now();
   FitFromTable(result.table, options, &result.model, &result.cluster_sizes);
+  result.clustering_seconds = SecondsSince(cluster_start);
+  return result;
+}
+
+StreamTrainResult TrainFemuxStream(const TraceSource& source, const Rum& rum,
+                                   const TrainerOptions& options,
+                                   const StreamTrainOptions& stream) {
+  StreamTrainResult result;
+  ConfigureModel(rum, options, &result.model);
+  const FemuxModel& model = result.model;
+  const bool exec_aware = IsExecAware(model);
+  const FeatureExtractor extractor(model.features);
+
+  const std::size_t num_apps = source.app_count();
+  const std::size_t chunk_apps = stream.chunk_apps == 0 ? 16 : stream.chunk_apps;
+  const std::size_t num_chunks = (num_apps + chunk_apps - 1) / chunk_apps;
+
+  // Retained flattened rows. Folding happens in app-index order, so with an
+  // unlimited row budget these match FitFromTable's flattening of the
+  // resident BlockTable element for element.
+  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<double>> row_rums;
+  std::vector<std::size_t> row_ids;  // Global block index of each kept row.
+  std::size_t stride = 1;
+
+  const auto sim_start = std::chrono::steady_clock::now();
+  result.peak_pending_chunks = ParallelOrderedChunks<std::vector<AppBlockRows>>(
+      num_chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk_apps;
+        const std::size_t end = std::min(num_apps, begin + chunk_apps);
+        std::vector<AppBlockRows> chunk;
+        chunk.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          // The app's trace, series, and rolling plans live only for this
+          // iteration; its block rows are all that survive.
+          const AppTrace app = source.MakeApp(i);
+          chunk.push_back(BuildAppBlockRows(app, static_cast<int>(i), model, rum,
+                                            options, extractor, exec_aware));
+        }
+        return chunk;
+      },
+      [&](std::size_t, std::vector<AppBlockRows>&& chunk) {
+        for (AppBlockRows& app_rows : chunk) {
+          ++result.apps;
+          for (std::size_t b = 0; b < app_rows.rum.size(); ++b) {
+            const std::size_t id = result.blocks_seen++;
+            if (id % stride != 0) {
+              continue;
+            }
+            rows.push_back(std::move(app_rows.features[b]));
+            row_rums.push_back(std::move(app_rows.rum[b]));
+            row_ids.push_back(id);
+            if (stream.max_rows != 0 && rows.size() > stream.max_rows) {
+              // Double the stride and re-decimate in place. Which rows
+              // survive depends only on their global index, never on
+              // timing, so the retained set is deterministic.
+              stride *= 2;
+              std::size_t kept = 0;
+              for (std::size_t r = 0; r < rows.size(); ++r) {
+                if (row_ids[r] % stride == 0) {
+                  if (kept != r) {  // Self-move would dangle the buffer.
+                    rows[kept] = std::move(rows[r]);
+                    row_rums[kept] = std::move(row_rums[r]);
+                    row_ids[kept] = row_ids[r];
+                  }
+                  ++kept;
+                }
+              }
+              rows.resize(kept);
+              row_rums.resize(kept);
+              row_ids.resize(kept);
+            }
+          }
+        }
+      },
+      options.threads);
+  result.forecast_sim_seconds = SecondsSince(sim_start);
+  result.rows_kept = rows.size();
+  result.row_stride = stride;
+
+  const auto cluster_start = std::chrono::steady_clock::now();
+  FitFromRows(rows, row_rums, options, &result.model, &result.cluster_sizes);
   result.clustering_seconds = SecondsSince(cluster_start);
   return result;
 }

@@ -22,6 +22,7 @@
 
 #include "src/core/model.h"
 #include "src/sim/simulator.h"
+#include "src/trace/stream.h"
 #include "src/trace/trace.h"
 
 namespace femux {
@@ -108,6 +109,46 @@ BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_i
 // refit.
 void FitFromTable(const BlockTable& table, const TrainerOptions& options,
                   FemuxModel* model, std::vector<std::size_t>* cluster_sizes);
+
+// (Re)fits the classifier from already-flattened block rows (features and
+// per-candidate RUMs, parallel vectors). FitFromTable flattens and calls
+// this; the streaming trainer feeds it directly.
+void FitFromRows(const std::vector<std::vector<double>>& rows,
+                 const std::vector<std::vector<double>>& row_rums,
+                 const TrainerOptions& options, FemuxModel* model,
+                 std::vector<std::size_t>* cluster_sizes);
+
+// Streaming training over a TraceSource: apps are generated, forecast-
+// simulated, and block-scored chunk by chunk, and only the flattened block
+// rows are retained — the per-app traces, series, and plans are discarded
+// with each chunk, so peak memory is O(chunk + retained rows) instead of
+// O(fleet).
+struct StreamTrainOptions {
+  std::size_t chunk_apps = 16;  // Apps per generation/scoring chunk (0 = 16).
+  // Cap on retained block rows. 0 keeps every row, making the fit
+  // bit-identical to TrainFemux over the materialized dataset. When the
+  // retained set would exceed the cap, the keep-stride doubles and retained
+  // rows are re-decimated — deterministic for any thread count and chunk
+  // size (rows are folded in app-index order; decimation depends only on a
+  // row's global index).
+  std::size_t max_rows = 0;
+};
+
+struct StreamTrainResult {
+  FemuxModel model;
+  std::vector<std::size_t> cluster_sizes;
+  std::size_t apps = 0;
+  std::size_t blocks_seen = 0;          // Block rows produced by the source.
+  std::size_t rows_kept = 0;            // Rows that survived into the fit.
+  std::size_t row_stride = 1;           // Final decimation stride.
+  std::size_t peak_pending_chunks = 0;  // Ordered-fold transient residency.
+  double forecast_sim_seconds = 0.0;
+  double clustering_seconds = 0.0;
+};
+
+StreamTrainResult TrainFemuxStream(const TraceSource& source, const Rum& rum,
+                                   const TrainerOptions& options,
+                                   const StreamTrainOptions& stream = {});
 
 // Appends `extra`'s apps/blocks to `base` (incremental data collection).
 void MergeBlockTables(BlockTable* base, const BlockTable& extra);

@@ -50,6 +50,74 @@ double IncrementalSession::ForecastOne(Forecaster& forecaster,
   return forecaster.ForecastNext();
 }
 
+double IncrementalSession::ForecastStreamed(Forecaster& forecaster,
+                                            std::span<const double> window,
+                                            std::size_t total_observed,
+                                            std::size_t window_hint) {
+  const std::size_t window_len =
+      std::max(window_hint, forecaster.preferred_history());
+  const std::span<const double> windowed =
+      window.size() > window_len ? window.last(window_len) : window;
+  if (!forecaster.SupportsIncremental() || window.empty()) {
+    seeded_ = false;
+    return femux::ForecastOne(forecaster, windowed);
+  }
+  const bool bound_here =
+      seeded_ && bound_ == &forecaster && window_ == window_len;
+  // Same epoch as the previous call (or a SeedStreamed): the window state
+  // already includes every observed sample. Return the cached prediction
+  // when one exists — ForecastNext() may advance refit counters, so it must
+  // run at most once per observed count. After a bare SeedStreamed no
+  // prediction exists yet; forecast once and cache it.
+  if (bound_here && total_observed == last_size_ && window.back() == last_back_) {
+    if (!has_last_pred_) {
+      last_pred_ = forecaster.ForecastNext();
+      has_last_pred_ = true;
+    }
+    return last_pred_;
+  }
+  // The prev-back probe mirrors ForecastOne's history[last_size_ - 1] check:
+  // the previous epoch's newest sample is the ring's second-newest now.
+  const bool contiguous =
+      bound_here && total_observed == last_size_ + 1 &&
+      (last_size_ == 0 ||
+       (window.size() >= 2 && window[window.size() - 2] == last_back_));
+  if (contiguous) {
+    forecaster.ObserveAppend(window.back());
+  } else {
+    forecaster.BeginWindow(windowed, window_len);
+    bound_ = &forecaster;
+    window_ = window_len;
+    seeded_ = true;
+  }
+  last_size_ = total_observed;
+  last_back_ = window.back();
+  last_pred_ = forecaster.ForecastNext();
+  has_last_pred_ = true;
+  return last_pred_;
+}
+
+void IncrementalSession::SeedStreamed(Forecaster& forecaster,
+                                      std::span<const double> window,
+                                      std::size_t total_observed,
+                                      std::size_t window_hint) {
+  if (!forecaster.SupportsIncremental() || window.empty()) {
+    seeded_ = false;
+    return;
+  }
+  const std::size_t window_len =
+      std::max(window_hint, forecaster.preferred_history());
+  const std::span<const double> windowed =
+      window.size() > window_len ? window.last(window_len) : window;
+  forecaster.BeginWindow(windowed, window_len);
+  bound_ = &forecaster;
+  window_ = window_len;
+  seeded_ = true;
+  last_size_ = total_observed;
+  last_back_ = window.back();
+  has_last_pred_ = false;  // The next ForecastStreamed forecasts once.
+}
+
 double ClampPrediction(double value) {
   // Guard against NaN propagating out of ill-conditioned fits.
   if (!(value > 0.0)) {

@@ -97,14 +97,46 @@ class IncrementalSession {
   double ForecastOne(Forecaster& forecaster, std::span<const double> history,
                      std::size_t window_hint = kDefaultHistoryMinutes);
 
-  void Invalidate() { seeded_ = false; }
+  // Streamed variants for callers that keep a bounded ring of recent
+  // samples instead of the full history (FemuxPolicy's series ring). The
+  // caller passes its retained tail (`window`, oldest first — it must cover
+  // at least the last min(total_observed, effective window) samples) plus a
+  // monotone count of samples ever observed; contiguity is tracked on that
+  // count, so ring compaction is invisible. With `window` equal to the
+  // tail of the full history, ForecastStreamed(f, window, n) performs
+  // exactly the calls ForecastOne(f, full_history_of_size_n) would —
+  // bit-identical results.
+  double ForecastStreamed(Forecaster& forecaster, std::span<const double> window,
+                          std::size_t total_observed,
+                          std::size_t window_hint = kDefaultHistoryMinutes);
+
+  // Eagerly re-seeds `forecaster`'s sliding-window state from `window`
+  // (block-boundary warm handoff: the fresh forecaster inherits the ring
+  // instead of starting cold). The next ForecastStreamed call with the same
+  // `total_observed` recognizes the seeded state and forecasts from it
+  // without re-seeding. No-op (marks the session unseeded) for forecasters
+  // without incremental support — they fall back to the batch path exactly
+  // as before.
+  void SeedStreamed(Forecaster& forecaster, std::span<const double> window,
+                    std::size_t total_observed,
+                    std::size_t window_hint = kDefaultHistoryMinutes);
+
+  void Invalidate() {
+    seeded_ = false;
+    has_last_pred_ = false;
+  }
 
  private:
   const Forecaster* bound_ = nullptr;
   std::size_t window_ = 0;
-  std::size_t last_size_ = 0;
+  std::size_t last_size_ = 0;  // Total samples observed at the last call.
   double last_back_ = 0.0;
   bool seeded_ = false;
+  // Prediction cache for replayed epochs: ForecastNext() may advance
+  // forecaster-internal refit counters, so a repeat call at the same
+  // observed count returns the cached value instead of re-forecasting.
+  bool has_last_pred_ = false;
+  double last_pred_ = 0.0;
 };
 
 // Convenience: one-step forecast.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <utility>
 
 #include "src/sim/parallel.h"
 
@@ -10,36 +12,41 @@ namespace femux {
 std::vector<double> DemandSeries(const AppTrace& app, double epoch_seconds) {
   const std::vector<double> conc = AverageConcurrency(app);
   const double limit = std::max(1, app.config.container_concurrency);
-  if (epoch_seconds == 60.0) {
+  // Sampling resolution of the trace itself (60 s for the Azure/IBM minute
+  // grids, 1 s for the Huawei-like preset). The comparisons below are exact
+  // for the minute grid, so the generalization is bit-identical there.
+  const double sample_s =
+      app.seconds_per_sample > 0 ? static_cast<double>(app.seconds_per_sample) : 60.0;
+  if (epoch_seconds == sample_s) {
     std::vector<double> demand(conc.size());
     for (std::size_t m = 0; m < conc.size(); ++m) {
       demand[m] = conc[m] / limit;
     }
     return demand;
   }
-  if (epoch_seconds < 60.0) {
-    // Uniform-within-minute assumption: each sub-epoch sees the minute's
+  if (epoch_seconds < sample_s) {
+    // Uniform-within-sample assumption: each sub-epoch sees the sample's
     // average concurrency.
-    const std::size_t per_minute =
-        static_cast<std::size_t>(std::llround(60.0 / epoch_seconds));
+    const std::size_t per_sample =
+        static_cast<std::size_t>(std::llround(sample_s / epoch_seconds));
     std::vector<double> demand;
-    demand.reserve(conc.size() * per_minute);
+    demand.reserve(conc.size() * per_sample);
     for (double c : conc) {
-      for (std::size_t k = 0; k < per_minute; ++k) {
+      for (std::size_t k = 0; k < per_sample; ++k) {
         demand.push_back(c / limit);
       }
     }
     return demand;
   }
-  // Coarser epochs: average the minutes they cover.
-  const std::size_t minutes_per_epoch =
-      static_cast<std::size_t>(std::llround(epoch_seconds / 60.0));
+  // Coarser epochs: average the samples they cover.
+  const std::size_t samples_per_epoch =
+      static_cast<std::size_t>(std::llround(epoch_seconds / sample_s));
   std::vector<double> demand;
-  demand.reserve(conc.size() / minutes_per_epoch + 1);
-  for (std::size_t m = 0; m < conc.size(); m += minutes_per_epoch) {
+  demand.reserve(conc.size() / samples_per_epoch + 1);
+  for (std::size_t m = 0; m < conc.size(); m += samples_per_epoch) {
     double sum = 0.0;
     std::size_t n = 0;
-    for (std::size_t k = m; k < std::min(conc.size(), m + minutes_per_epoch); ++k) {
+    for (std::size_t k = m; k < std::min(conc.size(), m + samples_per_epoch); ++k) {
       sum += conc[k];
       ++n;
     }
@@ -50,33 +57,58 @@ std::vector<double> DemandSeries(const AppTrace& app, double epoch_seconds) {
 
 std::vector<double> ArrivalSeries(const AppTrace& app, double epoch_seconds) {
   const std::vector<double>& counts = app.minute_counts;
-  if (epoch_seconds == 60.0) {
+  const double sample_s =
+      app.seconds_per_sample > 0 ? static_cast<double>(app.seconds_per_sample) : 60.0;
+  if (epoch_seconds == sample_s) {
     return counts;
   }
-  if (epoch_seconds < 60.0) {
-    const std::size_t per_minute =
-        static_cast<std::size_t>(std::llround(60.0 / epoch_seconds));
+  if (epoch_seconds < sample_s) {
+    const std::size_t per_sample =
+        static_cast<std::size_t>(std::llround(sample_s / epoch_seconds));
     std::vector<double> arrivals;
-    arrivals.reserve(counts.size() * per_minute);
+    arrivals.reserve(counts.size() * per_sample);
     for (double c : counts) {
-      for (std::size_t k = 0; k < per_minute; ++k) {
-        arrivals.push_back(c / static_cast<double>(per_minute));
+      for (std::size_t k = 0; k < per_sample; ++k) {
+        arrivals.push_back(c / static_cast<double>(per_sample));
       }
     }
     return arrivals;
   }
-  const std::size_t minutes_per_epoch =
-      static_cast<std::size_t>(std::llround(epoch_seconds / 60.0));
+  const std::size_t samples_per_epoch =
+      static_cast<std::size_t>(std::llround(epoch_seconds / sample_s));
   std::vector<double> arrivals;
-  arrivals.reserve(counts.size() / minutes_per_epoch + 1);
-  for (std::size_t m = 0; m < counts.size(); m += minutes_per_epoch) {
+  arrivals.reserve(counts.size() / samples_per_epoch + 1);
+  for (std::size_t m = 0; m < counts.size(); m += samples_per_epoch) {
     double sum = 0.0;
-    for (std::size_t k = m; k < std::min(counts.size(), m + minutes_per_epoch); ++k) {
+    for (std::size_t k = m; k < std::min(counts.size(), m + samples_per_epoch); ++k) {
       sum += counts[k];
     }
     arrivals.push_back(sum);
   }
   return arrivals;
+}
+
+namespace {
+
+// Resident weight of one cache entry: both series' payloads plus fixed
+// bookkeeping overhead (map node, list node, control blocks).
+std::size_t SeriesWeight(const SeriesCache::Series& series) {
+  constexpr std::size_t kOverheadBytes = 192;
+  const std::size_t doubles =
+      (series.demand ? series.demand->size() : 0) +
+      (series.arrivals ? series.arrivals->size() : 0);
+  return doubles * sizeof(double) + kOverheadBytes;
+}
+
+}  // namespace
+
+SeriesCache::SeriesCache() {
+  if (const char* env = std::getenv("FEMUX_SERIES_CACHE_MB")) {
+    const long mb = std::strtol(env, nullptr, 10);
+    if (mb > 0) {
+      budget_ = static_cast<std::size_t>(mb) * (1u << 20);
+    }
+  }
 }
 
 SeriesCache::Series SeriesCache::GetOrCompute(const AppTrace& app, int app_index,
@@ -87,7 +119,8 @@ SeriesCache::Series SeriesCache::GetOrCompute(const AppTrace& app, int app_index
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.series;
     }
     // A miss per computing caller: racing first callers each pay the
     // computation below, so the counter reflects work actually done.
@@ -101,13 +134,40 @@ SeriesCache::Series SeriesCache::GetOrCompute(const AppTrace& app, int app_index
   series.arrivals =
       std::make_shared<const std::vector<double>>(ArrivalSeries(app, epoch_seconds));
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_.emplace(key, std::move(series)).first->second;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.series;
+  }
+  lru_.push_front(key);
+  const std::size_t weight = SeriesWeight(series);
+  entries_.emplace(key, Entry{series, lru_.begin(), weight});
+  weight_ += weight;
+  while (weight_ > budget_ && entries_.size() > 1) {
+    const Key victim = lru_.back();
+    if (victim == key) {
+      break;  // Never evict the entry just requested.
+    }
+    const auto vit = entries_.find(victim);
+    weight_ -= vit->second.weight;
+    entries_.erase(vit);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return series;
+}
+
+std::size_t SeriesCache::SetBudget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(budget_, bytes);
 }
 
 void SeriesCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   evictions_ += entries_.size();
   entries_.clear();
+  lru_.clear();
+  weight_ = 0;
 }
 
 std::size_t SeriesCache::size() const {
@@ -122,6 +182,7 @@ SeriesCache::Stats SeriesCache::stats() const {
   stats.misses = misses_;
   stats.evictions = evictions_;
   stats.entries = entries_.size();
+  stats.bytes = weight_;
   return stats;
 }
 

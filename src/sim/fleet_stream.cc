@@ -1,0 +1,95 @@
+#include "src/sim/fleet_stream.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/sim/stream_fold.h"
+
+namespace femux {
+namespace {
+
+// Everything a chunk hands to the ordered fold: one metrics row per app in
+// the chunk (index order within the chunk) plus the epoch count.
+struct ChunkMetrics {
+  std::vector<SimMetrics> per_app;
+  std::uint64_t epochs = 0;
+};
+
+}  // namespace
+
+FleetStreamResult SimulateFleetStream(const TraceSource& source,
+                                      const PolicyFactory& factory,
+                                      const FleetStreamOptions& options) {
+  const std::size_t num_apps = source.app_count();
+  const std::size_t chunk_apps = options.chunk_apps == 0 ? 64 : options.chunk_apps;
+  const std::size_t num_chunks = (num_apps + chunk_apps - 1) / chunk_apps;
+
+  FleetStreamResult result;
+  result.chunks = num_chunks;
+
+  result.peak_pending_chunks = ParallelOrderedChunks<ChunkMetrics>(
+      num_chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk_apps;
+        const std::size_t end = std::min(num_apps, begin + chunk_apps);
+        ChunkMetrics chunk;
+        chunk.per_app.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          // The app's traces, series, and policy live only for this
+          // iteration; the metrics row is all that survives.
+          const AppTrace app = source.MakeApp(i);
+          SimOptions app_options = options.sim;
+          app_options.min_scale =
+              options.respect_app_min_scale ? app.config.min_scale : 0;
+          app_options.memory_gb_per_unit =
+              app.consumed_memory_mb > 0.0 ? app.consumed_memory_mb / 1024.0
+                                           : options.sim.memory_gb_per_unit;
+          std::shared_ptr<const std::vector<double>> demand;
+          std::shared_ptr<const std::vector<double>> arrivals;
+          if (options.series_cache != nullptr) {
+            SeriesCache::Series series = options.series_cache->GetOrCompute(
+                app, static_cast<int>(i), app_options.epoch_seconds);
+            demand = std::move(series.demand);
+            arrivals = std::move(series.arrivals);
+          } else {
+            demand = std::make_shared<const std::vector<double>>(
+                DemandSeries(app, app_options.epoch_seconds));
+            arrivals = std::make_shared<const std::vector<double>>(
+                ArrivalSeries(app, app_options.epoch_seconds));
+          }
+          std::unique_ptr<ScalingPolicy> policy = factory(static_cast<int>(i));
+          chunk.per_app.push_back(
+              SimulateApp(*demand, *arrivals, *policy, app_options));
+          chunk.epochs += demand->size();
+        }
+        return chunk;
+      },
+      [&](std::size_t c, ChunkMetrics&& chunk) {
+        // Chunks arrive here in index order, and rows within a chunk are in
+        // index order, so this accumulation performs the exact additions of
+        // SimulateFleet's app-order reduction — bit-identical totals.
+        const std::size_t begin = c * chunk_apps;
+        for (std::size_t k = 0; k < chunk.per_app.size(); ++k) {
+          result.total += chunk.per_app[k];
+          if (options.per_app_sink) {
+            options.per_app_sink(begin + k, chunk.per_app[k]);
+          }
+        }
+        result.apps += chunk.per_app.size();
+        result.epochs += chunk.epochs;
+      },
+      options.threads);
+
+  return result;
+}
+
+FleetStreamResult SimulateFleetStreamUniform(const TraceSource& source,
+                                             const ScalingPolicy& prototype,
+                                             const FleetStreamOptions& options) {
+  return SimulateFleetStream(
+      source, [&prototype](int) { return prototype.Clone(); }, options);
+}
+
+}  // namespace femux

@@ -1,0 +1,66 @@
+// Streaming fleet simulation: simulate arbitrarily large fleets under a
+// fixed memory budget.
+//
+// SimulateFleet (fleet.h) materializes the whole dataset and a per-app
+// metrics vector — fine at 32 apps, fatal at 10^5+. SimulateFleetStream
+// instead pulls apps lazily from a TraceSource in contiguous index chunks:
+// each worker generates a chunk's traces, expands its series, simulates it,
+// and hands a small vector of per-app metrics to an ordered fold that
+// accumulates the fleet total in strict app-index order before the chunk is
+// discarded. Peak residency is O(threads x chunk) regardless of fleet size.
+//
+// Determinism contract: identical to the resident path. Per-app metrics
+// depend only on (source, factory, options); the total is folded in the
+// same app-index order SimulateFleet reduces in, so for any thread count
+// and any chunk size the result is bit-identical to
+// SimulateFleet(source.Materialize(), ...) — regression-tested in
+// tests/sim/fleet_stream_test.cc and gated in bench/bench_fleet_scale.
+#ifndef SRC_SIM_FLEET_STREAM_H_
+#define SRC_SIM_FLEET_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/fleet.h"
+#include "src/sim/simulator.h"
+#include "src/trace/stream.h"
+
+namespace femux {
+
+struct FleetStreamOptions {
+  SimOptions sim;
+  bool respect_app_min_scale = false;
+  std::size_t threads = 0;     // 0 = FEMUX_THREADS / hardware concurrency.
+  std::size_t chunk_apps = 64; // Apps generated + simulated per chunk (0 = 64).
+  // Optional bounded series cache (useful when the same source is swept by
+  // several policies); residency stays within the cache's byte budget.
+  SeriesCache* series_cache = nullptr;
+  // Optional observer invoked once per app in strict app-index order — the
+  // streaming replacement for FleetResult::per_app. Runs under the fold
+  // lock; keep it cheap.
+  std::function<void(std::size_t, const SimMetrics&)> per_app_sink;
+};
+
+struct FleetStreamResult {
+  SimMetrics total;
+  std::size_t apps = 0;
+  std::uint64_t epochs = 0;  // Demand epochs simulated across the fleet.
+  std::size_t chunks = 0;
+  // Peak number of completed chunks held back by the ordered fold; bounds
+  // the transient out-of-order memory.
+  std::size_t peak_pending_chunks = 0;
+};
+
+FleetStreamResult SimulateFleetStream(const TraceSource& source,
+                                      const PolicyFactory& factory,
+                                      const FleetStreamOptions& options);
+
+// Convenience: every app uses a clone of `prototype`.
+FleetStreamResult SimulateFleetStreamUniform(const TraceSource& source,
+                                             const ScalingPolicy& prototype,
+                                             const FleetStreamOptions& options);
+
+}  // namespace femux
+
+#endif  // SRC_SIM_FLEET_STREAM_H_

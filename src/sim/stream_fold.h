@@ -1,0 +1,62 @@
+// Deterministic fold over parallel chunk computations.
+//
+// ParallelFor completes chunk bodies in nondeterministic order across
+// workers, and floating-point accumulation is not associative — a streaming
+// consumer folding results in completion order would produce thread-count-
+// and timing-dependent totals, breaking the DESIGN.md §10 bit-identity
+// contract. ParallelOrderedChunks restores determinism: compute(c) runs in
+// parallel, but fold(c, result) is invoked on chunks strictly in index
+// order (0, 1, 2, ...), holding completed-but-not-yet-due results in a
+// pending map. The fold order — and therefore every accumulated bit — is
+// identical for any thread count and chunk size partition.
+#ifndef SRC_SIM_STREAM_FOLD_H_
+#define SRC_SIM_STREAM_FOLD_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "src/sim/parallel.h"
+
+namespace femux {
+
+// Runs compute(c) for c in [0, num_chunks) on the process thread pool and
+// calls fold(c, std::move(result)) in strict chunk order. `fold` runs under
+// an internal mutex on whichever worker completes the due chunk; it must be
+// cheap and must not submit nested parallel work. Returns the peak number
+// of out-of-order chunk results held back (the transient memory the fold
+// needed beyond one chunk).
+template <typename ChunkResult>
+std::size_t ParallelOrderedChunks(
+    std::size_t num_chunks, const std::function<ChunkResult(std::size_t)>& compute,
+    const std::function<void(std::size_t, ChunkResult&&)>& fold,
+    std::size_t threads = 0) {
+  std::mutex mu;
+  std::map<std::size_t, ChunkResult> pending;
+  std::size_t next = 0;
+  std::size_t peak_pending = 0;
+
+  ParallelFor(
+      num_chunks,
+      [&](std::size_t c) {
+        ChunkResult result = compute(c);
+        std::lock_guard<std::mutex> lock(mu);
+        pending.emplace(c, std::move(result));
+        peak_pending = std::max(peak_pending, pending.size());
+        while (!pending.empty() && pending.begin()->first == next) {
+          auto it = pending.begin();
+          fold(it->first, std::move(it->second));
+          pending.erase(it);
+          ++next;
+        }
+      },
+      threads);
+  return peak_pending;
+}
+
+}  // namespace femux
+
+#endif  // SRC_SIM_STREAM_FOLD_H_

@@ -174,49 +174,53 @@ AzurePattern AzurePatternOf(const AzureGeneratorOptions& options, int index) {
   return SamplePattern(tier, rng);
 }
 
+AppTrace MakeAzureApp(const AzureGeneratorOptions& options, int index) {
+  const int total_minutes = options.duration_days * kMinutesPerDay;
+  // Fork() is const: each app's stream depends only on (seed, index), so the
+  // lazy per-app path is bit-identical to the materializing loop below.
+  Rng rng = Rng(options.seed).Fork(static_cast<std::uint64_t>(index));
+  const VolumeTier tier = SampleTier(rng);
+  const double volume_12d = SampleVolume(tier, rng);
+  AzurePattern pattern = SamplePattern(tier, rng);
+  if (options.forced_pattern >= 0) {
+    pattern = static_cast<AzurePattern>(options.forced_pattern);
+  }
+
+  AppTrace app;
+  app.id = "azure-app-" + std::to_string(index);
+  // Azure Functions schema: no CPU/concurrency knobs; one execution per
+  // compute unit, scale-to-zero allowed.
+  app.config.container_concurrency = 1;
+  app.config.min_scale = 0;
+  app.config.workload = WorkloadType::kFunction;
+  app.mean_execution_ms =
+      std::clamp(rng.LogNormal(std::log(300.0), 2.3), 1.0, 540000.0);
+  app.execution_sigma = 0.0;  // The schema only has daily averages.
+  app.consumed_memory_mb =
+      std::clamp(rng.LogNormal(std::log(150.0), 1.0), 16.0, 2048.0);
+  app.config.memory_gb = app.consumed_memory_mb / 1024.0;
+
+  const double rate_per_min = volume_12d / (12.0 * kMinutesPerDay);
+  const std::vector<double> shape = MakeShape(pattern, total_minutes, rng);
+  app.minute_counts.resize(static_cast<std::size_t>(total_minutes));
+  for (int m = 0; m < total_minutes; ++m) {
+    const double mean = rate_per_min * shape[m];
+    // Poisson sampling is slow and unnecessary for very large means.
+    app.minute_counts[m] =
+        mean > 1e4 ? std::round(mean + rng.Normal(0.0, std::sqrt(mean)))
+                   : static_cast<double>(rng.Poisson(mean));
+    app.minute_counts[m] = std::max(0.0, app.minute_counts[m]);
+  }
+  return app;
+}
+
 Dataset GenerateAzureDataset(const AzureGeneratorOptions& options) {
   Dataset dataset;
   dataset.name = "azure19-synthetic";
   dataset.duration_days = options.duration_days;
-  const int total_minutes = dataset.TotalMinutes();
-  Rng root(options.seed);
-
   dataset.apps.reserve(static_cast<std::size_t>(options.num_apps));
   for (int index = 0; index < options.num_apps; ++index) {
-    Rng rng = root.Fork(static_cast<std::uint64_t>(index));
-    const VolumeTier tier = SampleTier(rng);
-    const double volume_12d = SampleVolume(tier, rng);
-    AzurePattern pattern = SamplePattern(tier, rng);
-    if (options.forced_pattern >= 0) {
-      pattern = static_cast<AzurePattern>(options.forced_pattern);
-    }
-
-    AppTrace app;
-    app.id = "azure-app-" + std::to_string(index);
-    // Azure Functions schema: no CPU/concurrency knobs; one execution per
-    // compute unit, scale-to-zero allowed.
-    app.config.container_concurrency = 1;
-    app.config.min_scale = 0;
-    app.config.workload = WorkloadType::kFunction;
-    app.mean_execution_ms =
-        std::clamp(rng.LogNormal(std::log(300.0), 2.3), 1.0, 540000.0);
-    app.execution_sigma = 0.0;  // The schema only has daily averages.
-    app.consumed_memory_mb =
-        std::clamp(rng.LogNormal(std::log(150.0), 1.0), 16.0, 2048.0);
-    app.config.memory_gb = app.consumed_memory_mb / 1024.0;
-
-    const double rate_per_min = volume_12d / (12.0 * kMinutesPerDay);
-    const std::vector<double> shape = MakeShape(pattern, total_minutes, rng);
-    app.minute_counts.resize(static_cast<std::size_t>(total_minutes));
-    for (int m = 0; m < total_minutes; ++m) {
-      const double mean = rate_per_min * shape[m];
-      // Poisson sampling is slow and unnecessary for very large means.
-      app.minute_counts[m] =
-          mean > 1e4 ? std::round(mean + rng.Normal(0.0, std::sqrt(mean)))
-                     : static_cast<double>(rng.Poisson(mean));
-      app.minute_counts[m] = std::max(0.0, app.minute_counts[m]);
-    }
-    dataset.apps.push_back(std::move(app));
+    dataset.apps.push_back(MakeAzureApp(options, index));
   }
   return dataset;
 }

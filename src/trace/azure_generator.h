@@ -39,6 +39,12 @@ struct AzureGeneratorOptions {
 
 Dataset GenerateAzureDataset(const AzureGeneratorOptions& options);
 
+// Generates app `index`'s trace without materializing the rest of the fleet.
+// Pure in (options, index) and thread-safe; bit-identical to entry `index`
+// of GenerateAzureDataset(options). This is the streaming entry point used
+// by AzureTraceSource (src/trace/stream.h).
+AppTrace MakeAzureApp(const AzureGeneratorOptions& options, int index);
+
 // The archetype assigned to app `index` under `options` (regenerates the
 // same per-app stream the generator used).
 AzurePattern AzurePatternOf(const AzureGeneratorOptions& options, int index);

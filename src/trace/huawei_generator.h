@@ -1,0 +1,52 @@
+// Synthetic stand-in calibrated to the Huawei serverless traces described in
+// PAPERS.md ("Serverless Cold Starts and Where to Find Them", ~85 B requests
+// per month; "How Does It Function?"). It is the stress preset for the
+// streaming fleet pipeline: per-SECOND sampling resolution instead of the
+// Azure/IBM minute grid, far more extreme popularity skew, and strong
+// sub-minute periodicity from timer-triggered functions.
+//
+// Calibration targets (documented in DESIGN.md §11):
+//  * popularity: Pareto(alpha ~= 1.05) request rates — the top ~1 % of
+//    functions carry the overwhelming majority of traffic, matching the
+//    Huawei observation that a handful of functions dominate 85 B req/month;
+//  * periodicity: ~70 % of functions exhibit spike trains with sub-minute
+//    periods (5-120 s timers / cron triggers), visible only at 1 s
+//    resolution;
+//  * executions: short — median per-function mean in the tens of
+//    milliseconds; per-function memory ~128 MB lognormal.
+#ifndef SRC_TRACE_HUAWEI_GENERATOR_H_
+#define SRC_TRACE_HUAWEI_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/trace/trace.h"
+
+namespace femux {
+
+struct HuaweiGeneratorOptions {
+  int num_apps = 1000;
+  // Horizon in minutes: second-resolution series are 60x denser than the
+  // minute-grid schemas, so the default horizon is short.
+  int duration_minutes = 60;
+  // Sampling resolution of the emitted series (1 = per-second).
+  int seconds_per_sample = 1;
+  std::uint64_t seed = 2026;
+  // Popularity skew: rate_i ~ base_rate_per_s * Pareto(1, alpha). Alpha just
+  // above 1 gives the extreme head-heaviness of the Huawei fleet.
+  double pareto_alpha = 1.05;
+  double base_rate_per_s = 0.02;
+  // Per-app mean rate cap (requests/second) keeping Poisson sampling sane.
+  double max_rate_per_s = 2000.0;
+};
+
+Dataset GenerateHuaweiDataset(const HuaweiGeneratorOptions& options);
+
+// Generates app `index`'s trace without materializing the rest of the fleet.
+// Pure in (options, index) and thread-safe; bit-identical to entry `index`
+// of GenerateHuaweiDataset(options). Streaming entry point for
+// HuaweiTraceSource (src/trace/stream.h).
+AppTrace MakeHuaweiApp(const HuaweiGeneratorOptions& options, int index);
+
+}  // namespace femux
+
+#endif  // SRC_TRACE_HUAWEI_GENERATOR_H_

@@ -287,41 +287,44 @@ AppTrace MakeShowcaseNewYear(int total_minutes, Rng& rng) {
 
 }  // namespace
 
+AppTrace MakeIbmApp(const IbmGeneratorOptions& options, int index) {
+  const int total_minutes = options.duration_days * kMinutesPerDay;
+  // Fork() is const, so each app's stream depends only on (seed, index) and
+  // the lazy per-app path is bit-identical to the materializing loop below.
+  const Rng root(options.seed);
+  if (options.include_showcase_apps && options.num_apps >= 2 && index < 2) {
+    Rng rng = root.Fork(static_cast<std::uint64_t>(1000000 + index));
+    return index == 0 ? MakeShowcaseDailyTrend(total_minutes, rng)
+                      : MakeShowcaseNewYear(total_minutes, rng);
+  }
+
+  Rng rng = root.Fork(static_cast<std::uint64_t>(index));
+  AppTrace app;
+  app.id = "ibm-app-" + std::to_string(index);
+  app.config = SampleConfig(rng);
+  app.consumed_memory_mb =
+      std::clamp(rng.LogNormal(std::log(150.0), 1.0), 16.0, 4096.0);
+
+  AppProfile profile;
+  profile.rate_class = SampleRateClass(rng);
+  profile.rate_per_s = SampleRate(profile.rate_class, rng);
+  app.mean_execution_ms = SampleMeanExecutionMs(profile.rate_class, rng);
+  app.execution_sigma = rng.Uniform(0.6, 1.0);
+  profile.bursty_minutes = rng.Bernoulli(0.35);
+  profile.phase_minutes = rng.Uniform(0.0, 240.0);
+
+  FillMinuteCounts(app, profile, total_minutes, rng);
+  FillDetailWindow(app, profile, options, rng);
+  return app;
+}
+
 Dataset GenerateIbmDataset(const IbmGeneratorOptions& options) {
   Dataset dataset;
   dataset.name = "ibm-synthetic";
   dataset.duration_days = options.duration_days;
-  const int total_minutes = dataset.TotalMinutes();
-  Rng root(options.seed);
-
-  int index = 0;
-  if (options.include_showcase_apps && options.num_apps >= 2) {
-    Rng r0 = root.Fork(1000000);
-    Rng r1 = root.Fork(1000001);
-    dataset.apps.push_back(MakeShowcaseDailyTrend(total_minutes, r0));
-    dataset.apps.push_back(MakeShowcaseNewYear(total_minutes, r1));
-    index = 2;
-  }
-
-  for (; index < options.num_apps; ++index) {
-    Rng rng = root.Fork(static_cast<std::uint64_t>(index));
-    AppTrace app;
-    app.id = "ibm-app-" + std::to_string(index);
-    app.config = SampleConfig(rng);
-    app.consumed_memory_mb =
-        std::clamp(rng.LogNormal(std::log(150.0), 1.0), 16.0, 4096.0);
-
-    AppProfile profile;
-    profile.rate_class = SampleRateClass(rng);
-    profile.rate_per_s = SampleRate(profile.rate_class, rng);
-    app.mean_execution_ms = SampleMeanExecutionMs(profile.rate_class, rng);
-    app.execution_sigma = rng.Uniform(0.6, 1.0);
-    profile.bursty_minutes = rng.Bernoulli(0.35);
-    profile.phase_minutes = rng.Uniform(0.0, 240.0);
-
-    FillMinuteCounts(app, profile, total_minutes, rng);
-    FillDetailWindow(app, profile, options, rng);
-    dataset.apps.push_back(std::move(app));
+  dataset.apps.reserve(static_cast<std::size_t>(options.num_apps));
+  for (int index = 0; index < options.num_apps; ++index) {
+    dataset.apps.push_back(MakeIbmApp(options, index));
   }
   return dataset;
 }

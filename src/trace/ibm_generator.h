@@ -42,6 +42,12 @@ struct IbmGeneratorOptions {
 
 Dataset GenerateIbmDataset(const IbmGeneratorOptions& options);
 
+// Generates app `index`'s trace without materializing the rest of the fleet.
+// Pure in (options, index) and thread-safe; bit-identical to entry `index`
+// of GenerateIbmDataset(options) (including the Fig.-16 showcase apps at
+// indices 0/1 when enabled). Streaming entry point for IbmTraceSource.
+AppTrace MakeIbmApp(const IbmGeneratorOptions& options, int index);
+
 }  // namespace femux
 
 #endif  // SRC_TRACE_IBM_GENERATOR_H_

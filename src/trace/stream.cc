@@ -1,0 +1,34 @@
+#include "src/trace/stream.h"
+
+#include <algorithm>
+
+namespace femux {
+
+Dataset TraceSource::Materialize() const {
+  Dataset dataset;
+  dataset.name = name();
+  dataset.duration_days = duration_days();
+  const std::size_t n = app_count();
+  dataset.apps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dataset.apps.push_back(MakeApp(i));
+  }
+  return dataset;
+}
+
+bool AppChunkIterator::Next(std::vector<AppTrace>* chunk) {
+  chunk->clear();
+  const std::size_t n = source_->app_count();
+  if (next_ >= n) {
+    return false;
+  }
+  const std::size_t end = std::min(n, next_ + chunk_apps_);
+  chunk->reserve(end - next_);
+  for (; next_ < end; ++next_) {
+    chunk->push_back(source_->MakeApp(next_));
+  }
+  ++chunks_;
+  return true;
+}
+
+}  // namespace femux

@@ -1,0 +1,140 @@
+// Streaming trace generation: produce application traces one at a time (or
+// in bounded chunks) instead of materializing a whole fleet.
+//
+// The resident pipeline holds every app's series in memory at once, which
+// caps benches at a few dozen apps. All three synthetic generators are pure
+// per (options, index) — Rng::Fork is const — so a fleet is really a
+// function from index to AppTrace. TraceSource exposes exactly that
+// function; consumers (SimulateFleetStream, TrainFemuxStream,
+// bench_fleet_scale) pull chunks, fold their contribution into running
+// accumulators, and discard the series before pulling the next chunk.
+// Peak memory is then O(chunk + accumulators), independent of fleet size.
+//
+// Contract: MakeApp(i) is pure and thread-safe, and for the generator-backed
+// sources is bit-identical to entry i of the corresponding materializing
+// Generate*Dataset call (regression-tested in tests/trace/stream_test.cc).
+#ifndef SRC_TRACE_STREAM_H_
+#define SRC_TRACE_STREAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/trace/azure_generator.h"
+#include "src/trace/huawei_generator.h"
+#include "src/trace/ibm_generator.h"
+#include "src/trace/trace.h"
+
+namespace femux {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t app_count() const = 0;
+  virtual int duration_days() const = 0;
+
+  // Generates app `index`. Pure and thread-safe: two calls with the same
+  // index return bit-identical traces, from any thread.
+  virtual AppTrace MakeApp(std::size_t index) const = 0;
+
+  // Materializes the full fleet (small populations / parity tests only).
+  Dataset Materialize() const;
+};
+
+// Lazily generates the Azure '19-like population of GenerateAzureDataset.
+class AzureTraceSource final : public TraceSource {
+ public:
+  explicit AzureTraceSource(AzureGeneratorOptions options) : options_(options) {}
+  std::string name() const override { return "azure19-synthetic"; }
+  std::size_t app_count() const override {
+    return static_cast<std::size_t>(options_.num_apps);
+  }
+  int duration_days() const override { return options_.duration_days; }
+  AppTrace MakeApp(std::size_t index) const override {
+    return MakeAzureApp(options_, static_cast<int>(index));
+  }
+
+ private:
+  AzureGeneratorOptions options_;
+};
+
+// Lazily generates the IBM-like population of GenerateIbmDataset.
+class IbmTraceSource final : public TraceSource {
+ public:
+  explicit IbmTraceSource(IbmGeneratorOptions options) : options_(options) {}
+  std::string name() const override { return "ibm-synthetic"; }
+  std::size_t app_count() const override {
+    return static_cast<std::size_t>(options_.num_apps);
+  }
+  int duration_days() const override { return options_.duration_days; }
+  AppTrace MakeApp(std::size_t index) const override {
+    return MakeIbmApp(options_, static_cast<int>(index));
+  }
+
+ private:
+  IbmGeneratorOptions options_;
+};
+
+// Lazily generates the Huawei-like per-second stress population.
+class HuaweiTraceSource final : public TraceSource {
+ public:
+  explicit HuaweiTraceSource(HuaweiGeneratorOptions options) : options_(options) {}
+  std::string name() const override { return "huawei-synthetic"; }
+  std::size_t app_count() const override {
+    return static_cast<std::size_t>(options_.num_apps);
+  }
+  int duration_days() const override {
+    return (options_.duration_minutes + kMinutesPerDay - 1) / kMinutesPerDay;
+  }
+  AppTrace MakeApp(std::size_t index) const override {
+    return MakeHuaweiApp(options_, static_cast<int>(index));
+  }
+
+ private:
+  HuaweiGeneratorOptions options_;
+};
+
+// Adapts an already-materialized Dataset (e.g. a committed snapshot) to the
+// streaming interface. Does not own the dataset; MakeApp copies the entry.
+class DatasetTraceSource final : public TraceSource {
+ public:
+  explicit DatasetTraceSource(const Dataset& dataset) : dataset_(&dataset) {}
+  std::string name() const override { return dataset_->name; }
+  std::size_t app_count() const override { return dataset_->apps.size(); }
+  int duration_days() const override { return dataset_->duration_days; }
+  AppTrace MakeApp(std::size_t index) const override {
+    return dataset_->apps[index];
+  }
+
+ private:
+  const Dataset* dataset_;
+};
+
+// Single-consumer cursor over [0, app_count) in fixed-size chunks — the
+// chunk protocol used when a consumer wants sequential (non-sharded)
+// streaming. Parallel consumers instead shard indices themselves (see
+// SimulateFleetStream) and call MakeApp directly.
+class AppChunkIterator {
+ public:
+  AppChunkIterator(const TraceSource& source, std::size_t chunk_apps)
+      : source_(&source), chunk_apps_(chunk_apps == 0 ? 1 : chunk_apps) {}
+
+  // Fills `chunk` with the next up-to-chunk_apps traces; returns false (and
+  // leaves `chunk` empty) once the source is exhausted.
+  bool Next(std::vector<AppTrace>* chunk);
+
+  std::size_t next_index() const { return next_; }
+  std::size_t chunks_emitted() const { return chunks_; }
+
+ private:
+  const TraceSource* source_;
+  std::size_t chunk_apps_;
+  std::size_t next_ = 0;
+  std::size_t chunks_ = 0;
+};
+
+}  // namespace femux
+
+#endif  // SRC_TRACE_STREAM_H_

@@ -54,8 +54,14 @@ struct AppTrace {
   std::string id;
   AppConfig config;
 
-  // Minute-resolution invocation counts covering the whole trace duration.
+  // Invocation counts covering the whole trace duration, one entry per
+  // `seconds_per_sample` seconds. The field name reflects the dominant
+  // minute-grid schema (Azure '19 / IBM); the Huawei-like preset emits
+  // per-second samples with `seconds_per_sample == 1`.
   std::vector<double> minute_counts;
+
+  // Sampling resolution of `minute_counts` in seconds (60 = minute grid).
+  int seconds_per_sample = 60;
 
   // Per-app execution-time model: mean of the per-request distribution and a
   // dispersion knob (lognormal sigma). Daily averages in the Azure schema
@@ -85,9 +91,9 @@ struct Dataset {
   std::int64_t TotalInvocations() const;
 };
 
-// Average container concurrency per minute via Little's law on the minute
-// counts (the paper distributes invocations uniformly within each minute):
-// concurrency[m] = count[m] * exec_seconds / 60.
+// Average container concurrency per sample via Little's law on the count
+// series (the paper distributes invocations uniformly within each sample):
+// concurrency[m] = count[m] * exec_seconds / seconds_per_sample.
 std::vector<double> AverageConcurrency(const AppTrace& app);
 
 // Required compute units per minute at the app's container-concurrency

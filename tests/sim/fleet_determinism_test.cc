@@ -33,8 +33,10 @@
 #include "src/core/trainer.h"
 #include "src/forecast/registry.h"
 #include "src/sim/fleet.h"
+#include "src/sim/fleet_stream.h"
 #include "src/trace/azure_generator.h"
 #include "src/trace/csv_io.h"
+#include "src/trace/stream.h"
 
 namespace femux {
 namespace {
@@ -264,6 +266,44 @@ TEST(FleetDeterminismTest, FleetMetricsMatchCommittedGolden) {
                 std::bit_cast<std::uint64_t>(it->second[f]))
           << key << " " << kFieldNames[f] << ": measured " << values[f]
           << " vs golden " << it->second[f];
+    }
+  }
+}
+
+// (c) The streaming fleet path (SimulateFleetStream, DESIGN.md §11) folds
+// chunk results in strict app-index order, so its total — and every row
+// observed through the ordered per_app_sink — is bit-identical to the
+// serial resident path (and hence to the committed golden) for any thread
+// count and chunk size.
+TEST(FleetDeterminismTest, StreamingMatchesResidentForAnyChunkingAndThreads) {
+  const Dataset dataset = LoadSnapshotDataset();
+  ASSERT_FALSE(dataset.apps.empty());
+  const DatasetTraceSource source(dataset);
+  for (const Sweep& sweep : MakeSweeps(dataset)) {
+    const FleetResult serial =
+        SimulateFleetUniform(dataset, *sweep.prototype, SimOptions{},
+                             /*respect_app_min_scale=*/false, /*threads=*/1);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{0}, std::size_t{3}}) {
+        FleetStreamOptions options;
+        options.chunk_apps = chunk;
+        options.threads = threads;
+        std::vector<SimMetrics> rows(dataset.apps.size());
+        options.per_app_sink = [&rows](std::size_t index, const SimMetrics& row) {
+          ASSERT_LT(index, rows.size());
+          rows[index] = row;
+        };
+        const FleetStreamResult streamed =
+            SimulateFleetStreamUniform(source, *sweep.prototype, options);
+        const std::string label = sweep.label + " (chunk=" + std::to_string(chunk) +
+                                  " threads=" + std::to_string(threads) + ")";
+        ASSERT_EQ(streamed.apps, serial.per_app.size()) << label;
+        ExpectBitIdentical(serial.total, streamed.total, label + " total");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          ExpectBitIdentical(serial.per_app[i], rows[i],
+                             RowKey(sweep.label, static_cast<int>(i)) + " streamed");
+        }
+      }
     }
   }
 }

@@ -1,0 +1,275 @@
+// Streaming fleet-simulation parity and SeriesCache budget tests
+// (DESIGN.md §11).
+//
+// SimulateFleetStream's contract: for any thread count and any chunk size,
+// the folded total (and the rows observed through per_app_sink) are
+// bit-identical to SimulateFleet over the materialized dataset. The
+// SeriesCache tests pin the byte-budgeted LRU: residency never exceeds the
+// budget, eviction follows recency, and evicted series remain usable by
+// holders of the shared_ptrs.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/forecast/registry.h"
+#include "src/sim/fleet.h"
+#include "src/sim/fleet_stream.h"
+#include "src/sim/policy.h"
+#include "src/trace/azure_generator.h"
+#include "src/trace/huawei_generator.h"
+#include "src/trace/stream.h"
+
+namespace femux {
+namespace {
+
+// Pin the pool so "parallel" runs really use workers on single-core CI.
+const bool kEnvReady = [] {
+  setenv("FEMUX_THREADS", "4", 0);
+  return true;
+}();
+
+constexpr std::size_t kMetricFields = 8;
+
+std::array<double, kMetricFields> Fields(const SimMetrics& m) {
+  return {m.invocations,        m.cold_starts,          m.cold_invocations,
+          m.cold_start_seconds, m.wasted_gb_seconds,    m.allocated_gb_seconds,
+          m.execution_seconds,  m.service_seconds};
+}
+
+void ExpectBitIdentical(const SimMetrics& a, const SimMetrics& b,
+                        const std::string& label) {
+  const auto fa = Fields(a);
+  const auto fb = Fields(b);
+  for (std::size_t f = 0; f < kMetricFields; ++f) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(fa[f]),
+              std::bit_cast<std::uint64_t>(fb[f]))
+        << label << " field " << f << ": " << fa[f] << " vs " << fb[f];
+  }
+}
+
+Dataset TestDataset() {
+  AzureGeneratorOptions options;
+  options.num_apps = 14;
+  options.duration_days = 1;
+  options.seed = 31;
+  return GenerateAzureDataset(options);
+}
+
+TEST(FleetStreamTest, MatchesResidentPathAcrossChunksAndThreads) {
+  ASSERT_TRUE(kEnvReady);
+  const Dataset dataset = TestDataset();
+  const DatasetTraceSource source(dataset);
+  const ForecasterPolicy prototype(MakeForecasterByName("exp_smoothing"));
+  const FleetResult resident =
+      SimulateFleetUniform(dataset, prototype, SimOptions{},
+                           /*respect_app_min_scale=*/false, /*threads=*/1);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{5}, std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{0}, std::size_t{3}}) {
+      SCOPED_TRACE("chunk=" + std::to_string(chunk) +
+                   " threads=" + std::to_string(threads));
+      FleetStreamOptions options;
+      options.chunk_apps = chunk;
+      options.threads = threads;
+      std::vector<SimMetrics> rows(dataset.apps.size());
+      std::vector<bool> seen(dataset.apps.size(), false);
+      std::size_t sink_calls = 0;
+      std::size_t last_index = 0;
+      options.per_app_sink = [&](std::size_t index, const SimMetrics& row) {
+        ASSERT_LT(index, rows.size());
+        // Strict app-index order: the ordered fold must deliver rows in
+        // exactly the sequence the resident reduction visits them.
+        if (sink_calls > 0) {
+          EXPECT_EQ(index, last_index + 1);
+        } else {
+          EXPECT_EQ(index, 0u);
+        }
+        last_index = index;
+        ++sink_calls;
+        seen[index] = true;
+        rows[index] = row;
+      };
+      const FleetStreamResult streamed =
+          SimulateFleetStreamUniform(source, prototype, options);
+      EXPECT_EQ(streamed.apps, dataset.apps.size());
+      EXPECT_EQ(sink_calls, dataset.apps.size());
+      EXPECT_EQ(streamed.chunks, (dataset.apps.size() + chunk - 1) / chunk);
+      ExpectBitIdentical(resident.total, streamed.total, "total");
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        ASSERT_TRUE(seen[i]) << "sink skipped app " << i;
+        ExpectBitIdentical(resident.per_app[i], rows[i],
+                           "app " + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST(FleetStreamTest, LazySourceMatchesMaterializedEndToEnd) {
+  AzureGeneratorOptions gen;
+  gen.num_apps = 10;
+  gen.duration_days = 1;
+  gen.seed = 62;
+  const AzureTraceSource source(gen);
+  const Dataset dataset = GenerateAzureDataset(gen);
+  const ForecasterPolicy prototype(MakeForecasterByName("moving_average_1"));
+  const FleetResult resident =
+      SimulateFleetUniform(dataset, prototype, SimOptions{},
+                           /*respect_app_min_scale=*/false, /*threads=*/1);
+  FleetStreamOptions options;
+  options.chunk_apps = 3;
+  const FleetStreamResult streamed =
+      SimulateFleetStreamUniform(source, prototype, options);
+  ExpectBitIdentical(resident.total, streamed.total, "lazy total");
+}
+
+TEST(FleetStreamTest, SeriesCacheDoesNotPerturbMetrics) {
+  const Dataset dataset = TestDataset();
+  const DatasetTraceSource source(dataset);
+  const ForecasterPolicy prototype(MakeForecasterByName("exp_smoothing"));
+  FleetStreamOptions plain;
+  const FleetStreamResult uncached =
+      SimulateFleetStreamUniform(source, prototype, plain);
+
+  SeriesCache cache;
+  cache.SetBudget(16u << 10);  // Deliberately tiny: eviction mid-run.
+  FleetStreamOptions with_cache;
+  with_cache.series_cache = &cache;
+  const FleetStreamResult cached =
+      SimulateFleetStreamUniform(source, prototype, with_cache);
+  ExpectBitIdentical(uncached.total, cached.total, "cached total");
+  // Re-running with the same cache hits (whatever survived eviction) and
+  // still agrees bit-for-bit.
+  const FleetStreamResult rerun =
+      SimulateFleetStreamUniform(source, prototype, with_cache);
+  ExpectBitIdentical(uncached.total, rerun.total, "rerun total");
+}
+
+TEST(FleetStreamTest, EpochCountMatchesSeriesLengths) {
+  const Dataset dataset = TestDataset();
+  const DatasetTraceSource source(dataset);
+  const ForecasterPolicy prototype(MakeForecasterByName("moving_average_1"));
+  std::uint64_t expected = 0;
+  for (const AppTrace& app : dataset.apps) {
+    expected += DemandSeries(app, 60.0).size();
+  }
+  const FleetStreamResult streamed =
+      SimulateFleetStreamUniform(source, prototype, FleetStreamOptions{});
+  EXPECT_EQ(streamed.epochs, expected);
+}
+
+// --- SeriesCache byte budget / LRU behaviour -------------------------------
+
+SeriesCache::Series Touch(SeriesCache& cache, const Dataset& dataset, int index) {
+  return cache.GetOrCompute(dataset.apps[static_cast<std::size_t>(index)], index,
+                            60.0);
+}
+
+TEST(SeriesCacheTest, EvictsLeastRecentlyUsedUnderBudget) {
+  const Dataset dataset = TestDataset();
+  SeriesCache cache;
+  // Size the budget to hold only a few one-day series (1440 doubles each for
+  // demand + arrivals, ~23 KB + overhead per entry).
+  cache.SetBudget(80u << 10);
+  for (int i = 0; i < static_cast<int>(dataset.apps.size()); ++i) {
+    Touch(cache, dataset, i);
+  }
+  const SeriesCache::Stats after_fill = cache.stats();
+  EXPECT_GT(after_fill.evictions, 0u) << "budget never bound the cache";
+  EXPECT_LE(after_fill.bytes, 80u << 10);
+  EXPECT_LT(after_fill.entries, dataset.apps.size());
+  EXPECT_EQ(after_fill.misses, dataset.apps.size());
+  EXPECT_EQ(after_fill.hits, 0u);
+
+  // The most recently inserted app must still be resident; the first app
+  // must have been evicted (LRU order).
+  const std::uint64_t hits_before = after_fill.hits;
+  Touch(cache, dataset, static_cast<int>(dataset.apps.size()) - 1);
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+  const std::uint64_t misses_before = cache.stats().misses;
+  Touch(cache, dataset, 0);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(SeriesCacheTest, RecentlyTouchedEntrySurvivesEviction) {
+  const Dataset dataset = TestDataset();
+  SeriesCache cache;
+  cache.SetBudget(80u << 10);
+  // Insert apps 0..2, then keep re-touching app 0 while streaming the rest
+  // through: app 0 must stay resident because every touch moves it to the
+  // MRU end.
+  for (int i = 0; i < 3; ++i) {
+    Touch(cache, dataset, i);
+  }
+  for (int i = 3; i < static_cast<int>(dataset.apps.size()); ++i) {
+    Touch(cache, dataset, 0);
+    Touch(cache, dataset, i);
+  }
+  const std::uint64_t hits_before = cache.stats().hits;
+  Touch(cache, dataset, 0);
+  EXPECT_EQ(cache.stats().hits, hits_before + 1) << "hot entry was evicted";
+}
+
+TEST(SeriesCacheTest, EvictedSeriesRemainValidForHolders) {
+  const Dataset dataset = TestDataset();
+  SeriesCache cache;
+  cache.SetBudget(1);  // Every insert immediately evicts its predecessor.
+  const SeriesCache::Series first = Touch(cache, dataset, 0);
+  const std::vector<double> snapshot = *first.demand;
+  for (int i = 1; i < 6; ++i) {
+    Touch(cache, dataset, i);
+  }
+  ASSERT_NE(first.demand, nullptr);
+  EXPECT_EQ(*first.demand, snapshot);  // shared_ptr keeps the data alive.
+  // With a 1-byte budget only the newest entry ever stays resident.
+  EXPECT_LE(cache.stats().entries, 1u);
+}
+
+TEST(SeriesCacheTest, SetBudgetReturnsPreviousAndClearResets) {
+  SeriesCache cache;
+  const std::size_t previous = cache.SetBudget(123);
+  EXPECT_GT(previous, 0u);  // Default (or FEMUX_SERIES_CACHE_MB) budget.
+  EXPECT_EQ(cache.SetBudget(456), 123u);
+
+  const Dataset dataset = TestDataset();
+  cache.SetBudget(64u << 20);
+  Touch(cache, dataset, 0);
+  Touch(cache, dataset, 1);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_GT(cache.stats().bytes, 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  // Counters are monotonic: the cleared entries count as evictions.
+  EXPECT_GE(cache.stats().evictions, 2u);
+}
+
+TEST(FleetStreamTest, HuaweiSweepSmallScaleRunsUnderBudget) {
+  // End-to-end miniature of bench_fleet_scale's sweep: per-second traces,
+  // 10 s epochs, a budgeted shared cache — totals must be reproducible.
+  HuaweiGeneratorOptions options;
+  options.num_apps = 30;
+  options.duration_minutes = 5;
+  options.seed = 9;
+  const HuaweiTraceSource source(options);
+  const ForecasterPolicy prototype(MakeForecasterByName("moving_average_1"));
+  SeriesCache cache;
+  cache.SetBudget(32u << 10);
+  FleetStreamOptions stream;
+  stream.sim.epoch_seconds = 10.0;
+  stream.series_cache = &cache;
+  const FleetStreamResult a = SimulateFleetStreamUniform(source, prototype, stream);
+  const FleetStreamResult b = SimulateFleetStreamUniform(source, prototype, stream);
+  EXPECT_EQ(a.apps, 30u);
+  EXPECT_GT(a.epochs, 0u);
+  ExpectBitIdentical(a.total, b.total, "huawei rerun");
+  EXPECT_LE(cache.stats().bytes, 32u << 10);
+}
+
+}  // namespace
+}  // namespace femux

@@ -127,6 +127,57 @@ TEST_P(FftPropertyTest, InverseRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Lengths, FftPropertyTest,
                          ::testing::ValuesIn(PropertyLengths()));
 
+// Odd lengths cannot use the packed half-length real transform (pairing
+// adjacent samples needs an even count; see FftPlan::RealSpectrum) and fall
+// through to the full complex path. Pin the half-spectrum hot-path form
+// (RealSpectrumInto) against the naive reference on exactly those lengths:
+// odd primes, 2^k +/- 1, and odd neighbors of the production windows.
+TEST(FftPropertyTest, RealSpectrumOddLengthsMatchReference) {
+  for (const int length :
+       {3, 5, 7, 9, 15, 21, 33, 63, 65, 101, 119, 121, 127, 129, 251, 257,
+        503, 505, 511, 513, 1023, 1025, 1439, 1441}) {
+    const std::size_t n = static_cast<std::size_t>(length);
+    ASSERT_EQ(n % 2, 1u);
+    const auto x = RandomReal(n, 2654435761u * n + 11);
+    std::vector<std::complex<double>> boxed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      boxed[i] = {x[i], 0.0};
+    }
+    const auto naive = DftReference(boxed);
+    std::vector<std::complex<double>> half;
+    RealSpectrumInto(x, &half);
+    ASSERT_EQ(half.size(), n / 2 + 1) << "n=" << n;
+    const std::vector<std::complex<double>> naive_half(naive.begin(),
+                                                       naive.begin() + n / 2 + 1);
+    ExpectSpectraNear(half, naive_half, 1e-9);
+  }
+}
+
+// The odd path must also agree with the even packed path on the mirrored
+// full spectrum (conjugate-symmetry reconstruction in FftReal), so the two
+// codepaths are interchangeable at their boundary lengths.
+TEST(FftPropertyTest, RealSpectrumOddEvenBoundaryConsistency) {
+  for (const int length : {119, 120, 121, 503, 504, 505, 2879, 2880, 2881}) {
+    const std::size_t n = static_cast<std::size_t>(length);
+    const auto x = RandomReal(n, 97u * n + 5);
+    const auto full = FftReal(x);
+    std::vector<std::complex<double>> half;
+    RealSpectrumInto(x, &half);
+    ASSERT_EQ(half.size(), n / 2 + 1) << "n=" << n;
+    for (std::size_t k = 0; k < half.size(); ++k) {
+      EXPECT_LE(std::abs(full[k] - half[k]), 1e-12) << "n=" << n << " bin " << k;
+    }
+    // DC bin of a real series is the plain sum — an absolute anchor that
+    // holds on both codepaths.
+    double sum = 0.0;
+    for (double v : x) {
+      sum += v;
+    }
+    EXPECT_NEAR(half[0].real(), sum, 1e-9 * (std::abs(sum) + 1.0)) << "n=" << n;
+    EXPECT_NEAR(half[0].imag(), 0.0, 1e-9) << "n=" << n;
+  }
+}
+
 TEST(FftPropertyTest, InverseRoundTripLongBluestein) {
   // A long non-power-of-two length drives the lazily built inverse chirp
   // tables through a realistic window size.
