@@ -25,6 +25,7 @@
 // observability").
 //
 // Usage: bench_fleet_parallel [--smoke] [--apps=N] [--days=D] [--json=PATH]
+#include "bench/common.h"
 #include <algorithm>
 #include <array>
 #include <bit>
@@ -338,6 +339,7 @@ int main(int argc, char** argv) {
     std::ofstream out(args.json_path);
     out << "{\n"
         << "  \"bench\": \"fleet_parallel\",\n"
+        << "  \"simd\": " << SimdInfoJson() << ",\n"
         << "  \"config\": {\"apps\": " << dataset.apps.size()
         << ", \"days\": " << args.days
         << ", \"block_minutes\": " << block_minutes

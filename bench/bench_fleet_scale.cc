@@ -322,6 +322,7 @@ int main(int argc, char** argv) {
     std::ofstream out(args.json_path);
     out << "{\n"
         << "  \"bench\": \"fleet_scale\",\n"
+        << "  \"simd\": " << SimdInfoJson() << ",\n"
         << "  \"config\": {\"smoke\": " << (args.smoke ? "true" : "false")
         << ", \"hardware_concurrency\": " << hardware
         << ", \"configured_threads\": " << configured

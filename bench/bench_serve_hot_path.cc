@@ -19,6 +19,7 @@
 // tracked PR over PR (see scripts/bench_to_json.sh).
 //
 // Usage: bench_serve_hot_path [--smoke] [--apps=N] [--days=D] [--json=PATH]
+#include "bench/common.h"
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -393,6 +394,7 @@ int main(int argc, char** argv) {
     std::ofstream out(args.json_path);
     out << "{\n"
         << "  \"bench\": \"serve_hot_path\",\n"
+        << "  \"simd\": " << SimdInfoJson() << ",\n"
         << "  \"config\": {\"apps\": " << dataset.apps.size()
         << ", \"days\": " << args.days << ", \"epochs_per_forecaster\": " << epochs
         << ", \"history_len\": " << kHistoryLen

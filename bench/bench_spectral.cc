@@ -22,6 +22,7 @@
 // (see scripts/bench_to_json.sh).
 //
 // Usage: bench_spectral [--smoke] [--json=PATH]
+#include "bench/common.h"
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -323,6 +324,7 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path);
     out << "{\n"
         << "  \"bench\": \"spectral\",\n"
+        << "  \"simd\": " << SimdInfoJson() << ",\n"
         << "  \"config\": {\"harmonics\": " << kHarmonics
         << ", \"sliding_window\": " << window
         << ", \"smoke\": " << (smoke ? "true" : "false") << "},\n"

@@ -11,6 +11,7 @@
 //
 // Usage: bench_train_pipeline [--smoke] [--apps=N] [--days=D]
 //                             [--json=PATH] [--skip-reference]
+#include "bench/common.h"
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -355,6 +356,7 @@ int main(int argc, char** argv) {
     std::ofstream out(args.json_path);
     out << "{\n"
         << "  \"bench\": \"train_pipeline\",\n"
+        << "  \"simd\": " << SimdInfoJson() << ",\n"
         << "  \"config\": {\"apps\": " << dataset.apps.size()
         << ", \"days\": " << args.days
         << ", \"forecasters\": " << options.forecaster_names.size()

@@ -1,5 +1,7 @@
 #include "bench/common.h"
 
+#include "src/stats/simd.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -154,6 +156,34 @@ void PrintRow(const std::string& label, double paper, double measured,
 }
 
 void PrintNote(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+std::string SimdInfoJson() {
+  const simd::SimdCaps caps = simd::GetSimdCaps();
+  const simd::KernelTable& active = simd::ActiveTable();
+  // The dispatch is per-table, so every kernel resolves to the active ISA;
+  // listing them individually keeps the attribution explicit if per-kernel
+  // dispatch ever diverges.
+  static constexpr const char* kKernelNames[] = {
+      "butterfly_stage", "cmul_inplace", "cmul_to",          "cdiv_mul_to",
+      "real_cmul_to",    "slide_update", "ses_sweep",        "holt_sweep",
+      "bds_count_within", "kmeans_distances", "axpy", "dot_unordered"};
+  std::string out = "{\"detected_isa\": \"" + caps.detected_isa +
+                    "\", \"active_isa\": \"" + caps.active_isa +
+                    "\", \"lanes\": " + std::to_string(caps.lanes) +
+                    ", \"enabled\": " + (caps.enabled ? "true" : "false") +
+                    ", \"femux_simd_env\": \"" + caps.env +
+                    "\", \"kernels\": {";
+  bool first = true;
+  for (const char* name : kKernelNames) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += std::string("\"") + name + "\": \"" + active.isa + "\"";
+  }
+  out += "}}";
+  return out;
+}
 
 namespace {
 

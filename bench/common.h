@@ -83,6 +83,12 @@ void PrintRow(const std::string& label, double paper, double measured,
               const std::string& unit = "");
 void PrintNote(const std::string& text);
 
+// Renders the process's SIMD capability report (detected ISA, active ISA,
+// lane width, FEMUX_SIMD setting, and the dispatch decision per kernel) as
+// a single-line JSON object, for embedding in every bench JSON under a
+// "simd" key so perf numbers are machine-attributable.
+std::string SimdInfoJson();
+
 // Portable process-memory probes for the scale benches (bench_fleet_scale's
 // flat-memory gate). On Linux they read /proc/self/status (VmRSS / VmHWM in
 // kB); elsewhere they fall back to getrusage(ru_maxrss), which only gives

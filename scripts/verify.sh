@@ -11,10 +11,11 @@
 #                           FEMUX_THREADS=4 (fleet/feature fan-out, cache
 #                           counters, thread pool).
 #   FEMUX_SANITIZE=address  additionally build the numeric-kernel test
-#                           targets (stats_*, forecast_*) under
+#                           targets (stats_*, forecast_*, core_*) under
 #                           AddressSanitizer + UBSan — the spectral engine's
-#                           reused workspaces and lazily built plan tables
-#                           are exactly where lifetime bugs would hide.
+#                           reused workspaces, lazily built plan tables, and
+#                           the SIMD layer's vector loads/stores are exactly
+#                           where lifetime and out-of-bounds bugs would hide.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,6 +26,14 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j
 (cd "$ROOT/build" && ctest --output-on-failure -j)
+
+# The SIMD kernel layer (DESIGN.md §12) dispatches at runtime; the scalar
+# fallback must stay a first-class citizen, so rerun the numeric suites with
+# FEMUX_SIMD=off. Bit-exact kernels make this pass identical in results to
+# the run above — a divergence here is a parity bug, not flakiness.
+echo "== scalar fallback: FEMUX_SIMD=off stats/forecast/core suites =="
+(cd "$ROOT/build" && FEMUX_SIMD=off ctest --output-on-failure -j \
+    -R '^(stats|forecast|core)_')
 
 if [[ "$SKIP_BENCH" == "0" ]]; then
   echo "== bench smoke (Release) =="
@@ -54,6 +63,11 @@ if [[ "$SKIP_BENCH" == "0" ]]; then
       --json="$ROOT/bench/out/fleet-scale-smoke.bench-scratch.json" || {
     echo "fleet-scale bench smoke FAILED (parity, memory gate, or runtime error)"; exit 1;
   }
+  cmake --build "$ROOT/build-release" --target bench_simd_kernels -j > /dev/null
+  "$ROOT/build-release/bench/bench_simd_kernels" --smoke \
+      --json="$ROOT/bench/out/simd-kernels-smoke.bench-scratch.json" || {
+    echo "simd-kernels bench smoke FAILED (parity, speedup gate, or runtime error)"; exit 1;
+  }
 fi
 
 if [[ "${FEMUX_SANITIZE:-}" == "thread" ]]; then
@@ -77,12 +91,16 @@ if [[ "${FEMUX_SANITIZE:-}" == "thread" ]]; then
 fi
 
 if [[ "${FEMUX_SANITIZE:-}" == "address" ]]; then
-  echo "== AddressSanitizer + UBSan: stats + forecast tests =="
+  # stats_* includes simd_kernel_test, which force-activates every compiled
+  # vector table (SSE2/AVX2) with unaligned buffers and lane-boundary tails,
+  # so the vectorized loads/stores of the SIMD layer run under ASan+UBSan;
+  # core_* adds the K-means SoA distance path.
+  echo "== AddressSanitizer + UBSan: stats + forecast + core tests =="
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" > /dev/null
   ASAN_TARGETS=()
-  for dir in stats forecast; do
+  for dir in stats forecast core; do
     for src in "$ROOT/tests/$dir"/*_test.cc; do
       ASAN_TARGETS+=("${dir}_$(basename "$src" .cc)")
     done

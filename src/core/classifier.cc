@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/stats/rng.h"
+#include "src/stats/simd.h"
 
 namespace femux {
 namespace {
@@ -18,6 +19,33 @@ double SquaredDistance(const std::vector<double>& a, const std::vector<double>& 
     acc += d * d;
   }
   return acc;
+}
+
+// Per-thread distance buffer for the argmin scans, so Predict stays const
+// and safe to call concurrently on a shared classifier.
+std::vector<double>& DistanceScratch() {
+  thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+// Argmin over squared distances computed by the SIMD kernel layer. The
+// kernel accumulates each centroid's distance in ascending dimension order
+// (exactly SquaredDistance), and the scan keeps the first strict minimum,
+// so the winner matches the scalar per-centroid loop bit for bit.
+std::size_t NearestCentroid(const std::vector<double>& row,
+                            const std::vector<double>& soa, std::size_t k) {
+  std::vector<double>& dist = DistanceScratch();
+  dist.resize(k);
+  simd::KmeansDistances(row.data(), row.size(), soa.data(), k, k, dist.data());
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < k; ++c) {
+    if (dist[c] < best_d) {
+      best_d = dist[c];
+      best = c;
+    }
+  }
+  return best;
 }
 
 int MajorityLabel(const std::vector<int>& labels,
@@ -90,17 +118,11 @@ void KMeans::Fit(const std::vector<std::vector<double>>& rows, std::size_t k,
   // Lloyd iterations.
   std::vector<std::size_t> assignment(rows.size(), 0);
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    RebuildSoa();
     bool changed = false;
     for (std::size_t i = 0; i < rows.size(); ++i) {
-      std::size_t best = 0;
-      double best_d = std::numeric_limits<double>::infinity();
-      for (std::size_t c = 0; c < centroids_.size(); ++c) {
-        const double d = SquaredDistance(rows[i], centroids_[c]);
-        if (d < best_d) {
-          best_d = d;
-          best = c;
-        }
-      }
+      const std::size_t best = NearestCentroid(rows[i], centroid_soa_,
+                                               centroids_.size());
       if (assignment[i] != best) {
         assignment[i] = best;
         changed = true;
@@ -131,20 +153,28 @@ void KMeans::Fit(const std::vector<std::vector<double>>& rows, std::size_t k,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     inertia_ += SquaredDistance(rows[i], centroids_[assignment[i]]);
   }
+  RebuildSoa();
+}
+
+void KMeans::RebuildSoa() {
+  const std::size_t k = centroids_.size();
+  const std::size_t dims = k == 0 ? 0 : centroids_.front().size();
+  centroid_soa_.resize(k * dims);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      centroid_soa_[d * k + c] = centroids_[c][d];
+    }
+  }
+}
+
+void KMeans::SetCentroids(std::vector<std::vector<double>> centroids) {
+  centroids_ = std::move(centroids);
+  RebuildSoa();
 }
 
 std::size_t KMeans::Predict(const std::vector<double>& row) const {
   assert(!centroids_.empty());
-  std::size_t best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < centroids_.size(); ++c) {
-    const double d = SquaredDistance(row, centroids_[c]);
-    if (d < best_d) {
-      best_d = d;
-      best = c;
-    }
-  }
-  return best;
+  return NearestCentroid(row, centroid_soa_, centroids_.size());
 }
 
 int DecisionTree::Build(const std::vector<std::vector<double>>& rows,

@@ -27,14 +27,21 @@ class KMeans {
   std::size_t cluster_count() const { return centroids_.size(); }
   const std::vector<std::vector<double>>& centroids() const { return centroids_; }
   // Restores a fitted state from persisted centroids (deserialization).
-  void SetCentroids(std::vector<std::vector<double>> centroids) {
-    centroids_ = std::move(centroids);
-  }
+  void SetCentroids(std::vector<std::vector<double>> centroids);
   // Within-cluster sum of squared distances from the final fit.
   double inertia() const { return inertia_; }
 
  private:
+  // Rebuilds centroid_soa_ from centroids_; must be called whenever
+  // centroids_ changes.
+  void RebuildSoa();
+
   std::vector<std::vector<double>> centroids_;
+  // Column-major flat copy (centroid_soa_[d * k + c] = centroids_[c][d]) so
+  // the distance kernel reads contiguous centroid lanes per dimension —
+  // the row-of-vectors layout above scatters each centroid into its own
+  // allocation.
+  std::vector<double> centroid_soa_;
   double inertia_ = 0.0;
 };
 

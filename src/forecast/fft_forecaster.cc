@@ -1,5 +1,7 @@
 #include "src/forecast/fft_forecaster.h"
 
+#include "src/stats/simd.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numbers>
@@ -74,9 +76,7 @@ void FftForecaster::ObserveAppend(double value) {
   // each bin through X' = (X - x_old + x_new) * exp(2*pi*i*k/n) — one
   // complex multiply-add per bin per slide.
   const double delta = value - evicted;
-  for (std::size_t k = 0; k < bins_.size(); ++k) {
-    bins_[k] = (bins_[k] + delta) * slide_twiddle_[k];
-  }
+  simd::SlideUpdate(bins_.data(), delta, slide_twiddle_.data(), bins_.size());
   if (++slides_since_rebuild_ >= kRebuildSlides) {
     RebuildBins();
   }

@@ -3,49 +3,75 @@
 #include <array>
 #include <limits>
 
+#include "src/stats/simd.h"
+
 namespace femux {
 namespace {
 
 constexpr std::array<double, 9> kAlphaGrid = {0.1, 0.2, 0.3, 0.4, 0.5,
                                               0.6, 0.7, 0.8, 0.9};
 constexpr std::array<double, 4> kBetaGrid = {0.05, 0.1, 0.3, 0.5};
+constexpr std::size_t kHoltGridSize = kAlphaGrid.size() * kBetaGrid.size();
 
-// One-step-ahead SSE of simple exponential smoothing with parameter alpha.
-double SesSse(std::span<const double> y, double alpha, double* out_level) {
-  double level = y.front();
-  double sse = 0.0;
-  for (std::size_t t = 1; t < y.size(); ++t) {
-    const double err = y[t] - level;
-    sse += err * err;
-    level += alpha * err;
-  }
-  if (out_level != nullptr) {
-    *out_level = level;
-  }
-  return sse;
+// The Holt grid flattened in (alpha outer, beta inner) sweep order for the
+// simd::HoltSweep kernel. alpha_betas holds alpha * beta precomputed:
+// the scalar recurrence's `alpha * beta * err` parses as
+// `(alpha * beta) * err`, so factoring the product out is bit-preserving.
+struct HoltGrid {
+  std::array<double, kHoltGridSize> alphas;
+  std::array<double, kHoltGridSize> alpha_betas;
+};
+
+const HoltGrid& FlatHoltGrid() {
+  static const HoltGrid grid = [] {
+    HoltGrid g;
+    std::size_t i = 0;
+    for (const double alpha : kAlphaGrid) {
+      for (const double beta : kBetaGrid) {
+        g.alphas[i] = alpha;
+        g.alpha_betas[i] = alpha * beta;
+        ++i;
+      }
+    }
+    return g;
+  }();
+  return grid;
 }
 
-// One-step-ahead SSE of Holt's linear method; outputs final level/trend.
-double HoltSse(std::span<const double> y, double alpha, double beta,
-               double* out_level, double* out_trend) {
-  double level = y.front();
-  double trend = y.size() > 1 ? y[1] - y[0] : 0.0;
-  double sse = 0.0;
-  for (std::size_t t = 1; t < y.size(); ++t) {
-    const double pred = level + trend;
-    const double err = y[t] - pred;
-    sse += err * err;
-    const double new_level = pred + alpha * err;
-    trend += alpha * beta * err;
-    level = new_level;
+// Grid sweeps through the SIMD kernel layer (lanes = grid points, each
+// lane running exactly the scalar one-step-ahead recurrence — see
+// src/stats/simd.h). Selection keeps the first strict improvement, so ties
+// resolve to the lowest grid index exactly as the per-alpha loops did.
+void SweepSes(std::span<const double> y, double* best_level,
+              double* best_sse) {
+  std::array<double, kAlphaGrid.size()> levels;
+  std::array<double, kAlphaGrid.size()> sses;
+  simd::SesSweep(y.data(), y.size(), kAlphaGrid.data(), kAlphaGrid.size(),
+                 levels.data(), sses.data());
+  for (std::size_t i = 0; i < kAlphaGrid.size(); ++i) {
+    if (sses[i] < *best_sse) {
+      *best_sse = sses[i];
+      *best_level = levels[i];
+    }
   }
-  if (out_level != nullptr) {
-    *out_level = level;
+}
+
+void SweepHolt(std::span<const double> y, double* best_level,
+               double* best_trend, double* best_sse) {
+  const HoltGrid& grid = FlatHoltGrid();
+  std::array<double, kHoltGridSize> levels;
+  std::array<double, kHoltGridSize> trends;
+  std::array<double, kHoltGridSize> sses;
+  simd::HoltSweep(y.data(), y.size(), grid.alphas.data(),
+                  grid.alpha_betas.data(), kHoltGridSize, levels.data(),
+                  trends.data(), sses.data());
+  for (std::size_t i = 0; i < kHoltGridSize; ++i) {
+    if (sses[i] < *best_sse) {
+      *best_sse = sses[i];
+      *best_level = levels[i];
+      *best_trend = trends[i];
+    }
   }
-  if (out_trend != nullptr) {
-    *out_trend = trend;
-  }
-  return sse;
 }
 
 }  // namespace
@@ -60,14 +86,7 @@ std::vector<double> ExponentialSmoothingForecaster::Forecast(
   }
   double best_level = history.back();
   double best_sse = std::numeric_limits<double>::infinity();
-  for (double alpha : kAlphaGrid) {
-    double level = 0.0;
-    const double sse = SesSse(history, alpha, &level);
-    if (sse < best_sse) {
-      best_sse = sse;
-      best_level = level;
-    }
-  }
+  SweepSes(history, &best_level, &best_sse);
   // SES is flat beyond one step.
   return std::vector<double>(horizon, ClampPrediction(best_level));
 }
@@ -147,14 +166,7 @@ double ExponentialSmoothingForecaster::ForecastNext() {
     window_.CopyTo(&scratch_);
     best_level = scratch_.back();
     best_sse = std::numeric_limits<double>::infinity();
-    for (double alpha : kAlphaGrid) {
-      double level = 0.0;
-      const double sse = SesSse(scratch_, alpha, &level);
-      if (sse < best_sse) {
-        best_sse = sse;
-        best_level = level;
-      }
-    }
+    SweepSes(scratch_, &best_level, &best_sse);
   }
   return ClampPrediction(best_level);
 }
@@ -168,18 +180,7 @@ std::vector<double> HoltForecaster::Forecast(std::span<const double> history,
   double best_level = history.back();
   double best_trend = 0.0;
   double best_sse = std::numeric_limits<double>::infinity();
-  for (double alpha : kAlphaGrid) {
-    for (double beta : kBetaGrid) {
-      double level = 0.0;
-      double trend = 0.0;
-      const double sse = HoltSse(history, alpha, beta, &level, &trend);
-      if (sse < best_sse) {
-        best_sse = sse;
-        best_level = level;
-        best_trend = trend;
-      }
-    }
-  }
+  SweepHolt(history, &best_level, &best_trend, &best_sse);
   std::vector<double> out;
   out.reserve(horizon);
   for (std::size_t h = 1; h <= horizon; ++h) {
@@ -269,18 +270,7 @@ double HoltForecaster::ForecastNext() {
     best_level = scratch_.back();
     best_trend = 0.0;
     best_sse = std::numeric_limits<double>::infinity();
-    for (double alpha : kAlphaGrid) {
-      for (double beta : kBetaGrid) {
-        double level = 0.0;
-        double trend = 0.0;
-        const double sse = HoltSse(scratch_, alpha, beta, &level, &trend);
-        if (sse < best_sse) {
-          best_sse = sse;
-          best_level = level;
-          best_trend = trend;
-        }
-      }
-    }
+    SweepHolt(scratch_, &best_level, &best_trend, &best_sse);
   }
   // Horizon 1 of the batch path: level + 1 * trend.
   return ClampPrediction(best_level + 1.0 * best_trend);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/stats/descriptive.h"
+#include "src/stats/simd.h"
 
 namespace femux {
 namespace {
@@ -167,17 +168,13 @@ BdsResult BdsTest(std::span<const double> series, std::size_t dimension,
     degree[order[p]] += static_cast<std::uint32_t>(window);
     const std::size_t i = order[p];
     for (std::size_t q = p + 1; q < hi; ++q) {
-      const std::size_t j = order[q];
-      ++degree[j];
-      bool within = true;
-      for (std::size_t t = 1; t < dimension; ++t) {
-        if (std::abs(series[i + t] - series[j + t]) > epsilon) {
-          within = false;
-          break;
-        }
-      }
-      close_m += within ? 1 : 0;
+      ++degree[order[q]];
     }
+    // Sup-norm extension of the window's 1-D close pairs, through the SIMD
+    // kernel layer: integer counts are order-independent, so the gathered
+    // branchless evaluation is exactly the scalar early-exit loop's count.
+    close_m += simd::BdsCountWithin(series.data(), order.data() + p + 1,
+                                    window, i, dimension, epsilon);
   }
 
   const double pairs =

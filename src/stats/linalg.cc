@@ -1,5 +1,7 @@
 #include "src/stats/linalg.h"
 
+#include "src/stats/simd.h"
+
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
@@ -32,9 +34,10 @@ Matrix Matrix::Multiply(const Matrix& other) const {
       if (a == 0.0) {
         continue;
       }
-      for (std::size_t c = 0; c < other.cols_; ++c) {
-        out(r, c) += a * other(k, c);
-      }
+      // Rows are contiguous (row-major), so the accumulation is a pure
+      // elementwise axpy — vector lanes are independent columns and the
+      // kernel is bit-identical to the scalar loop.
+      simd::Axpy(&out(r, 0), a, &other.data()[k * other.cols_], other.cols_);
     }
   }
   return out;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/stats/simd.h"
+
 namespace femux {
 
 double OlsResult::TStat(std::size_t i) const {
@@ -31,9 +33,10 @@ OlsResult FitOls(const Matrix& x, const std::vector<double>& y) {
         continue;
       }
       xty[i] += xi * y[r];
-      for (std::size_t j = i; j < k; ++j) {
-        xtx(i, j) += xi * x(r, j);
-      }
+      // Both the xtx row tail and the design row are contiguous, so the
+      // upper-triangle accumulation is an elementwise axpy (bit-identical
+      // to the per-j loop).
+      simd::Axpy(&xtx(i, i), xi, &x.data()[r * k + i], k - i);
     }
   }
   for (std::size_t i = 0; i < k; ++i) {

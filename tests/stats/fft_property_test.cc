@@ -128,8 +128,10 @@ INSTANTIATE_TEST_SUITE_P(Lengths, FftPropertyTest,
                          ::testing::ValuesIn(PropertyLengths()));
 
 // Odd lengths cannot use the packed half-length real transform (pairing
-// adjacent samples needs an even count; see FftPlan::RealSpectrum) and fall
-// through to the full complex path. Pin the half-spectrum hot-path form
+// adjacent samples needs an even count; see FftPlan::RealSpectrum) and run
+// a real-input Bluestein specialization instead: the chirp modulation reads
+// the real series directly and the de-chirp only materializes the n/2+1
+// returned bins (DESIGN.md §12). Pin the half-spectrum hot-path form
 // (RealSpectrumInto) against the naive reference on exactly those lengths:
 // odd primes, 2^k +/- 1, and odd neighbors of the production windows.
 TEST(FftPropertyTest, RealSpectrumOddLengthsMatchReference) {
