@@ -28,6 +28,10 @@ Matrix Matrix::Transposed() const {
 Matrix Matrix::Multiply(const Matrix& other) const {
   assert(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
+  if (other.cols_ == 0) {
+    return out;  // Taking &out(r, 0) / &other.data()[...] below would index
+                 // element 0 of an empty vector.
+  }
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(r, k);

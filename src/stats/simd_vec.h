@@ -38,6 +38,13 @@
 
 namespace femux {
 namespace simd {
+// Anonymous namespace: VecD must have internal linkage. The AVX2 and SSE2
+// TUs define it with different layouts (__m256d vs __m128d), and its
+// members and friend operators would otherwise mangle to identical symbols
+// (Itanium mangling ignores return types) — in a non-inlined build the
+// linker would keep a single comdat definition for both TUs, making one
+// ISA table silently execute the other ISA's code.
+namespace {
 
 #if FEMUX_SIMD_VEC_WIDTH == 4
 
@@ -150,6 +157,7 @@ struct VecD {
 
 #endif  // FEMUX_SIMD_VEC_WIDTH
 
+}  // namespace
 }  // namespace simd
 }  // namespace femux
 
