@@ -185,6 +185,12 @@ std::string SimdInfoJson() {
   return out;
 }
 
+std::string DaemonHealthJson(const ScalerDaemon& daemon) {
+  return "{\"apps\": " + std::to_string(daemon.app_count()) +
+         ", \"ticks\": " + std::to_string(daemon.tick_count()) +
+         ", \"counters\": " + daemon.counters().ToJson() + "}";
+}
+
 namespace {
 
 // Parses a "Vm...:  <kB> kB" line from /proc/self/status. Returns 0 when

@@ -17,6 +17,7 @@
 #include "src/core/femux.h"
 #include "src/core/serialize.h"
 #include "src/core/trainer.h"
+#include "src/serve/scaler_daemon.h"
 #include "src/trace/azure_generator.h"
 #include "src/trace/ibm_generator.h"
 #include "src/trace/split.h"
@@ -88,6 +89,12 @@ void PrintNote(const std::string& text);
 // a single-line JSON object, for embedding in every bench JSON under a
 // "simd" key so perf numbers are machine-attributable.
 std::string SimdInfoJson();
+
+// Renders a scaler daemon's health as a one-line JSON object: app/tick
+// totals plus the full DaemonCounters block (drops, retries, degradations,
+// quarantines, checkpoint bytes, per-phase timings). Benches embed it under
+// a "health" key so resilience numbers ship next to the perf numbers.
+std::string DaemonHealthJson(const ScalerDaemon& daemon);
 
 // Portable process-memory probes for the scale benches (bench_fleet_scale's
 // flat-memory gate). On Linux they read /proc/self/status (VmRSS / VmHWM in

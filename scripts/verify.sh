@@ -6,16 +6,17 @@
 #
 # Usage: scripts/verify.sh [--skip-bench]
 #   FEMUX_SANITIZE=thread   additionally build the concurrency-sensitive
-#                           test targets (sim_*, core_*, forecast_*) under
-#                           ThreadSanitizer and run them with
+#                           test targets (sim_*, core_*, forecast_*,
+#                           serve_*) under ThreadSanitizer and run them with
 #                           FEMUX_THREADS=4 (fleet/feature fan-out, cache
-#                           counters, thread pool).
+#                           counters, thread pool, daemon producer threads).
 #   FEMUX_SANITIZE=address  additionally build the numeric-kernel test
-#                           targets (stats_*, forecast_*, core_*) under
-#                           AddressSanitizer + UBSan — the spectral engine's
-#                           reused workspaces, lazily built plan tables, and
-#                           the SIMD layer's vector loads/stores are exactly
-#                           where lifetime and out-of-bounds bugs would hide.
+#                           targets (stats_*, forecast_*, core_*, serve_*)
+#                           under AddressSanitizer + UBSan — the spectral
+#                           engine's reused workspaces, lazily built plan
+#                           tables, and the SIMD layer's vector loads/stores
+#                           are exactly where lifetime and out-of-bounds
+#                           bugs would hide.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,6 +35,18 @@ cmake --build "$ROOT/build" -j
 echo "== scalar fallback: FEMUX_SIMD=off stats/forecast/core suites =="
 (cd "$ROOT/build" && FEMUX_SIMD=off ctest --output-on-failure -j \
     -R '^(stats|forecast|core)_')
+
+# Chaos pass: replay the serve suite under external fault-seed matrices.
+# tests/serve/chaos_test.cc swaps its built-in seeds for the FEMUX_FAULTS
+# spec, so each seed below is a full daemon run under a different
+# deterministic fault schedule (the other serve tests ignore the variable).
+echo "== chaos: serve suite under the FEMUX_FAULTS seed matrix =="
+CHAOS_MATRIX='forecast_throw=0.05,forecast_delay_ms=1@0.05,corrupt_push=0.05,dup_push=0.05,reorder_push=0.05,late_push=0.05,clock_skew_ms=1@0.05,checkpoint_truncate=0.5'
+for seed in 11 42 1337; do
+  echo "-- chaos seed $seed"
+  (cd "$ROOT/build" && FEMUX_FAULTS="seed=${seed},${CHAOS_MATRIX}" \
+      ctest --output-on-failure -j -R '^serve_')
+done
 
 if [[ "$SKIP_BENCH" == "0" ]]; then
   echo "== bench smoke (Release) =="
@@ -68,6 +81,11 @@ if [[ "$SKIP_BENCH" == "0" ]]; then
       --json="$ROOT/bench/out/simd-kernels-smoke.bench-scratch.json" || {
     echo "simd-kernels bench smoke FAILED (parity, speedup gate, or runtime error)"; exit 1;
   }
+  cmake --build "$ROOT/build-release" --target bench_scaler_daemon -j > /dev/null
+  "$ROOT/build-release/bench/bench_scaler_daemon" --smoke \
+      --json="$ROOT/bench/out/scaler-daemon-smoke.bench-scratch.json" || {
+    echo "scaler-daemon bench smoke FAILED (resilience gate or runtime error)"; exit 1;
+  }
 fi
 
 if [[ "${FEMUX_SANITIZE:-}" == "thread" ]]; then
@@ -76,7 +94,7 @@ if [[ "${FEMUX_SANITIZE:-}" == "thread" ]]; then
       -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
   TSAN_TARGETS=()
-  for dir in sim core forecast; do
+  for dir in sim core forecast serve; do
     for src in "$ROOT/tests/$dir"/*_test.cc; do
       TSAN_TARGETS+=("${dir}_$(basename "$src" .cc)")
     done
@@ -100,7 +118,7 @@ if [[ "${FEMUX_SANITIZE:-}" == "address" ]]; then
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" > /dev/null
   ASAN_TARGETS=()
-  for dir in stats forecast core; do
+  for dir in stats forecast core serve; do
     for src in "$ROOT/tests/$dir"/*_test.cc; do
       ASAN_TARGETS+=("${dir}_$(basename "$src" .cc)")
     done

@@ -1,5 +1,9 @@
 #include "src/core/serialize.h"
 
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -10,6 +14,7 @@ namespace {
 
 constexpr char kModelMagic[] = "femux-model-v1";
 constexpr char kTableMagic[] = "femux-table-v1";
+constexpr char kDaemonMagic[] = "femux-daemon-v1";
 
 void WriteVector(std::ostream& out, const std::vector<double>& v) {
   out << v.size();
@@ -216,6 +221,276 @@ bool SaveBlockTableFile(const BlockTable& table, const std::string& path) {
 bool LoadBlockTableFile(const std::string& path, BlockTable* table) {
   std::ifstream in(path);
   return in && LoadBlockTable(in, table);
+}
+
+// ---- Daemon checkpoints ----
+//
+// One self-validating line per record: space-separated fields followed by a
+// fixed-width (16 hex digit) FNV-1a-64 checksum of everything before it,
+// terminated by '\n'. Truncation at any byte either removes whole lines or
+// damages the last one — a damaged line fails framing (missing newline),
+// width (checksum shorter than 16 digits), or the checksum itself, so the
+// loader never admits a partial record.
+
+namespace {
+
+std::uint64_t Fnv1a64(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string ChecksumHex(std::string_view body) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(body)));
+  return std::string(buffer, 16);
+}
+
+// App ids are caller-supplied strings; escape the field separators (and the
+// escape character) so any id round-trips through the line format. An empty
+// string is encoded as "%e" to keep every field non-empty.
+std::string EncodeToken(const std::string& text) {
+  if (text.empty()) {
+    return "%e";
+  }
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    if (c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      char buffer[4];
+      std::snprintf(buffer, sizeof(buffer), "%%%02X", c);
+      out += buffer;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+bool DecodeToken(std::string_view token, std::string* out) {
+  if (token == "%e") {
+    out->clear();
+    return true;
+  }
+  out->clear();
+  out->reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      *out += token[i];
+      continue;
+    }
+    if (i + 2 >= token.size()) {
+      return false;
+    }
+    unsigned value = 0;
+    const auto result =
+        std::from_chars(token.data() + i + 1, token.data() + i + 3, value, 16);
+    if (result.ec != std::errc() || result.ptr != token.data() + i + 3) {
+      return false;
+    }
+    *out += static_cast<char>(value);
+    i += 2;
+  }
+  return true;
+}
+
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t space = line.find(' ', pos);
+    const std::size_t end = space == std::string_view::npos ? line.size() : space;
+    if (end > pos) {
+      fields.push_back(line.substr(pos, end - pos));
+    }
+    pos = end + 1;
+  }
+  return fields;
+}
+
+template <typename T>
+bool ParseField(std::string_view text, T* out) {
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return result.ec == std::errc() && result.ptr == text.data() + text.size();
+}
+
+bool ParseDoubleField(std::string_view text, double* out) {
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return result.ec == std::errc() && result.ptr == text.data() + text.size();
+}
+
+void WriteChecksummedLine(std::ostream& out, const std::string& body) {
+  out << body << ' ' << ChecksumHex(body) << '\n';
+}
+
+// A line is intact iff it carries its checksum (last space-separated token,
+// exactly 16 hex chars) and the checksum matches the body before it.
+bool VerifyChecksummedLine(const std::string& line, std::string_view* body) {
+  if (line.size() < 18) {  // Non-empty body + ' ' + 16-digit checksum.
+    return false;
+  }
+  const std::size_t split = line.size() - 17;
+  if (line[split] != ' ') {
+    return false;
+  }
+  const std::string_view checksum(line.data() + split + 1, 16);
+  const std::string_view content(line.data(), split);
+  if (ChecksumHex(content) != checksum) {
+    return false;
+  }
+  *body = content;
+  return true;
+}
+
+// Reads one line and reports whether it was properly terminated: getline
+// sets eofbit when the file ends without a final '\n', which is exactly a
+// truncated record.
+bool GetTerminatedLine(std::istream& in, std::string* line) {
+  if (!std::getline(in, *line)) {
+    return false;
+  }
+  return !in.eof();
+}
+
+bool ParseDaemonAppRecord(std::string_view body, DaemonAppCheckpoint* app) {
+  const std::vector<std::string_view> fields = SplitFields(body);
+  // app id forecaster observed last_epoch has_epoch has_last_good last_good
+  // quarantined_until consecutive_faults ring_n ring...
+  constexpr std::size_t kFixed = 11;
+  if (fields.size() < kFixed || fields[0] != "app") {
+    return false;
+  }
+  DaemonAppCheckpoint out;
+  int has_epoch = 0;
+  int has_last_good = 0;
+  std::size_t ring_n = 0;
+  if (!DecodeToken(fields[1], &out.id) || !DecodeToken(fields[2], &out.forecaster) ||
+      !ParseField(fields[3], &out.observed) || !ParseField(fields[4], &out.last_epoch) ||
+      !ParseField(fields[5], &has_epoch) || !ParseField(fields[6], &has_last_good) ||
+      !ParseDoubleField(fields[7], &out.last_good) ||
+      !ParseField(fields[8], &out.quarantined_until) ||
+      !ParseField(fields[9], &out.consecutive_faults) ||
+      !ParseField(fields[10], &ring_n)) {
+    return false;
+  }
+  if ((has_epoch != 0 && has_epoch != 1) || (has_last_good != 0 && has_last_good != 1) ||
+      !std::isfinite(out.last_good) || ring_n > (1u << 26) ||
+      fields.size() != kFixed + ring_n) {
+    return false;
+  }
+  out.has_epoch = has_epoch == 1;
+  out.has_last_good = has_last_good == 1;
+  out.ring.resize(ring_n);
+  for (std::size_t i = 0; i < ring_n; ++i) {
+    if (!ParseDoubleField(fields[kFixed + i], &out.ring[i]) ||
+        !std::isfinite(out.ring[i])) {
+      return false;
+    }
+  }
+  *app = std::move(out);
+  return true;
+}
+
+}  // namespace
+
+void SaveDaemonCheckpoint(const DaemonCheckpoint& checkpoint, std::ostream& out) {
+  {
+    std::ostringstream header;
+    header << kDaemonMagic << ' ' << checkpoint.tick << ' ' << checkpoint.apps.size();
+    WriteChecksummedLine(out, header.str());
+  }
+  for (const DaemonAppCheckpoint& app : checkpoint.apps) {
+    std::ostringstream line;
+    line.precision(17);
+    line << "app " << EncodeToken(app.id) << ' ' << EncodeToken(app.forecaster) << ' '
+         << app.observed << ' ' << app.last_epoch << ' ' << (app.has_epoch ? 1 : 0)
+         << ' ' << (app.has_last_good ? 1 : 0) << ' ' << app.last_good << ' '
+         << app.quarantined_until << ' ' << app.consecutive_faults << ' '
+         << app.ring.size();
+    for (double v : app.ring) {
+      line << ' ' << v;
+    }
+    WriteChecksummedLine(out, line.str());
+  }
+}
+
+bool LoadDaemonCheckpoint(std::istream& in, DaemonCheckpoint* out) {
+  out->tick = 0;
+  out->apps.clear();
+  std::string line;
+  std::string_view body;
+  if (!GetTerminatedLine(in, &line) || !VerifyChecksummedLine(line, &body)) {
+    return false;
+  }
+  const std::vector<std::string_view> header = SplitFields(body);
+  std::size_t declared = 0;
+  if (header.size() != 3 || header[0] != kDaemonMagic ||
+      !ParseField(header[1], &out->tick) || !ParseField(header[2], &declared) ||
+      declared > (1u << 24)) {
+    out->tick = 0;
+    return false;
+  }
+  out->apps.reserve(declared);
+  for (std::size_t i = 0; i < declared; ++i) {
+    DaemonAppCheckpoint app;
+    if (!GetTerminatedLine(in, &line) || !VerifyChecksummedLine(line, &body) ||
+        !ParseDaemonAppRecord(body, &app)) {
+      return false;  // Clean prefix: records 0..i-1 are already in *out.
+    }
+    out->apps.push_back(std::move(app));
+  }
+  return true;
+}
+
+bool SaveDaemonCheckpointFile(const DaemonCheckpoint& checkpoint,
+                              const std::string& path, std::size_t* bytes_written,
+                              long long truncate_to) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    SaveDaemonCheckpoint(checkpoint, out);
+    out.flush();
+    if (!out.good()) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  if (truncate_to >= 0) {
+    const auto size = std::filesystem::file_size(tmp_path, ec);
+    if (!ec && static_cast<unsigned long long>(truncate_to) < size) {
+      std::filesystem::resize_file(tmp_path, static_cast<std::uintmax_t>(truncate_to),
+                                   ec);
+      if (ec) {
+        return false;
+      }
+    }
+  }
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    return false;
+  }
+  if (bytes_written != nullptr) {
+    const auto size = std::filesystem::file_size(path, ec);
+    *bytes_written = ec ? 0 : static_cast<std::size_t>(size);
+  }
+  return true;
+}
+
+bool LoadDaemonCheckpointFile(const std::string& path, DaemonCheckpoint* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out->tick = 0;
+    out->apps.clear();
+    return false;
+  }
+  return LoadDaemonCheckpoint(in, out);
 }
 
 }  // namespace femux

@@ -10,8 +10,11 @@
 #ifndef SRC_CORE_SERIALIZE_H_
 #define SRC_CORE_SERIALIZE_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "src/core/trainer.h"
 
@@ -29,6 +32,64 @@ bool SaveModelFile(const FemuxModel& model, const std::string& path);
 bool LoadModelFile(const std::string& path, FemuxModel* model);
 bool SaveBlockTableFile(const BlockTable& table, const std::string& path);
 bool LoadBlockTableFile(const std::string& path, BlockTable* table);
+
+// ---- Scaler-daemon checkpoints (DESIGN.md §13) ----
+//
+// The online scaler daemon (src/serve) periodically snapshots its per-app
+// serving state so a killed process resumes warm. The format is built for
+// torn writes: one line per app record, each line carrying its own
+// field-count framing and a fixed-width FNV-1a-64 checksum, terminated by a
+// newline. A checkpoint truncated at ANY byte therefore loads as a valid
+// prefix — complete records up to the cut, nothing partial — and the loader
+// reports whether the full snapshot was recovered. Writers use the atomic
+// tmp-file + rename protocol in SaveDaemonCheckpointFile so readers never
+// observe a half-written file at the published path.
+
+// Per-app serving state sufficient to warm-resume: the retained series ring
+// plus the session/resilience bookkeeping. Forecaster-internal sliding
+// state is NOT persisted; restore re-seeds it from the ring
+// (IncrementalSession::SeedStreamed), which the incremental protocol
+// guarantees agrees with the uninterrupted state within the documented
+// parity bound.
+struct DaemonAppCheckpoint {
+  std::string id;
+  std::string forecaster;
+  std::uint64_t observed = 0;    // Samples ever observed.
+  std::uint64_t last_epoch = 0;  // Newest applied metric epoch.
+  bool has_epoch = false;
+  bool has_last_good = false;
+  double last_good = 0.0;  // Last successfully forecast target.
+  std::uint64_t quarantined_until = 0;  // Daemon tick; 0 = not quarantined.
+  std::uint32_t consecutive_faults = 0;
+  std::vector<double> ring;  // Retained series tail, oldest first.
+};
+
+struct DaemonCheckpoint {
+  std::uint64_t tick = 0;  // Daemon tick count at snapshot time.
+  std::vector<DaemonAppCheckpoint> apps;
+};
+
+void SaveDaemonCheckpoint(const DaemonCheckpoint& checkpoint, std::ostream& out);
+
+// Loads every record that validates (framing + checksum + trailing
+// newline), in order, stopping at the first damaged one. Returns true iff
+// the header and ALL declared records loaded — i.e. false means `out`
+// holds a clean prefix (possibly empty), never partial or corrupt state.
+bool LoadDaemonCheckpoint(std::istream& in, DaemonCheckpoint* out);
+
+// Atomic file protocol: writes `path + ".tmp"`, flushes, then renames over
+// `path`. On success stores the byte size via `bytes_written` (when
+// non-null). `truncate_to` trims the tmp file to that many bytes *before*
+// the rename when >= 0 — the fault-injection hook modelling a torn write
+// that still got published (see src/serve/fault.h).
+bool SaveDaemonCheckpointFile(const DaemonCheckpoint& checkpoint,
+                              const std::string& path,
+                              std::size_t* bytes_written = nullptr,
+                              long long truncate_to = -1);
+// Returns false when the file is missing/unreadable or the checkpoint was
+// incomplete; a readable prefix is still returned via `out` (see
+// LoadDaemonCheckpoint).
+bool LoadDaemonCheckpointFile(const std::string& path, DaemonCheckpoint* out);
 
 }  // namespace femux
 

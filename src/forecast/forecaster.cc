@@ -1,8 +1,21 @@
 #include "src/forecast/forecaster.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace femux {
+
+const char* StreamErrorName(StreamError error) {
+  switch (error) {
+    case StreamError::kNone:
+      return "none";
+    case StreamError::kNonFiniteInput:
+      return "non_finite_input";
+    case StreamError::kCountRegressed:
+      return "count_regressed";
+  }
+  return "unknown";
+}
 
 double ForecastOne(Forecaster& forecaster, std::span<const double> history) {
   const auto out = forecaster.Forecast(history, 1);
@@ -116,6 +129,58 @@ void IncrementalSession::SeedStreamed(Forecaster& forecaster,
   last_size_ = total_observed;
   last_back_ = window.back();
   has_last_pred_ = false;  // The next ForecastStreamed forecasts once.
+}
+
+namespace {
+
+bool AllFinite(std::span<const double> window) {
+  for (double v : window) {
+    if (!std::isfinite(v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StreamedForecast IncrementalSession::ForecastStreamedChecked(
+    Forecaster& forecaster, std::span<const double> window,
+    std::size_t total_observed, std::size_t window_hint) {
+  StreamedForecast out;
+  if (!AllFinite(window)) {
+    out.error = StreamError::kNonFiniteInput;
+    return out;
+  }
+  const std::size_t window_len =
+      std::max(window_hint, forecaster.preferred_history());
+  // "Time went backwards" is only meaningful for the stream this session is
+  // already bound to; a different forecaster or window configuration is a
+  // fresh stream and re-seeds like the unchecked path.
+  if (seeded_ && bound_ == &forecaster && window_ == window_len &&
+      total_observed < last_size_) {
+    out.error = StreamError::kCountRegressed;
+    return out;
+  }
+  out.value = ForecastStreamed(forecaster, window, total_observed, window_hint);
+  return out;
+}
+
+StreamError IncrementalSession::SeedStreamedChecked(Forecaster& forecaster,
+                                                    std::span<const double> window,
+                                                    std::size_t total_observed,
+                                                    std::size_t window_hint) {
+  if (!AllFinite(window)) {
+    return StreamError::kNonFiniteInput;
+  }
+  const std::size_t window_len =
+      std::max(window_hint, forecaster.preferred_history());
+  if (seeded_ && bound_ == &forecaster && window_ == window_len &&
+      total_observed < last_size_) {
+    return StreamError::kCountRegressed;
+  }
+  SeedStreamed(forecaster, window, total_observed, window_hint);
+  return StreamError::kNone;
 }
 
 double ClampPrediction(double value) {

@@ -79,6 +79,31 @@ class Forecaster {
   virtual double ForecastNext() { return 0.0; }
 };
 
+// Typed error for the checked streamed-session entry points below. The
+// unchecked entry points silently re-seed on any history discontinuity —
+// correct for trusted simulator callers, but an online daemon ingesting
+// pushes from the network needs to *know* when a tenant's stream went bad
+// so it can count the fault and quarantine the app instead of serving a
+// forecast from garbage state.
+enum class StreamError {
+  kNone = 0,
+  // The window contains NaN/inf. No forecast is made and no session or
+  // forecaster state is touched.
+  kNonFiniteInput,
+  // `total_observed` went backwards for the stream this session is bound
+  // to (duplicate or out-of-order epoch accounting upstream). No forecast
+  // is made and no session or forecaster state is touched.
+  kCountRegressed,
+};
+
+const char* StreamErrorName(StreamError error);
+
+struct StreamedForecast {
+  double value = 0.0;
+  StreamError error = StreamError::kNone;
+  bool ok() const { return error == StreamError::kNone; }
+};
+
 // Drives a Forecaster through the incremental protocol with automatic
 // fallback. Each call receives the caller's full observed history; the
 // session windows it to the last `window_hint` samples (at least the
@@ -120,6 +145,21 @@ class IncrementalSession {
   void SeedStreamed(Forecaster& forecaster, std::span<const double> window,
                     std::size_t total_observed,
                     std::size_t window_hint = kDefaultHistoryMinutes);
+
+  // Total variants of the streamed entry points: every degenerate input is
+  // mapped to a StreamError instead of silently re-seeding (or, for
+  // non-finite values, poisoning forecaster state). A forward gap in
+  // `total_observed` (> +1) is NOT an error — the session re-seeds from the
+  // window exactly like the unchecked path, since a bounded ring caller can
+  // legitimately skip epochs. On any error the session and forecaster are
+  // left exactly as they were.
+  StreamedForecast ForecastStreamedChecked(
+      Forecaster& forecaster, std::span<const double> window,
+      std::size_t total_observed, std::size_t window_hint = kDefaultHistoryMinutes);
+  StreamError SeedStreamedChecked(Forecaster& forecaster,
+                                  std::span<const double> window,
+                                  std::size_t total_observed,
+                                  std::size_t window_hint = kDefaultHistoryMinutes);
 
   void Invalidate() {
     seeded_ = false;

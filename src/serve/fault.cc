@@ -1,0 +1,238 @@
+#include "src/serve/fault.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace femux {
+namespace {
+
+// SplitMix64: the standard 64-bit finalizer-style generator. One draw is a
+// pure function of its input word, which lets each (site, stream, counter)
+// triple map straight to a decision with no shared generator state.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double UniformFromBits(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool ParseNumber(std::string_view text, double* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, *out);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+bool ParseSeed(std::string_view text, std::uint64_t* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, *out);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+bool ValidProbability(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kForecastThrow:
+      return "forecast_throw";
+    case FaultSite::kForecastDelay:
+      return "forecast_delay";
+    case FaultSite::kCorruptPush:
+      return "corrupt_push";
+    case FaultSite::kDupPush:
+      return "dup_push";
+    case FaultSite::kReorderPush:
+      return "reorder_push";
+    case FaultSite::kLatePush:
+      return "late_push";
+    case FaultSite::kClockSkew:
+      return "clock_skew";
+    case FaultSite::kCheckpointTruncate:
+      return "checkpoint_truncate";
+  }
+  return "unknown";
+}
+
+bool FaultSpec::any() const {
+  return forecast_throw > 0.0 || forecast_delay_prob > 0.0 || corrupt_push > 0.0 ||
+         dup_push > 0.0 || reorder_push > 0.0 || late_push > 0.0 ||
+         clock_skew_prob > 0.0 || checkpoint_truncate > 0.0;
+}
+
+bool FaultSpec::Parse(std::string_view text, FaultSpec* spec, std::string* error) {
+  FaultSpec out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) {
+      comma = text.size();
+    }
+    const std::string_view token = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) {
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      if (error) *error = "missing '=' in token '" + std::string(token) + "'";
+      return false;
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    double number = 0.0;
+    if (key == "seed") {
+      if (!ParseSeed(value, &out.seed)) {
+        if (error) *error = "bad seed '" + std::string(value) + "'";
+        return false;
+      }
+      continue;
+    }
+    if (key == "forecast_delay_ms") {
+      // `<ms>@<prob>`; a bare `<ms>` means probability 1.
+      const std::size_t at = value.find('@');
+      const std::string_view ms_text = value.substr(0, at);
+      double prob = 1.0;
+      if (at != std::string_view::npos &&
+          (!ParseNumber(value.substr(at + 1), &prob) || !ValidProbability(prob))) {
+        if (error) *error = "bad probability in '" + std::string(token) + "'";
+        return false;
+      }
+      if (!ParseNumber(ms_text, &out.forecast_delay_ms) || out.forecast_delay_ms < 0.0) {
+        if (error) *error = "bad delay in '" + std::string(token) + "'";
+        return false;
+      }
+      out.forecast_delay_prob = out.forecast_delay_ms > 0.0 ? prob : 0.0;
+      continue;
+    }
+    if (key == "clock_skew_ms") {
+      // `<ms>@<prob>`; a bare `<ms>` skews every deadline read.
+      const std::size_t at = value.find('@');
+      const std::string_view ms_text = value.substr(0, at);
+      double prob = 1.0;
+      if (at != std::string_view::npos &&
+          (!ParseNumber(value.substr(at + 1), &prob) || !ValidProbability(prob))) {
+        if (error) *error = "bad probability in '" + std::string(token) + "'";
+        return false;
+      }
+      if (!ParseNumber(ms_text, &out.clock_skew_ms) || out.clock_skew_ms < 0.0) {
+        if (error) *error = "bad skew in '" + std::string(token) + "'";
+        return false;
+      }
+      out.clock_skew_prob = out.clock_skew_ms > 0.0 ? prob : 0.0;
+      continue;
+    }
+    if (!ParseNumber(value, &number) || !ValidProbability(number)) {
+      if (error) {
+        *error = "bad probability '" + std::string(value) + "' for key '" +
+                 std::string(key) + "'";
+      }
+      return false;
+    }
+    if (key == "forecast_throw") {
+      out.forecast_throw = number;
+    } else if (key == "corrupt_push") {
+      out.corrupt_push = number;
+    } else if (key == "dup_push") {
+      out.dup_push = number;
+    } else if (key == "reorder_push") {
+      out.reorder_push = number;
+    } else if (key == "late_push") {
+      out.late_push = number;
+    } else if (key == "checkpoint_truncate") {
+      out.checkpoint_truncate = number;
+    } else {
+      if (error) *error = "unknown key '" + std::string(key) + "'";
+      return false;
+    }
+  }
+  *spec = out;
+  return true;
+}
+
+double FaultInjector::ProbabilityFor(FaultSite site) const {
+  switch (site) {
+    case FaultSite::kForecastThrow:
+      return spec_.forecast_throw;
+    case FaultSite::kForecastDelay:
+      return spec_.forecast_delay_prob;
+    case FaultSite::kCorruptPush:
+      return spec_.corrupt_push;
+    case FaultSite::kDupPush:
+      return spec_.dup_push;
+    case FaultSite::kReorderPush:
+      return spec_.reorder_push;
+    case FaultSite::kLatePush:
+      return spec_.late_push;
+    case FaultSite::kClockSkew:
+      return spec_.clock_skew_prob;
+    case FaultSite::kCheckpointTruncate:
+      return spec_.checkpoint_truncate;
+  }
+  return 0.0;
+}
+
+std::uint64_t FaultInjector::NextCounter(FaultSite site, std::uint64_t stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[{static_cast<int>(site), stream}]++;
+}
+
+bool FaultInjector::Fire(FaultSite site, std::uint64_t stream) {
+  const double probability = ProbabilityFor(site);
+  if (probability <= 0.0) {
+    return false;
+  }
+  const std::uint64_t counter = NextCounter(site, stream);
+  const std::uint64_t word =
+      SplitMix64(spec_.seed ^ SplitMix64(static_cast<std::uint64_t>(site) + 1) ^
+                 SplitMix64(stream + 0x51ED2701) ^ SplitMix64(counter + 0xA02B));
+  const bool fire = UniformFromBits(word) < probability;
+  if (fire) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++fired_[static_cast<int>(site)];
+  }
+  return fire;
+}
+
+double FaultInjector::Draw(FaultSite site, std::uint64_t stream) {
+  const std::uint64_t counter = NextCounter(site, stream);
+  const std::uint64_t word =
+      SplitMix64(spec_.seed ^ SplitMix64(static_cast<std::uint64_t>(site) + 101) ^
+                 SplitMix64(stream + 0x7C15) ^ SplitMix64(counter + 0xD1CE));
+  return UniformFromBits(word);
+}
+
+void FaultInjector::Reset(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  counters_.clear();
+  fired_.fill(0);
+}
+
+std::uint64_t FaultInjector::fired(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_[static_cast<int>(site)];
+}
+
+FaultInjector FaultInjector::FromEnv() {
+  const char* env = std::getenv("FEMUX_FAULTS");
+  if (env == nullptr || env[0] == '\0') {
+    return FaultInjector();
+  }
+  FaultSpec spec;
+  std::string error;
+  if (!FaultSpec::Parse(env, &spec, &error)) {
+    std::fprintf(stderr, "FEMUX_FAULTS ignored (parse error: %s)\n", error.c_str());
+    return FaultInjector();
+  }
+  return FaultInjector(spec);
+}
+
+}  // namespace femux

@@ -1,0 +1,110 @@
+// Deterministic, seedable fault injection for the scaler daemon.
+//
+// The daemon's resilience claims (bounded degradation under forecaster
+// faults, no lost apps, crash-safe restore) are only testable if failures
+// can be reproduced exactly. This injector makes every fault decision a
+// pure function of (seed, site, stream, per-stream draw counter): the same
+// spec and the same per-stream call sequence produce the same faults on
+// every run, independent of wall clock, thread scheduling, or how other
+// streams interleave. Streams are typically per-app hashes, so producer
+// thread interleaving across apps cannot perturb any one app's fault
+// sequence.
+//
+// Specs are parsed from a compact `key=value,key=value` string (the
+// `FEMUX_FAULTS` environment variable), e.g.
+//   seed=7,forecast_throw=0.02,forecast_delay_ms=4@0.1,corrupt_push=0.01,
+//   dup_push=0.02,reorder_push=0.02,late_push=0.02,clock_skew_ms=50,
+//   checkpoint_truncate=0.5
+#ifndef SRC_SERVE_FAULT_H_
+#define SRC_SERVE_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace femux {
+
+// Where a fault can be injected. Each site draws from its own counter
+// sequence so enabling one fault never shifts another site's decisions.
+enum class FaultSite : int {
+  kForecastThrow = 0,   // Forecast attempt throws a transient exception.
+  kForecastDelay,       // Forecast attempt is delayed by `forecast_delay_ms`.
+  kCorruptPush,         // Metric push value replaced with NaN.
+  kDupPush,             // Metric push enqueued twice.
+  kReorderPush,         // Metric push swapped with the previously queued one.
+  kLatePush,            // Metric push delivered one tick late.
+  kClockSkew,           // Deadline clock reads skewed by ±clock_skew_ms.
+  kCheckpointTruncate,  // Checkpoint temp file truncated before rename.
+};
+inline constexpr int kFaultSiteCount = 8;
+
+const char* FaultSiteName(FaultSite site);
+
+// Probabilities are per-draw in [0, 1]; 0 disables the site.
+struct FaultSpec {
+  std::uint64_t seed = 0;
+  double forecast_throw = 0.0;
+  double forecast_delay_prob = 0.0;
+  double forecast_delay_ms = 0.0;
+  double corrupt_push = 0.0;
+  double dup_push = 0.0;
+  double reorder_push = 0.0;
+  double late_push = 0.0;
+  double clock_skew_prob = 0.0;  // Probability a deadline read is skewed.
+  double clock_skew_ms = 0.0;    // Magnitude of the skew (sign alternates).
+  double checkpoint_truncate = 0.0;
+
+  bool any() const;
+
+  // Parses the `key=value` comma list above. Unknown keys, malformed
+  // numbers, and out-of-range probabilities are errors (reported with the
+  // offending token). An empty string parses to the all-disabled spec.
+  static bool Parse(std::string_view text, FaultSpec* spec, std::string* error);
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;  // All sites disabled.
+  explicit FaultInjector(const FaultSpec& spec) : spec_(spec) {}
+
+  const FaultSpec& spec() const { return spec_; }
+  bool enabled() const { return spec_.any(); }
+
+  // Replaces the spec and restarts every draw sequence (the injector holds
+  // a mutex, so it is not assignable; this is the re-arm path).
+  void Reset(const FaultSpec& spec);
+
+  // Draws the next decision for (site, stream). Thread-safe; deterministic
+  // per stream as described in the header comment.
+  bool Fire(FaultSite site, std::uint64_t stream = 0);
+
+  // Uniform draw in [0, 1) on the same deterministic sequence machinery
+  // (used for truncation points and skew signs, so those replay too).
+  double Draw(FaultSite site, std::uint64_t stream = 0);
+
+  // Total fires per site, for test assertions and health counters.
+  std::uint64_t fired(FaultSite site) const;
+
+  // Builds an injector from the FEMUX_FAULTS environment variable. An unset
+  // or empty variable yields a disabled injector; a malformed one is
+  // reported on stderr and also yields a disabled injector (a bad chaos
+  // spec must not silently change behavior).
+  static FaultInjector FromEnv();
+
+ private:
+  double ProbabilityFor(FaultSite site) const;
+  std::uint64_t NextCounter(FaultSite site, std::uint64_t stream);
+
+  FaultSpec spec_;
+  mutable std::mutex mu_;
+  std::map<std::pair<int, std::uint64_t>, std::uint64_t> counters_;
+  std::array<std::uint64_t, kFaultSiteCount> fired_{};
+};
+
+}  // namespace femux
+
+#endif  // SRC_SERVE_FAULT_H_

@@ -1,0 +1,694 @@
+#include "src/serve/scaler_daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/forecast/registry.h"
+#include "src/sim/thread_pool.h"
+
+namespace femux {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since).count();
+}
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double UniformFromBits(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+// FNV-1a over the app id: the shard map and the fault-injection stream id
+// must agree across platforms (std::hash is implementation-defined).
+std::uint64_t HashAppId(const std::string& id) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : id) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void BusySpinMs(double ms) {
+  const auto start = Clock::now();
+  while (ElapsedMs(start) < ms) {
+    // Burn cycles: injected latency must show up in measured latency.
+  }
+}
+
+void AccumulateCounters(DaemonCounters* total, const DaemonCounters& part) {
+  total->pushes += part.pushes;
+  total->drops += part.drops;
+  total->corrupt_rejected += part.corrupt_rejected;
+  total->stale_or_duplicate += part.stale_or_duplicate;
+  total->epoch_gaps += part.epoch_gaps;
+  total->late_applied += part.late_applied;
+  total->decisions += part.decisions;
+  total->forecast_ok += part.forecast_ok;
+  total->degraded_last_good += part.degraded_last_good;
+  total->degraded_moving_avg += part.degraded_moving_avg;
+  total->quarantined_decisions += part.quarantined_decisions;
+  total->retries += part.retries;
+  total->deadline_misses += part.deadline_misses;
+  total->forecast_faults += part.forecast_faults;
+  total->stream_errors += part.stream_errors;
+  total->quarantines += part.quarantines;
+  total->clock_skew_applied += part.clock_skew_applied;
+  total->checkpoints += part.checkpoints;
+  total->checkpoint_failures += part.checkpoint_failures;
+  total->checkpoint_bytes += part.checkpoint_bytes;
+  total->restored_apps += part.restored_apps;
+  total->restore_incomplete += part.restore_incomplete;
+  total->ticks += part.ticks;
+  total->ingest_us += part.ingest_us;
+  total->decide_us += part.decide_us;
+  total->checkpoint_us += part.checkpoint_us;
+}
+
+}  // namespace
+
+const char* DecisionSourceName(DecisionSource source) {
+  switch (source) {
+    case DecisionSource::kForecast:
+      return "forecast";
+    case DecisionSource::kLastGood:
+      return "last_good";
+    case DecisionSource::kMovingAverage:
+      return "moving_average";
+    case DecisionSource::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+std::string DaemonCounters::ToJson() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"pushes\": " << pushes << ", \"drops\": " << drops
+      << ", \"corrupt_rejected\": " << corrupt_rejected
+      << ", \"stale_or_duplicate\": " << stale_or_duplicate
+      << ", \"epoch_gaps\": " << epoch_gaps << ", \"late_applied\": " << late_applied
+      << ", \"decisions\": " << decisions << ", \"forecast_ok\": " << forecast_ok
+      << ", \"degraded_last_good\": " << degraded_last_good
+      << ", \"degraded_moving_avg\": " << degraded_moving_avg
+      << ", \"quarantined_decisions\": " << quarantined_decisions
+      << ", \"retries\": " << retries << ", \"deadline_misses\": " << deadline_misses
+      << ", \"forecast_faults\": " << forecast_faults
+      << ", \"stream_errors\": " << stream_errors
+      << ", \"quarantines\": " << quarantines
+      << ", \"clock_skew_applied\": " << clock_skew_applied
+      << ", \"checkpoints\": " << checkpoints
+      << ", \"checkpoint_failures\": " << checkpoint_failures
+      << ", \"checkpoint_bytes\": " << checkpoint_bytes
+      << ", \"restored_apps\": " << restored_apps
+      << ", \"restore_incomplete\": " << restore_incomplete << ", \"ticks\": " << ticks
+      << ", \"ingest_us\": " << ingest_us << ", \"decide_us\": " << decide_us
+      << ", \"checkpoint_us\": " << checkpoint_us << "}";
+  return out.str();
+}
+
+ScalerDaemon::ScalerDaemon(const ScalerDaemonOptions& options)
+    : options_(options), injector_(options.faults) {
+  if (options_.shards == 0) {
+    options_.shards = 1;
+  }
+  prototype_ = MakeForecasterByName(options_.forecaster);
+  if (prototype_ == nullptr) {
+    throw std::invalid_argument("ScalerDaemon: unknown forecaster '" +
+                                options_.forecaster + "'");
+  }
+  ring_capacity_ = std::max(options_.history_window, prototype_->preferred_history());
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.checkpoint_every_ticks > 0 && !options_.checkpoint_path.empty()) {
+    // Periodic checkpoint event; reschedules itself. The flag is consumed
+    // at the end of the same tick, after decisions, so the snapshot sees
+    // this tick's state.
+    struct Rearm {
+      ScalerDaemon* daemon;
+      void operator()() const {
+        daemon->checkpoint_due_ = true;
+        daemon->wheel_.Schedule(daemon->options_.checkpoint_every_ticks, Rearm{daemon});
+      }
+    };
+    wheel_.Schedule(options_.checkpoint_every_ticks, Rearm{this});
+  }
+}
+
+ScalerDaemon::~ScalerDaemon() { Stop(); }
+
+std::size_t ScalerDaemon::ShardIndex(const std::string& app) const {
+  return HashAppId(app) % shards_.size();
+}
+
+std::uint64_t ScalerDaemon::AppStream(const std::string& app) {
+  return HashAppId(app);
+}
+
+bool ScalerDaemon::Push(const MetricPush& push) {
+  const std::uint64_t stream = AppStream(push.app);
+  Shard& shard = *shards_[ShardIndex(push.app)];
+  MetricPush item = push;
+  bool duplicate = false;
+  bool reorder = false;
+  bool late = false;
+  if (injector_.enabled()) {
+    if (injector_.Fire(FaultSite::kCorruptPush, stream)) {
+      item.value = std::numeric_limits<double>::quiet_NaN();
+    }
+    duplicate = injector_.Fire(FaultSite::kDupPush, stream);
+    reorder = injector_.Fire(FaultSite::kReorderPush, stream);
+    late = injector_.Fire(FaultSite::kLatePush, stream);
+  }
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const std::size_t copies = duplicate ? 2 : 1;
+  bool accepted = false;
+  for (std::size_t i = 0; i < copies; ++i) {
+    if (shard.queue.size() + shard.delayed.size() >= options_.queue_capacity) {
+      ++shard.counters.drops;
+      continue;
+    }
+    if (late) {
+      shard.delayed.push_back(item);
+    } else {
+      shard.queue.push_back(item);
+      if (reorder && shard.queue.size() >= 2) {
+        std::swap(shard.queue[shard.queue.size() - 1], shard.queue[shard.queue.size() - 2]);
+      }
+    }
+    ++shard.counters.pushes;
+    accepted = true;
+  }
+  return accepted;
+}
+
+std::span<const double> ScalerDaemon::RingWindow(const AppState& state) const {
+  const std::size_t n = std::min(state.ring.size(), ring_capacity_);
+  return std::span<const double>(state.ring.data() + (state.ring.size() - n), n);
+}
+
+void ScalerDaemon::CompactRing(AppState& state) {
+  if (state.ring.size() > 2 * ring_capacity_) {
+    state.ring.erase(state.ring.begin(),
+                     state.ring.end() - static_cast<std::ptrdiff_t>(ring_capacity_));
+  }
+}
+
+void ScalerDaemon::ApplyPush(Shard& shard, const MetricPush& push) {
+  // Validation before registration: an app only exists once it has
+  // delivered at least one well-formed sample.
+  if (!std::isfinite(push.value) || push.value < 0.0) {
+    ++shard.counters.corrupt_rejected;
+    return;
+  }
+  auto [it, created] = shard.apps.try_emplace(push.app);
+  AppState& state = it->second;
+  if (created) {
+    state.id = push.app;
+    state.forecaster = prototype_->Clone();
+  }
+  if (state.has_epoch && push.epoch <= state.last_epoch) {
+    ++shard.counters.stale_or_duplicate;
+    return;
+  }
+  if (state.has_epoch && push.epoch > state.last_epoch + 1) {
+    ++shard.counters.epoch_gaps;
+  }
+  state.last_epoch = push.epoch;
+  state.has_epoch = true;
+  state.ring.push_back(push.value);
+  ++state.observed;
+  ++state.health.observed;
+  CompactRing(state);
+}
+
+void ScalerDaemon::DrainShard(Shard& shard) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Late-push fault: samples held during the previous tick are older than
+  // anything queued since, so they apply first.
+  if (!shard.delayed.empty()) {
+    shard.counters.late_applied += shard.delayed.size();
+    shard.queue.insert(shard.queue.begin(), shard.delayed.begin(),
+                       shard.delayed.end());
+    shard.delayed.clear();
+  }
+  while (!shard.queue.empty()) {
+    const MetricPush push = std::move(shard.queue.front());
+    shard.queue.pop_front();
+    ApplyPush(shard, push);
+  }
+}
+
+double ScalerDaemon::MovingAverageTarget(const AppState& state) const {
+  const std::span<const double> window = RingWindow(state);
+  if (window.empty()) {
+    return 0.0;
+  }
+  const std::size_t n = std::min(window.size(), std::max<std::size_t>(
+                                                    options_.fallback_window, 1));
+  const std::span<const double> tail = window.last(n);
+  const double sum = std::accumulate(tail.begin(), tail.end(), 0.0);
+  return ClampPrediction(sum / static_cast<double>(n)) * options_.margin;
+}
+
+Decision ScalerDaemon::DecideApp(Shard& shard, AppState& state, std::uint64_t tick) {
+  Decision decision;
+  decision.app = state.id;
+  decision.tick = tick;
+
+  // Quarantined tenants are served (never dropped), but only from the
+  // reactive rung — their forecaster has proven itself unhealthy.
+  if (state.quarantined_until > tick) {
+    decision.target = MovingAverageTarget(state);
+    decision.source = DecisionSource::kQuarantined;
+    ++shard.counters.quarantined_decisions;
+    state.last_target = decision.target;
+    return decision;
+  }
+
+  const std::uint64_t stream = AppStream(state.id);
+  const auto start = Clock::now();
+  double virtual_ms = 0.0;  // Injected delays + backoffs in virtual mode.
+  const auto elapsed_ms = [&]() {
+    double elapsed = ElapsedMs(start) + virtual_ms;
+    if (injector_.enabled() && injector_.Fire(FaultSite::kClockSkew, stream)) {
+      const double sign = injector_.Draw(FaultSite::kClockSkew, stream) < 0.5 ? -1.0 : 1.0;
+      elapsed += sign * options_.faults.clock_skew_ms;
+      ++shard.counters.clock_skew_applied;
+    }
+    return elapsed;
+  };
+  const auto burn_ms = [&](double ms) {
+    if (options_.spin_on_injected_delay) {
+      BusySpinMs(ms);
+    } else {
+      virtual_ms += ms;
+    }
+  };
+
+  bool success = false;
+  double value = 0.0;
+  const int max_attempts = std::max(options_.retry.max_attempts, 1);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (elapsed_ms() > options_.decision_deadline_ms) {
+      ++shard.counters.deadline_misses;
+      break;
+    }
+    if (injector_.enabled() && injector_.Fire(FaultSite::kForecastDelay, stream)) {
+      burn_ms(options_.faults.forecast_delay_ms);
+    }
+    bool faulted = false;
+    try {
+      if (injector_.enabled() && injector_.Fire(FaultSite::kForecastThrow, stream)) {
+        throw std::runtime_error("injected forecast fault");
+      }
+      const StreamedForecast forecast = state.session.ForecastStreamedChecked(
+          *state.forecaster, RingWindow(state), state.observed,
+          options_.history_window);
+      if (!forecast.ok()) {
+        ++shard.counters.stream_errors;
+        faulted = true;
+      } else {
+        value = forecast.value;
+        success = true;
+      }
+    } catch (...) {
+      // Anything the forecast path throws — injected or real — is a
+      // per-app fault, never a tick-loop failure.
+      faulted = true;
+    }
+    if (faulted) {
+      ++shard.counters.forecast_faults;
+      ++state.health.faults;
+    }
+    if (success) {
+      if (elapsed_ms() > options_.decision_deadline_ms) {
+        // The forecast arrived but the budget is blown: a late plan is a
+        // missed plan. Degrade rather than ship it late.
+        ++shard.counters.deadline_misses;
+        success = false;
+      }
+      break;
+    }
+    if (attempt + 1 < max_attempts) {
+      ++shard.counters.retries;
+      const double exp_backoff =
+          std::min(options_.retry.base_backoff_ms * std::ldexp(1.0, attempt),
+                   options_.retry.max_backoff_ms);
+      const double u = UniformFromBits(SplitMix64(
+          options_.jitter_seed ^ SplitMix64(stream) ^
+          SplitMix64(tick * 0x9E37u + static_cast<std::uint64_t>(attempt))));
+      burn_ms(exp_backoff * (1.0 + options_.retry.jitter * u));
+    }
+  }
+
+  if (success) {
+    decision.target = ClampPrediction(value) * options_.margin;
+    decision.source = DecisionSource::kForecast;
+    state.last_good = decision.target;
+    state.has_last_good = true;
+    state.consecutive_faults = 0;
+    ++shard.counters.forecast_ok;
+  } else {
+    ++state.consecutive_faults;
+    if (state.has_last_good) {
+      decision.target = state.last_good;
+      decision.source = DecisionSource::kLastGood;
+      ++shard.counters.degraded_last_good;
+      ++state.health.degraded_last_good;
+    } else {
+      decision.target = MovingAverageTarget(state);
+      decision.source = DecisionSource::kMovingAverage;
+      ++shard.counters.degraded_moving_avg;
+      ++state.health.degraded_moving_avg;
+    }
+    if (state.consecutive_faults >= options_.quarantine_threshold) {
+      state.quarantined_until = tick + options_.quarantine_ticks;
+      state.consecutive_faults = 0;
+      // The forecaster's sliding state is suspect after repeated faults;
+      // re-seed from the ring when the app comes back.
+      state.session.Invalidate();
+      ++shard.counters.quarantines;
+      shard.newly_quarantined.push_back(state.id);
+    }
+  }
+  state.last_target = decision.target;
+  return decision;
+}
+
+void ScalerDaemon::DecideShard(Shard& shard, std::uint64_t tick) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.latest.clear();
+  for (auto& [id, state] : shard.apps) {
+    const auto start = Clock::now();
+    Decision decision = DecideApp(shard, state, tick);
+    shard.latencies_us.push_back(ElapsedMs(start) * 1000.0);
+    ++shard.counters.decisions;
+    shard.latest.push_back(std::move(decision));
+  }
+}
+
+void ScalerDaemon::TickOnce() {
+  const std::uint64_t tick = tick_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  wheel_.Advance();
+
+  const auto work = [&](std::size_t shard_index) {
+    Shard& shard = *shards_[shard_index];
+    const auto ingest_start = Clock::now();
+    DrainShard(shard);
+    const auto decide_start = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.counters.ingest_us +=
+          std::chrono::duration<double, std::micro>(decide_start - ingest_start)
+              .count();
+    }
+    DecideShard(shard, tick);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counters.decide_us +=
+        std::chrono::duration<double, std::micro>(Clock::now() - decide_start)
+            .count();
+  };
+  if (options_.parallel_shards && shards_.size() > 1 && ConfiguredThreadCount() > 1) {
+    ThreadPool::Instance().ParallelFor(shards_.size(), work);
+  } else {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      work(i);
+    }
+  }
+
+  // Quarantine releases ride the timer wheel: one event per entry, fired at
+  // the release tick (scheduling happens here, on the tick thread — the
+  // wheel is not touched from the parallel section).
+  for (std::size_t shard_index = 0; shard_index < shards_.size(); ++shard_index) {
+    Shard& shard = *shards_[shard_index];
+    std::vector<std::string> newly;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      newly.swap(shard.newly_quarantined);
+    }
+    for (std::string& app : newly) {
+      wheel_.Schedule(options_.quarantine_ticks,
+                      [this, shard_index, id = std::move(app)]() {
+                        Shard& s = *shards_[shard_index];
+                        std::lock_guard<std::mutex> lock(s.mu);
+                        auto it = s.apps.find(id);
+                        if (it != s.apps.end() &&
+                            it->second.quarantined_until <= tick_count()) {
+                          it->second.quarantined_until = 0;
+                        }
+                      });
+    }
+  }
+
+  ++global_.ticks;
+  if (checkpoint_due_) {
+    checkpoint_due_ = false;
+    const auto checkpoint_start = Clock::now();
+    CheckpointLocked();
+    global_.checkpoint_us +=
+        std::chrono::duration<double, std::micro>(Clock::now() - checkpoint_start)
+            .count();
+  }
+}
+
+bool ScalerDaemon::Checkpoint() {
+  const auto checkpoint_start = Clock::now();
+  const bool ok = CheckpointLocked();
+  global_.checkpoint_us +=
+      std::chrono::duration<double, std::micro>(Clock::now() - checkpoint_start)
+          .count();
+  return ok;
+}
+
+bool ScalerDaemon::CheckpointLocked() {
+  if (options_.checkpoint_path.empty()) {
+    ++global_.checkpoint_failures;
+    return false;
+  }
+  DaemonCheckpoint checkpoint;
+  checkpoint.tick = tick_count();
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, state] : shard.apps) {
+      DaemonAppCheckpoint app;
+      app.id = id;
+      app.forecaster = std::string(state.forecaster->name());
+      app.observed = state.observed;
+      app.last_epoch = state.last_epoch;
+      app.has_epoch = state.has_epoch;
+      app.has_last_good = state.has_last_good;
+      app.last_good = state.last_good;
+      app.quarantined_until = state.quarantined_until;
+      app.consecutive_faults = state.consecutive_faults;
+      const std::span<const double> window = RingWindow(state);
+      app.ring.assign(window.begin(), window.end());
+      checkpoint.apps.push_back(std::move(app));
+    }
+  }
+  long long truncate_to = -1;
+  if (injector_.enabled() && injector_.Fire(FaultSite::kCheckpointTruncate, 0)) {
+    // Torn-write model: measure the full snapshot, then publish a prefix.
+    std::ostringstream sized;
+    SaveDaemonCheckpoint(checkpoint, sized);
+    const std::size_t total = sized.str().size();
+    truncate_to = static_cast<long long>(
+        injector_.Draw(FaultSite::kCheckpointTruncate, 0) * static_cast<double>(total));
+  }
+  std::size_t bytes = 0;
+  const bool ok =
+      SaveDaemonCheckpointFile(checkpoint, options_.checkpoint_path, &bytes, truncate_to);
+  if (ok) {
+    ++global_.checkpoints;
+    global_.checkpoint_bytes = bytes;
+  } else {
+    ++global_.checkpoint_failures;
+  }
+  return ok;
+}
+
+std::size_t ScalerDaemon::RestoreFromCheckpoint() {
+  DaemonCheckpoint checkpoint;
+  const bool complete =
+      LoadDaemonCheckpointFile(options_.checkpoint_path, &checkpoint);
+  if (!complete && checkpoint.apps.empty() && checkpoint.tick == 0) {
+    return 0;  // Missing/unreadable/empty: cold start.
+  }
+  if (!complete) {
+    ++global_.restore_incomplete;
+  }
+  if (checkpoint.tick > tick_count()) {
+    tick_count_.store(checkpoint.tick, std::memory_order_relaxed);
+  }
+  std::size_t restored = 0;
+  for (DaemonAppCheckpoint& app : checkpoint.apps) {
+    Shard& shard = *shards_[ShardIndex(app.id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, created] = shard.apps.try_emplace(app.id);
+    if (!created) {
+      continue;  // Live state wins over the snapshot.
+    }
+    AppState& state = it->second;
+    state.id = app.id;
+    std::unique_ptr<Forecaster> forecaster = MakeForecasterByName(app.forecaster);
+    state.forecaster = forecaster != nullptr ? std::move(forecaster)
+                                             : prototype_->Clone();
+    state.ring = std::move(app.ring);
+    if (state.ring.size() > ring_capacity_) {
+      state.ring.erase(state.ring.begin(),
+                       state.ring.end() - static_cast<std::ptrdiff_t>(ring_capacity_));
+    }
+    state.observed = app.observed;
+    state.last_epoch = app.last_epoch;
+    state.has_epoch = app.has_epoch;
+    state.last_good = app.last_good;
+    state.has_last_good = app.has_last_good;
+    state.consecutive_faults = app.consecutive_faults;
+    state.health.observed = state.observed;
+    // Warm-resume the forecaster from the persisted ring; the next
+    // ForecastStreamed recognizes the seeded state (DESIGN.md §11).
+    state.session.SeedStreamed(*state.forecaster, RingWindow(state), state.observed,
+                               options_.history_window);
+    if (app.quarantined_until > tick_count()) {
+      state.quarantined_until = app.quarantined_until;
+      const std::size_t shard_index = ShardIndex(app.id);
+      wheel_.Schedule(app.quarantined_until - tick_count(),
+                      [this, shard_index, id = state.id]() {
+                        Shard& s = *shards_[shard_index];
+                        std::lock_guard<std::mutex> release_lock(s.mu);
+                        auto found = s.apps.find(id);
+                        if (found != s.apps.end() &&
+                            found->second.quarantined_until <= tick_count()) {
+                          found->second.quarantined_until = 0;
+                        }
+                      });
+    }
+    ++restored;
+  }
+  global_.restored_apps += restored;
+  return restored;
+}
+
+DaemonCounters ScalerDaemon::counters() const {
+  DaemonCounters total = global_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    AccumulateCounters(&total, shard->counters);
+  }
+  return total;
+}
+
+std::size_t ScalerDaemon::app_count() const {
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    count += shard->apps.size();
+  }
+  return count;
+}
+
+std::vector<Decision> ScalerDaemon::LatestDecisions() const {
+  std::vector<Decision> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.insert(out.end(), shard->latest.begin(), shard->latest.end());
+  }
+  return out;
+}
+
+double ScalerDaemon::LatestTarget(const std::string& app) const {
+  const Shard& shard = *shards_[ShardIndex(app)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.apps.find(app);
+  if (it == shard.apps.end()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return it->second.last_target;
+}
+
+std::vector<double> ScalerDaemon::DrainDecisionLatenciesUs() {
+  std::vector<double> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.insert(out.end(), shard->latencies_us.begin(), shard->latencies_us.end());
+    shard->latencies_us.clear();
+  }
+  return out;
+}
+
+ScalerDaemon::AppHealth ScalerDaemon::GetAppHealth(const std::string& app) const {
+  const Shard& shard = *shards_[ShardIndex(app)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.apps.find(app);
+  if (it == shard.apps.end()) {
+    return AppHealth{};
+  }
+  AppHealth health = it->second.health;
+  health.known = true;
+  health.quarantined = it->second.quarantined_until > tick_count();
+  return health;
+}
+
+void ScalerDaemon::SetFaultsForTest(const FaultSpec& spec) {
+  options_.faults = spec;
+  injector_.Reset(spec);
+}
+
+void ScalerDaemon::Start() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  stop_requested_ = false;
+  tick_thread_ = std::thread([this]() {
+    const auto interval = std::chrono::duration<double, std::milli>(
+        std::max(options_.tick_interval_ms, 1.0));
+    auto next = Clock::now() + std::chrono::duration_cast<Clock::duration>(interval);
+    std::unique_lock<std::mutex> run_lock(run_mu_);
+    while (!stop_requested_) {
+      if (run_cv_.wait_until(run_lock, next, [this]() { return stop_requested_; })) {
+        break;
+      }
+      run_lock.unlock();
+      TickOnce();
+      run_lock.lock();
+      next += std::chrono::duration_cast<Clock::duration>(interval);
+    }
+  });
+}
+
+void ScalerDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!running_) {
+      return;
+    }
+    stop_requested_ = true;
+  }
+  run_cv_.notify_all();
+  if (tick_thread_.joinable()) {
+    tick_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(run_mu_);
+  running_ = false;
+}
+
+}  // namespace femux

@@ -1,0 +1,286 @@
+// Fault-tolerant multi-tenant online scaler daemon (DESIGN.md §13).
+//
+// This is the long-running service form of the serving hot path: queue-proxy
+// style metric pushes from many applications arrive concurrently into
+// bounded per-shard queues (backpressure = drop + count, never block or
+// grow unbounded), and a timer wheel drives the 2 s autoscaler tick that
+// drains the queues and produces one scaling decision per app. Per-app
+// serving state is the same IncrementalSession + bounded series ring the
+// simulator uses (DESIGN.md §7/§11), sharded by app-id hash so tick work
+// parallelizes over shards on the process thread pool.
+//
+// Robustness is structural, not bolted on:
+//  - Every per-app decision runs under a deadline with a degradation
+//    ladder: incremental forecast (with bounded retry + exponential
+//    backoff + jitter for transient faults) → last successfully forecast
+//    plan → Knative-style moving average of the ring. Each rung is
+//    counted per app and globally.
+//  - A watchdog quarantines apps whose forecaster faults repeatedly:
+//    quarantined apps are served from the moving-average rung (never
+//    dropped) until their release tick, so one poisoned tenant cannot
+//    take down the tick loop or starve its neighbors.
+//  - Malformed ingestion (non-finite/negative values, duplicate or
+//    out-of-order epochs) is rejected per push with typed accounting; a
+//    forward epoch gap is accepted (the ring just misses samples) and
+//    counted.
+//  - Crash safety: the daemon periodically checkpoints every app's ring +
+//    resilience bookkeeping through src/core/serialize's torn-write-proof
+//    record format (atomic tmp + rename), and a restarted daemon
+//    warm-resumes from whatever valid prefix survives.
+//
+// All failure behavior is driveable by the deterministic fault injector in
+// src/serve/fault.h, so chaos tests replay byte-identical fault schedules.
+//
+// Threading model: Push() is safe from any number of producer threads.
+// TickOnce()/Start()/Stop()/Checkpoint()/RestoreFromCheckpoint() must be
+// serialized by the caller (Start() owns the tick thread in real-time
+// mode). Counter/decision accessors are safe concurrently with pushes but
+// take the shard locks.
+#ifndef SRC_SERVE_SCALER_DAEMON_H_
+#define SRC_SERVE_SCALER_DAEMON_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/serialize.h"
+#include "src/forecast/forecaster.h"
+#include "src/serve/fault.h"
+#include "src/serve/timer_wheel.h"
+
+namespace femux {
+
+// One queue-proxy metric sample: the average concurrency observed for
+// `app` during scaling epoch `epoch`. Epochs are per-app monotone.
+struct MetricPush {
+  std::string app;
+  std::uint64_t epoch = 0;
+  double value = 0.0;
+};
+
+struct RetryPolicy {
+  int max_attempts = 3;           // Total forecast attempts per decision.
+  double base_backoff_ms = 0.5;   // First retry backoff.
+  double max_backoff_ms = 8.0;    // Exponential growth cap.
+  double jitter = 0.5;            // Backoff multiplied by 1 + jitter * U[0,1).
+};
+
+struct ScalerDaemonOptions {
+  std::size_t shards = 4;
+  std::size_t queue_capacity = 4096;  // Per shard; overflow drops (backpressure).
+  double tick_interval_ms = 2000.0;   // Knative autoscaler tick (§3.2).
+  double decision_deadline_ms = 5.0;  // Per-app decision budget (§5.2).
+  std::string forecaster = "holt";    // Registry name for per-app forecasters.
+  std::size_t history_window = kDefaultHistoryMinutes;
+  double margin = 1.0;                // Forecast headroom multiplier.
+  // Moving-average rung: mean of the last `fallback_window` ring samples
+  // (Knative's stable-mode 60 s window at 2 s ticks = 30 samples).
+  std::size_t fallback_window = 30;
+  RetryPolicy retry;
+  std::uint32_t quarantine_threshold = 3;  // Consecutive faulted decisions.
+  std::uint64_t quarantine_ticks = 8;      // Release after this many ticks.
+  std::size_t checkpoint_every_ticks = 0;  // 0 = no periodic checkpoints.
+  std::string checkpoint_path;
+  FaultSpec faults;            // Deterministic injection; default: disabled.
+  std::uint64_t jitter_seed = 0x5ca1ab1e;  // Backoff-jitter RNG seed.
+  bool parallel_shards = true;  // ParallelFor over shards in TickOnce().
+  // Injected forecast delays and retry backoffs normally advance a virtual
+  // clock that counts against the deadline (deterministic, test-friendly).
+  // The load bench flips this to burn real time so latency percentiles
+  // reflect the injected spikes.
+  bool spin_on_injected_delay = false;
+};
+
+enum class DecisionSource : int {
+  kForecast = 0,     // Incremental forecast succeeded within deadline.
+  kLastGood,         // Degraded to the last successfully forecast plan.
+  kMovingAverage,    // Degraded to the reactive moving-average rung.
+  kQuarantined,      // App quarantined; served from the moving average.
+};
+
+struct Decision {
+  std::string app;
+  double target = 0.0;
+  DecisionSource source = DecisionSource::kForecast;
+  std::uint64_t tick = 0;
+};
+
+// Health counters, aggregated over shards. Everything the resilience layer
+// does is observable here; the bench exports this block as JSON next to
+// the cache/SIMD capability blocks.
+struct DaemonCounters {
+  // Ingestion.
+  std::uint64_t pushes = 0;            // Accepted into a queue.
+  std::uint64_t drops = 0;             // Rejected: queue full (backpressure).
+  std::uint64_t corrupt_rejected = 0;  // Non-finite or negative value.
+  std::uint64_t stale_or_duplicate = 0;  // Epoch <= newest applied epoch.
+  std::uint64_t epoch_gaps = 0;        // Forward epoch jumps > +1.
+  std::uint64_t late_applied = 0;      // Held a tick by the late-push fault.
+  // Decisions.
+  std::uint64_t decisions = 0;
+  std::uint64_t forecast_ok = 0;
+  std::uint64_t degraded_last_good = 0;
+  std::uint64_t degraded_moving_avg = 0;
+  std::uint64_t quarantined_decisions = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t forecast_faults = 0;   // Thrown/typed-error forecast attempts.
+  std::uint64_t stream_errors = 0;     // Typed session errors specifically.
+  std::uint64_t quarantines = 0;       // Quarantine entries.
+  std::uint64_t clock_skew_applied = 0;
+  // Checkpoints.
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::uint64_t checkpoint_bytes = 0;  // Size of the newest checkpoint.
+  std::uint64_t restored_apps = 0;
+  std::uint64_t restore_incomplete = 0;  // Restores that recovered a prefix.
+  // Tick-phase timings (per-component breakdown, Li et al. style).
+  std::uint64_t ticks = 0;
+  double ingest_us = 0.0;
+  double decide_us = 0.0;
+  double checkpoint_us = 0.0;
+
+  std::string ToJson() const;
+};
+
+class ScalerDaemon {
+ public:
+  explicit ScalerDaemon(const ScalerDaemonOptions& options);
+  ~ScalerDaemon();
+
+  ScalerDaemon(const ScalerDaemon&) = delete;
+  ScalerDaemon& operator=(const ScalerDaemon&) = delete;
+
+  // Thread-safe ingestion. Returns false when the push was not accepted
+  // (shard queue full, i.e. backpressure) — the caller may retry later.
+  // Injected push faults (corrupt/duplicate/reorder/late) are applied here,
+  // before the queue, modelling a lossy queue-proxy → autoscaler path.
+  bool Push(const MetricPush& push);
+
+  // One autoscaler tick: advances the timer wheel (periodic checkpoints,
+  // quarantine releases), drains every shard queue, then runs the decision
+  // ladder for every registered app. Deterministic given the same pushes,
+  // options, and fault spec.
+  void TickOnce();
+
+  // Real-time mode: a background thread calls TickOnce() every
+  // tick_interval_ms until Stop(). Stop() is idempotent and also runs in
+  // the destructor.
+  void Start();
+  void Stop();
+
+  // Snapshots all per-app state through src/core/serialize (atomic tmp +
+  // rename; torn-write-proof record format). Returns false on IO failure.
+  // Requires options.checkpoint_path to be set.
+  bool Checkpoint();
+
+  // Warm-resumes from options.checkpoint_path. Apps present in the valid
+  // prefix of the checkpoint are restored with their rings re-seeded into
+  // fresh forecasters; returns the number of apps restored (0 on a
+  // missing/unreadable file — the daemon simply starts cold).
+  std::size_t RestoreFromCheckpoint();
+
+  // Aggregated across shards.
+  DaemonCounters counters() const;
+  std::size_t app_count() const;
+  std::uint64_t tick_count() const {
+    return tick_count_.load(std::memory_order_relaxed);
+  }
+
+  // Decisions produced by the most recent tick, ordered by (shard, app id)
+  // — deterministic.
+  std::vector<Decision> LatestDecisions() const;
+
+  // Newest target for one app; NaN when the app is unknown.
+  double LatestTarget(const std::string& app) const;
+
+  // Per-decision wall latencies (microseconds) accumulated since the last
+  // drain; the load bench computes p50/p99 from these.
+  std::vector<double> DrainDecisionLatenciesUs();
+
+  // Degradation/fault counters for one app (testing/inspection).
+  struct AppHealth {
+    bool known = false;
+    bool quarantined = false;
+    std::uint64_t degraded_last_good = 0;
+    std::uint64_t degraded_moving_avg = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t observed = 0;
+  };
+  AppHealth GetAppHealth(const std::string& app) const;
+
+  // Replaces the fault spec (deterministic chaos phases in tests: run N
+  // clean ticks, then inject). Not thread-safe against an active tick.
+  void SetFaultsForTest(const FaultSpec& spec);
+
+ private:
+  struct AppState {
+    std::string id;
+    std::unique_ptr<Forecaster> forecaster;
+    IncrementalSession session;
+    std::vector<double> ring;  // Compacted amortized-O(1); tail is current.
+    std::size_t observed = 0;
+    std::uint64_t last_epoch = 0;
+    bool has_epoch = false;
+    double last_good = 0.0;
+    bool has_last_good = false;
+    std::uint32_t consecutive_faults = 0;
+    std::uint64_t quarantined_until = 0;  // Tick; 0 = not quarantined.
+    double last_target = 0.0;
+    AppHealth health;  // known/quarantined filled on read.
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::deque<MetricPush> queue;
+    std::vector<MetricPush> delayed;  // Late-push fault: applied next tick.
+    std::map<std::string, AppState> apps;  // Ordered: deterministic walks.
+    DaemonCounters counters;
+    std::vector<double> latencies_us;
+    std::vector<Decision> latest;
+    std::vector<std::string> newly_quarantined;  // Drained by the tick thread.
+  };
+
+  std::size_t ShardIndex(const std::string& app) const;
+  static std::uint64_t AppStream(const std::string& app);
+  void DrainShard(Shard& shard);
+  void DecideShard(Shard& shard, std::uint64_t tick);
+  void ApplyPush(Shard& shard, const MetricPush& push);
+  Decision DecideApp(Shard& shard, AppState& state, std::uint64_t tick);
+  double MovingAverageTarget(const AppState& state) const;
+  std::span<const double> RingWindow(const AppState& state) const;
+  void CompactRing(AppState& state);
+  bool CheckpointLocked();
+
+  ScalerDaemonOptions options_;
+  std::unique_ptr<Forecaster> prototype_;
+  std::size_t ring_capacity_ = 0;
+  FaultInjector injector_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  TimerWheel wheel_;
+  // Written by the tick thread, read by accessors on any thread (relaxed:
+  // it is a progress counter, never a synchronization point).
+  std::atomic<std::uint64_t> tick_count_{0};
+  bool checkpoint_due_ = false;  // Set by the wheel event, consumed in-tick.
+  DaemonCounters global_;  // Tick/checkpoint/restore counters (tick thread only).
+
+  std::thread tick_thread_;
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+const char* DecisionSourceName(DecisionSource source);
+
+}  // namespace femux
+
+#endif  // SRC_SERVE_SCALER_DAEMON_H_

@@ -1,5 +1,7 @@
 #include "src/trace/csv_io.h"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -22,7 +24,50 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   return fields;
 }
 
+// Full-consumption numeric parsing: "1.5x", "", and "nan" are rejected
+// instead of being truncated, throwing, or smuggling NaN into a trace.
+bool ParseFiniteDouble(const std::string& text, double* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, *out);
+  return result.ec == std::errc() && result.ptr == end && std::isfinite(*out);
+}
+
+bool ParseInt(const std::string& text, int* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, *out);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+void SetError(CsvParseError* error, const char* file, std::size_t line,
+              std::string reason) {
+  if (error != nullptr) {
+    error->file = file;
+    error->line = line;
+    error->reason = std::move(reason);
+  }
+}
+
+// Truncates a field for inclusion in an error message.
+std::string Excerpt(const std::string& field) {
+  constexpr std::size_t kMax = 32;
+  if (field.size() <= kMax) {
+    return field;
+  }
+  return field.substr(0, kMax) + "...";
+}
+
 }  // namespace
+
+std::string CsvParseError::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::ostringstream out;
+  out << file << ":" << line << ": " << reason;
+  return out.str();
+}
 
 void WriteDatasetCsv(const Dataset& dataset, std::ostream& configs, std::ostream& counts) {
   // Round-trippable doubles.
@@ -59,68 +104,142 @@ bool WriteDatasetCsvFiles(const Dataset& dataset, const std::string& configs_pat
   return configs.good() && counts.good();
 }
 
-Dataset ReadDatasetCsv(std::istream& configs, std::istream& counts) {
+Dataset ReadDatasetCsv(std::istream& configs, std::istream& counts,
+                       CsvParseError* error) {
+  if (error != nullptr) {
+    *error = {};
+  }
   Dataset dataset;
   std::string line;
+  std::size_t config_line = 0;
   // Metadata comment line.
-  if (std::getline(configs, line) && line.rfind("# dataset=", 0) == 0) {
-    std::istringstream meta(line.substr(2));
-    std::string token;
-    while (meta >> token) {
-      const auto eq = token.find('=');
-      if (eq == std::string::npos) {
-        continue;
+  if (std::getline(configs, line)) {
+    ++config_line;
+    if (line.rfind("# dataset=", 0) == 0) {
+      std::istringstream meta(line.substr(2));
+      std::string token;
+      while (meta >> token) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos) {
+          continue;
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "dataset") {
+          dataset.name = value;
+        } else if (key == "duration_days") {
+          if (!ParseInt(value, &dataset.duration_days) || dataset.duration_days < 0) {
+            SetError(error, "configs", config_line,
+                     "duration_days '" + Excerpt(value) + "' is not a valid count");
+            return {};
+          }
+        }
       }
-      const std::string key = token.substr(0, eq);
-      const std::string value = token.substr(eq + 1);
-      if (key == "dataset") {
-        dataset.name = value;
-      } else if (key == "duration_days") {
-        dataset.duration_days = std::stoi(value);
-      }
+      std::getline(configs, line);  // Header row.
+      ++config_line;
     }
-    std::getline(configs, line);  // Header row.
   }
   while (std::getline(configs, line)) {
+    ++config_line;
+    if (line.size() > kMaxCsvLineBytes) {
+      SetError(error, "configs", config_line, "line exceeds the CSV size limit");
+      return {};
+    }
     if (line.empty()) {
       continue;
     }
     const auto fields = SplitCsvLine(line);
     if (fields.size() != 10) {
+      SetError(error, "configs", config_line,
+               "expected 10 fields, got " + std::to_string(fields.size()) +
+                   " (truncated or malformed row)");
       return {};
     }
     AppTrace app;
     app.id = fields[0];
-    app.config.cpu_vcpu = std::stod(fields[1]);
-    app.config.memory_gb = std::stod(fields[2]);
-    app.config.container_concurrency = std::stoi(fields[3]);
-    app.config.min_scale = std::stoi(fields[4]);
+    struct DoubleField {
+      int index;
+      const char* name;
+      double* target;
+    };
+    const DoubleField double_fields[] = {
+        {1, "cpu_vcpu", &app.config.cpu_vcpu},
+        {2, "memory_gb", &app.config.memory_gb},
+        {7, "mean_execution_ms", &app.mean_execution_ms},
+        {8, "execution_sigma", &app.execution_sigma},
+        {9, "consumed_memory_mb", &app.consumed_memory_mb},
+    };
+    bool field_ok = true;
+    for (const DoubleField& f : double_fields) {
+      if (!ParseFiniteDouble(fields[f.index], f.target)) {
+        SetError(error, "configs", config_line,
+                 std::string(f.name) + " '" + Excerpt(fields[f.index]) +
+                     "' is not a finite number");
+        field_ok = false;
+        break;
+      }
+    }
+    if (!field_ok) {
+      return {};
+    }
+    if (!ParseInt(fields[3], &app.config.container_concurrency)) {
+      SetError(error, "configs", config_line,
+               "container_concurrency '" + Excerpt(fields[3]) + "' is not an integer");
+      return {};
+    }
+    if (!ParseInt(fields[4], &app.config.min_scale)) {
+      SetError(error, "configs", config_line,
+               "min_scale '" + Excerpt(fields[4]) + "' is not an integer");
+      return {};
+    }
     app.config.image = fields[5] == "custom" ? ImageType::kCustom : ImageType::kStandard;
     app.config.workload = fields[6] == "application" ? WorkloadType::kApplication
                           : fields[6] == "batch"     ? WorkloadType::kBatchJob
                                                      : WorkloadType::kFunction;
-    app.mean_execution_ms = std::stod(fields[7]);
-    app.execution_sigma = std::stod(fields[8]);
-    app.consumed_memory_mb = std::stod(fields[9]);
     dataset.apps.push_back(std::move(app));
   }
   std::size_t row = 0;
-  while (std::getline(counts, line) && row < dataset.apps.size()) {
+  std::size_t counts_line = 0;
+  while (std::getline(counts, line)) {
+    ++counts_line;
+    if (line.size() > kMaxCsvLineBytes) {
+      SetError(error, "counts", counts_line, "line exceeds the CSV size limit");
+      return {};
+    }
     if (line.empty()) {
       continue;
     }
+    if (row >= dataset.apps.size()) {
+      SetError(error, "counts", counts_line,
+               "more count rows than apps (" + std::to_string(dataset.apps.size()) +
+                   " declared in configs)");
+      return {};
+    }
     const auto fields = SplitCsvLine(line);
     if (fields.empty() || fields[0] != dataset.apps[row].id) {
+      SetError(error, "counts", counts_line,
+               "row id '" + Excerpt(fields.empty() ? "" : fields[0]) +
+                   "' does not match configs row '" + dataset.apps[row].id + "'");
       return {};
     }
     auto& mc = dataset.apps[row].minute_counts;
     mc.reserve(fields.size() - 1);
     for (std::size_t i = 1; i < fields.size(); ++i) {
-      mc.push_back(std::stod(fields[i]));
+      double value = 0.0;
+      if (!ParseFiniteDouble(fields[i], &value)) {
+        SetError(error, "counts", counts_line,
+                 "count field " + std::to_string(i) + " '" + Excerpt(fields[i]) +
+                     "' is not a finite number");
+        return {};
+      }
+      mc.push_back(value);
     }
     ++row;
   }
   if (row != dataset.apps.size()) {
+    SetError(error, "counts", counts_line,
+             "counts ended after " + std::to_string(row) + " rows, expected " +
+                 std::to_string(dataset.apps.size()));
     return {};
   }
   if (dataset.duration_days == 0 && !dataset.apps.empty()) {
@@ -131,13 +250,23 @@ Dataset ReadDatasetCsv(std::istream& configs, std::istream& counts) {
 }
 
 Dataset ReadDatasetCsvFiles(const std::string& configs_path,
-                            const std::string& counts_path) {
+                            const std::string& counts_path, CsvParseError* error) {
   std::ifstream configs(configs_path);
   std::ifstream counts(counts_path);
   if (!configs || !counts) {
+    if (error != nullptr) {
+      error->file = !configs ? configs_path : counts_path;
+      error->line = 0;
+      error->reason = "cannot open file";
+    }
     return {};
   }
-  return ReadDatasetCsv(configs, counts);
+  Dataset dataset = ReadDatasetCsv(configs, counts, error);
+  // Report file paths instead of the logical stream names.
+  if (error != nullptr && !error->ok()) {
+    error->file = error->file == "configs" ? configs_path : counts_path;
+  }
+  return dataset;
 }
 
 }  // namespace femux

@@ -5,12 +5,31 @@
 #ifndef SRC_TRACE_CSV_IO_H_
 #define SRC_TRACE_CSV_IO_H_
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "src/trace/trace.h"
 
 namespace femux {
+
+// Reported parse failure: which stream, which 1-based line, and why. CSVs
+// are user-supplied imports, so every malformed input — truncated rows,
+// non-numeric fields, absurdly long lines — must surface here instead of
+// producing silent zeros or undefined behavior.
+struct CsvParseError {
+  std::string file;  // "configs" or "counts" (file path for file wrappers).
+  std::size_t line = 0;
+  std::string reason;
+
+  bool ok() const { return reason.empty(); }
+  std::string ToString() const;
+};
+
+// Defensive cap on one CSV line; longer lines are rejected as malformed
+// (a count row for a 62-day minute trace is ~1 MB at worst; 16 MB leaves
+// two orders of headroom while still bounding a runaway/binary input).
+inline constexpr std::size_t kMaxCsvLineBytes = 16u << 20;
 
 // Writes `dataset` as two CSV streams. The counts stream has a row per app:
 // id,count0,count1,... The config stream has a header row.
@@ -22,10 +41,13 @@ bool WriteDatasetCsvFiles(const Dataset& dataset, const std::string& configs_pat
 
 // Reads a dataset written by WriteDatasetCsv. Detailed invocation windows
 // are not persisted (the CSV schema is the minute-count one). Returns an
-// empty dataset (no apps) on malformed input.
-Dataset ReadDatasetCsv(std::istream& configs, std::istream& counts);
+// empty dataset (no apps) on malformed input; when `error` is non-null it
+// carries the offending stream, line number, and reason.
+Dataset ReadDatasetCsv(std::istream& configs, std::istream& counts,
+                       CsvParseError* error = nullptr);
 Dataset ReadDatasetCsvFiles(const std::string& configs_path,
-                            const std::string& counts_path);
+                            const std::string& counts_path,
+                            CsvParseError* error = nullptr);
 
 }  // namespace femux
 

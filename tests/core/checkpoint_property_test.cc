@@ -1,0 +1,186 @@
+// Torn-write property: a daemon checkpoint truncated at EVERY byte offset
+// must load as a valid prefix of the original records (or fail cleanly as
+// empty) — never partial fields, never corrupt values, never a crash.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/serialize.h"
+
+namespace femux {
+namespace {
+
+// xorshift64: deterministic fixture values without <random>.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed ? seed : 1) {}
+  std::uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+};
+
+DaemonCheckpoint MakeFixture() {
+  Rng rng(0xfeedULL);
+  DaemonCheckpoint checkpoint;
+  checkpoint.tick = 12345;
+  for (int i = 0; i < 12; ++i) {
+    DaemonAppCheckpoint app;
+    // Ids exercise the token escaping: spaces, percent signs, an empty-ish
+    // suffix, and plain names.
+    switch (i % 4) {
+      case 0:
+        app.id = "app-" + std::to_string(i);
+        break;
+      case 1:
+        app.id = "tenant " + std::to_string(i) + " with spaces";
+        break;
+      case 2:
+        app.id = "100%-cpu-" + std::to_string(i);
+        break;
+      default:
+        app.id = "tab\tand\nnewline-" + std::to_string(i);
+        break;
+    }
+    app.forecaster = i % 2 == 0 ? "holt" : "moving_average";
+    app.observed = 100 + static_cast<std::uint64_t>(i);
+    app.last_epoch = 500 + static_cast<std::uint64_t>(i);
+    app.has_epoch = true;
+    app.has_last_good = i % 3 != 0;
+    app.last_good = rng.Uniform() * 50.0;
+    app.quarantined_until = i % 5 == 0 ? 12350 : 0;
+    app.consecutive_faults = static_cast<std::uint32_t>(i % 3);
+    const int ring_n = 1 + i * 3;
+    for (int j = 0; j < ring_n; ++j) {
+      app.ring.push_back(rng.Uniform() * 20.0);
+    }
+    checkpoint.apps.push_back(std::move(app));
+  }
+  return checkpoint;
+}
+
+void ExpectAppEq(const DaemonAppCheckpoint& actual, const DaemonAppCheckpoint& expected,
+                 std::size_t index) {
+  SCOPED_TRACE("record " + std::to_string(index));
+  EXPECT_EQ(actual.id, expected.id);
+  EXPECT_EQ(actual.forecaster, expected.forecaster);
+  EXPECT_EQ(actual.observed, expected.observed);
+  EXPECT_EQ(actual.last_epoch, expected.last_epoch);
+  EXPECT_EQ(actual.has_epoch, expected.has_epoch);
+  EXPECT_EQ(actual.has_last_good, expected.has_last_good);
+  EXPECT_DOUBLE_EQ(actual.last_good, expected.last_good);
+  EXPECT_EQ(actual.quarantined_until, expected.quarantined_until);
+  EXPECT_EQ(actual.consecutive_faults, expected.consecutive_faults);
+  ASSERT_EQ(actual.ring.size(), expected.ring.size());
+  for (std::size_t i = 0; i < actual.ring.size(); ++i) {
+    EXPECT_DOUBLE_EQ(actual.ring[i], expected.ring[i]);
+  }
+}
+
+TEST(CheckpointPropertyTest, RoundTripIsExact) {
+  const DaemonCheckpoint original = MakeFixture();
+  std::ostringstream out;
+  SaveDaemonCheckpoint(original, out);
+  std::istringstream in(out.str());
+  DaemonCheckpoint loaded;
+  ASSERT_TRUE(LoadDaemonCheckpoint(in, &loaded));
+  EXPECT_EQ(loaded.tick, original.tick);
+  ASSERT_EQ(loaded.apps.size(), original.apps.size());
+  for (std::size_t i = 0; i < loaded.apps.size(); ++i) {
+    ExpectAppEq(loaded.apps[i], original.apps[i], i);
+  }
+}
+
+TEST(CheckpointPropertyTest, EveryTruncationYieldsValidPrefixOrCleanFailure) {
+  const DaemonCheckpoint original = MakeFixture();
+  std::ostringstream out;
+  SaveDaemonCheckpoint(original, out);
+  const std::string blob = out.str();
+  ASSERT_GT(blob.size(), 100u);
+
+  std::size_t complete_loads = 0;
+  for (std::size_t cut = 0; cut <= blob.size(); ++cut) {
+    std::istringstream in(blob.substr(0, cut));
+    DaemonCheckpoint loaded;
+    const bool complete = LoadDaemonCheckpoint(in, &loaded);
+    if (complete) {
+      // Only the untruncated blob may load as complete.
+      EXPECT_EQ(cut, blob.size());
+      ++complete_loads;
+    }
+    // Whatever loaded must be an exact prefix of the original records.
+    ASSERT_LE(loaded.apps.size(), original.apps.size()) << "cut=" << cut;
+    for (std::size_t i = 0; i < loaded.apps.size(); ++i) {
+      ExpectAppEq(loaded.apps[i], original.apps[i], i);
+      if (::testing::Test::HasFatalFailure()) {
+        FAIL() << "corrupt record surfaced at cut=" << cut;
+      }
+    }
+    // Prefix lengths are monotone in the cut (a longer read never loses a
+    // previously valid record).
+    if (cut > 0) {
+      std::istringstream prev_in(blob.substr(0, cut - 1));
+      DaemonCheckpoint prev;
+      LoadDaemonCheckpoint(prev_in, &prev);
+      EXPECT_GE(loaded.apps.size(), prev.apps.size()) << "cut=" << cut;
+    }
+  }
+  EXPECT_EQ(complete_loads, 1u);
+}
+
+TEST(CheckpointPropertyTest, CorruptedBytesAreRejectedNotMisread) {
+  // Flipping any single character of a record line must invalidate that
+  // line (checksum) without breaking earlier records. Spot-check a spread
+  // of positions rather than all bytes to keep runtime bounded.
+  const DaemonCheckpoint original = MakeFixture();
+  std::ostringstream out;
+  SaveDaemonCheckpoint(original, out);
+  const std::string blob = out.str();
+  for (std::size_t pos = 0; pos < blob.size(); pos += 7) {
+    if (blob[pos] == '\n') {
+      continue;  // Deleting framing is the truncation case above.
+    }
+    std::string mutated = blob;
+    mutated[pos] = mutated[pos] == 'x' ? 'y' : 'x';
+    std::istringstream in(mutated);
+    DaemonCheckpoint loaded;
+    LoadDaemonCheckpoint(in, &loaded);
+    ASSERT_LE(loaded.apps.size(), original.apps.size()) << "pos=" << pos;
+    for (std::size_t i = 0; i < loaded.apps.size(); ++i) {
+      // Every surviving record must still match the original exactly: a
+      // bit flip may shorten the prefix, never alter recovered values.
+      ExpectAppEq(loaded.apps[i], original.apps[i], i);
+    }
+  }
+}
+
+TEST(CheckpointPropertyTest, FileTruncateHookPublishesLoadablePrefix) {
+  const DaemonCheckpoint original = MakeFixture();
+  const std::string path = ::testing::TempDir() + "femux_ckpt_property_test.ckpt";
+  std::size_t full_bytes = 0;
+  ASSERT_TRUE(SaveDaemonCheckpointFile(original, path, &full_bytes));
+  ASSERT_GT(full_bytes, 0u);
+  // Re-save with the torn-write hook cutting at 60% of the blob.
+  std::size_t torn_bytes = 0;
+  ASSERT_TRUE(SaveDaemonCheckpointFile(original, path, &torn_bytes,
+                                       static_cast<long long>(full_bytes * 3 / 5)));
+  EXPECT_LT(torn_bytes, full_bytes);
+  DaemonCheckpoint loaded;
+  EXPECT_FALSE(LoadDaemonCheckpointFile(path, &loaded));
+  EXPECT_LT(loaded.apps.size(), original.apps.size());
+  for (std::size_t i = 0; i < loaded.apps.size(); ++i) {
+    ExpectAppEq(loaded.apps[i], original.apps[i], i);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace femux

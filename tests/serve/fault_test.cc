@@ -1,0 +1,160 @@
+// Fault-injection framework: spec parsing, determinism (same seed → same
+// firing schedule), per-stream independence, and rate sanity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/fault.h"
+
+namespace femux {
+namespace {
+
+TEST(FaultSpecTest, ParsesFullSpec) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(FaultSpec::Parse(
+      "seed=42,forecast_throw=0.25,forecast_delay_ms=4.5@0.1,corrupt_push=0.01,"
+      "dup_push=0.02,reorder_push=0.03,late_push=0.04,clock_skew_ms=50@0.5,"
+      "checkpoint_truncate=0.75",
+      &spec, &error))
+      << error;
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.forecast_throw, 0.25);
+  EXPECT_DOUBLE_EQ(spec.forecast_delay_ms, 4.5);
+  EXPECT_DOUBLE_EQ(spec.forecast_delay_prob, 0.1);
+  EXPECT_DOUBLE_EQ(spec.corrupt_push, 0.01);
+  EXPECT_DOUBLE_EQ(spec.dup_push, 0.02);
+  EXPECT_DOUBLE_EQ(spec.reorder_push, 0.03);
+  EXPECT_DOUBLE_EQ(spec.late_push, 0.04);
+  EXPECT_DOUBLE_EQ(spec.clock_skew_ms, 50.0);
+  EXPECT_DOUBLE_EQ(spec.clock_skew_prob, 0.5);
+  EXPECT_DOUBLE_EQ(spec.checkpoint_truncate, 0.75);
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultSpecTest, EmptyStringDisablesEverything) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(FaultSpec::Parse("", &spec, &error));
+  EXPECT_FALSE(spec.any());
+}
+
+TEST(FaultSpecTest, BareDelayMeansAlways) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(FaultSpec::Parse("forecast_delay_ms=3", &spec, &error));
+  EXPECT_DOUBLE_EQ(spec.forecast_delay_ms, 3.0);
+  EXPECT_DOUBLE_EQ(spec.forecast_delay_prob, 1.0);
+}
+
+TEST(FaultSpecTest, RejectsMalformedInput) {
+  FaultSpec spec;
+  std::string error;
+  EXPECT_FALSE(FaultSpec::Parse("forecast_throw=1.5", &spec, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(FaultSpec::Parse("unknown_key=0.5", &spec, &error));
+  EXPECT_FALSE(FaultSpec::Parse("forecast_throw", &spec, &error));
+  EXPECT_FALSE(FaultSpec::Parse("forecast_throw=abc", &spec, &error));
+  EXPECT_FALSE(FaultSpec::Parse("seed=notanumber", &spec, &error));
+  EXPECT_FALSE(FaultSpec::Parse("forecast_delay_ms=2@1.5", &spec, &error));
+}
+
+std::vector<bool> FireSequence(std::uint64_t seed, FaultSite site,
+                               std::uint64_t stream, int n) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.forecast_throw = 0.3;
+  spec.corrupt_push = 0.3;
+  FaultInjector injector(spec);
+  std::vector<bool> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(injector.Fire(site, stream));
+  }
+  return out;
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  const auto a = FireSequence(7, FaultSite::kForecastThrow, 123, 500);
+  const auto b = FireSequence(7, FaultSite::kForecastThrow, 123, 500);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiffer) {
+  const auto a = FireSequence(7, FaultSite::kForecastThrow, 123, 500);
+  const auto b = FireSequence(8, FaultSite::kForecastThrow, 123, 500);
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultInjectorTest, StreamsAreIndependent) {
+  // Interleaving draws from another stream must not shift this stream's
+  // schedule — that is what makes producer-thread interleavings replayable.
+  FaultSpec spec;
+  spec.seed = 9;
+  spec.forecast_throw = 0.3;
+  FaultInjector solo(spec);
+  std::vector<bool> expected;
+  for (int i = 0; i < 200; ++i) {
+    expected.push_back(solo.Fire(FaultSite::kForecastThrow, 1));
+  }
+  FaultInjector interleaved(spec);
+  std::vector<bool> actual;
+  for (int i = 0; i < 200; ++i) {
+    interleaved.Fire(FaultSite::kForecastThrow, 2);  // Noise stream.
+    actual.push_back(interleaved.Fire(FaultSite::kForecastThrow, 1));
+    interleaved.Fire(FaultSite::kForecastThrow, 3);  // More noise.
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(FaultInjectorTest, FiringRateTracksProbability) {
+  FaultSpec spec;
+  spec.seed = 11;
+  spec.forecast_throw = 0.3;
+  FaultInjector injector(spec);
+  int fires = 0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    fires += injector.Fire(FaultSite::kForecastThrow, 5) ? 1 : 0;
+  }
+  EXPECT_GT(fires, kTrials * 0.2);
+  EXPECT_LT(fires, kTrials * 0.4);
+  EXPECT_EQ(injector.fired(FaultSite::kForecastThrow), static_cast<std::uint64_t>(fires));
+}
+
+TEST(FaultInjectorTest, DisabledSitesNeverFire) {
+  FaultSpec spec;
+  spec.seed = 3;
+  spec.forecast_throw = 1.0;  // Only this site is armed.
+  FaultInjector injector(spec);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.Fire(FaultSite::kCorruptPush, 1));
+    EXPECT_TRUE(injector.Fire(FaultSite::kForecastThrow, 1));
+  }
+  EXPECT_EQ(injector.fired(FaultSite::kCorruptPush), 0u);
+}
+
+TEST(FaultInjectorTest, ResetRestartsSequences) {
+  FaultSpec spec;
+  spec.seed = 21;
+  spec.forecast_throw = 0.5;
+  FaultInjector injector(spec);
+  std::vector<bool> first;
+  for (int i = 0; i < 100; ++i) {
+    first.push_back(injector.Fire(FaultSite::kForecastThrow, 4));
+  }
+  injector.Reset(spec);
+  std::vector<bool> second;
+  for (int i = 0; i < 100; ++i) {
+    second.push_back(injector.Fire(FaultSite::kForecastThrow, 4));
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(injector.fired(FaultSite::kForecastThrow),
+            static_cast<std::uint64_t>(
+                std::count(second.begin(), second.end(), true)));
+}
+
+}  // namespace
+}  // namespace femux

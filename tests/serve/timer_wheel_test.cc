@@ -1,0 +1,78 @@
+// Timer wheel: due-order firing, cancellation, periodic rescheduling, and
+// wrap-around past the slot count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/serve/timer_wheel.h"
+
+namespace femux {
+namespace {
+
+TEST(TimerWheelTest, FiresAtDueTickInScheduleOrder) {
+  TimerWheel wheel(8);
+  std::vector<int> fired;
+  wheel.Schedule(2, [&] { fired.push_back(1); });
+  wheel.Schedule(1, [&] { fired.push_back(2); });
+  wheel.Schedule(2, [&] { fired.push_back(3); });
+
+  wheel.Advance();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+  wheel.Advance();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, ZeroDelayClampsToNextTick) {
+  TimerWheel wheel(4);
+  int fired = 0;
+  wheel.Schedule(0, [&] { ++fired; });
+  EXPECT_EQ(fired, 0);
+  wheel.Advance();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, CancelRemovesPendingEvent) {
+  TimerWheel wheel(4);
+  int fired = 0;
+  const std::uint64_t id = wheel.Schedule(1, [&] { ++fired; });
+  EXPECT_TRUE(wheel.Cancel(id));
+  EXPECT_FALSE(wheel.Cancel(id));
+  wheel.Advance();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, LongDelaysSurviveWrapAround) {
+  TimerWheel wheel(4);  // Delay of 10 wraps the 4-slot wheel twice.
+  int fired = 0;
+  wheel.Schedule(10, [&] { ++fired; });
+  for (int i = 0; i < 9; ++i) {
+    wheel.Advance();
+    EXPECT_EQ(fired, 0) << "fired early at tick " << wheel.now();
+  }
+  wheel.Advance();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, PeriodicReschedulingFromCallback) {
+  TimerWheel wheel(4);
+  std::vector<std::uint64_t> fire_ticks;
+  struct Rearm {
+    TimerWheel* wheel;
+    std::vector<std::uint64_t>* ticks;
+    void operator()() const {
+      ticks->push_back(wheel->now());
+      wheel->Schedule(4, Rearm{wheel, ticks});  // Period == slot count.
+    }
+  };
+  wheel.Schedule(4, Rearm{&wheel, &fire_ticks});
+  for (int i = 0; i < 12; ++i) {
+    wheel.Advance();
+  }
+  EXPECT_EQ(fire_ticks, (std::vector<std::uint64_t>{4, 8, 12}));
+}
+
+}  // namespace
+}  // namespace femux

@@ -1,0 +1,227 @@
+// CSV import hardening: every malformed input — truncated rows, non-numeric
+// fields, NaN smuggling, row mismatches, absurd line lengths — must produce
+// a reported CsvParseError with the stream, 1-based line, and reason, and an
+// empty dataset. Covers both committed corrupt fixtures (the file wrappers)
+// and in-memory streams.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/trace/csv_io.h"
+
+namespace femux {
+namespace {
+
+const std::string kDataDir = FEMUX_TEST_DATA_DIR;
+
+constexpr char kHeader[] =
+    "id,cpu_vcpu,memory_gb,container_concurrency,min_scale,image,workload,"
+    "mean_execution_ms,execution_sigma,consumed_memory_mb";
+
+std::string ValidConfigs() {
+  std::ostringstream out;
+  out << "# dataset=t duration_days=0\n"
+      << kHeader << '\n'
+      << "a,1,0.5,1,0,standard,function,100,0,64\n"
+      << "b,2,1.5,4,1,custom,application,250,10,128\n";
+  return out.str();
+}
+
+Dataset Parse(const std::string& configs_text, const std::string& counts_text,
+              CsvParseError* error) {
+  std::istringstream configs(configs_text);
+  std::istringstream counts(counts_text);
+  return ReadDatasetCsv(configs, counts, error);
+}
+
+TEST(CsvCorruptTest, FixtureTinyValidPairLoads) {
+  CsvParseError error;
+  const Dataset dataset = ReadDatasetCsvFiles(kDataDir + "/tiny_valid_configs.csv",
+                                              kDataDir + "/tiny_valid_counts.csv",
+                                              &error);
+  ASSERT_TRUE(error.ok()) << error.ToString();
+  ASSERT_EQ(dataset.apps.size(), 2u);
+  EXPECT_EQ(dataset.apps[0].id, "tiny-app-0");
+  EXPECT_EQ(dataset.apps[1].minute_counts.size(), 6u);
+}
+
+TEST(CsvCorruptTest, FixtureBadFieldReportsLineAndReason) {
+  CsvParseError error;
+  const Dataset dataset =
+      ReadDatasetCsvFiles(kDataDir + "/corrupt_configs_bad_field.csv",
+                          kDataDir + "/tiny_valid_counts.csv", &error);
+  EXPECT_TRUE(dataset.apps.empty());
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.file, kDataDir + "/corrupt_configs_bad_field.csv");
+  EXPECT_EQ(error.line, 4u);  // 1-based: comment, header, good row, bad row.
+  EXPECT_NE(error.reason.find("memory_gb"), std::string::npos) << error.ToString();
+  EXPECT_NE(error.reason.find("not-a-number"), std::string::npos);
+  EXPECT_NE(error.ToString().find(":4:"), std::string::npos);
+}
+
+TEST(CsvCorruptTest, FixtureTruncatedRowReportsFieldCount) {
+  CsvParseError error;
+  const Dataset dataset =
+      ReadDatasetCsvFiles(kDataDir + "/corrupt_configs_truncated_row.csv",
+                          kDataDir + "/tiny_valid_counts.csv", &error);
+  EXPECT_TRUE(dataset.apps.empty());
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.line, 4u);
+  EXPECT_NE(error.reason.find("truncated"), std::string::npos) << error.ToString();
+}
+
+TEST(CsvCorruptTest, FixtureNonNumericCountReportsCountsStream) {
+  CsvParseError error;
+  const Dataset dataset =
+      ReadDatasetCsvFiles(kDataDir + "/tiny_valid_configs.csv",
+                          kDataDir + "/corrupt_counts_non_numeric.csv", &error);
+  EXPECT_TRUE(dataset.apps.empty());
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.file, kDataDir + "/corrupt_counts_non_numeric.csv");
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.reason.find("oops"), std::string::npos) << error.ToString();
+}
+
+TEST(CsvCorruptTest, MissingFileIsReported) {
+  CsvParseError error;
+  const Dataset dataset = ReadDatasetCsvFiles(kDataDir + "/no_such_configs.csv",
+                                              kDataDir + "/tiny_valid_counts.csv",
+                                              &error);
+  EXPECT_TRUE(dataset.apps.empty());
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.file, kDataDir + "/no_such_configs.csv");
+  EXPECT_EQ(error.reason, "cannot open file");
+}
+
+TEST(CsvCorruptTest, NanAndInfAreRejectedNotSmuggled) {
+  // std::stod would happily parse "nan"/"inf"; the reader must not.
+  for (const char* poison : {"nan", "inf", "-inf", "1e999"}) {
+    std::ostringstream configs;
+    configs << "# dataset=t duration_days=0\n"
+            << kHeader << '\n'
+            << "a,1," << poison << ",1,0,standard,function,100,0,64\n";
+    CsvParseError error;
+    const Dataset dataset = Parse(configs.str(), "a,1,2\n", &error);
+    EXPECT_TRUE(dataset.apps.empty()) << poison;
+    ASSERT_FALSE(error.ok()) << poison;
+    EXPECT_EQ(error.file, "configs");
+    EXPECT_EQ(error.line, 3u);
+    EXPECT_NE(error.reason.find("not a finite number"), std::string::npos);
+  }
+}
+
+TEST(CsvCorruptTest, PartialNumericFieldIsRejected) {
+  // "1.5x" must not silently parse as 1.5.
+  std::ostringstream configs;
+  configs << "# dataset=t duration_days=0\n"
+          << kHeader << '\n'
+          << "a,1.5x,0.5,1,0,standard,function,100,0,64\n";
+  CsvParseError error;
+  Parse(configs.str(), "a,1\n", &error);
+  ASSERT_FALSE(error.ok());
+  EXPECT_NE(error.reason.find("cpu_vcpu"), std::string::npos);
+}
+
+TEST(CsvCorruptTest, NonIntegerConcurrencyIsRejected) {
+  std::ostringstream configs;
+  configs << "# dataset=t duration_days=0\n"
+          << kHeader << '\n'
+          << "a,1,0.5,many,0,standard,function,100,0,64\n";
+  CsvParseError error;
+  Parse(configs.str(), "a,1\n", &error);
+  ASSERT_FALSE(error.ok());
+  EXPECT_NE(error.reason.find("container_concurrency"), std::string::npos);
+}
+
+TEST(CsvCorruptTest, BadDurationDaysIsRejected) {
+  CsvParseError error;
+  Parse("# dataset=t duration_days=soon\n" + std::string(kHeader) + "\n", "",
+        &error);
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_NE(error.reason.find("duration_days"), std::string::npos);
+}
+
+TEST(CsvCorruptTest, OverlongLineIsRejected) {
+  std::ostringstream configs;
+  configs << "# dataset=t duration_days=0\n" << kHeader << '\n';
+  configs << std::string(kMaxCsvLineBytes + 1, 'x') << '\n';
+  CsvParseError error;
+  const Dataset dataset = Parse(configs.str(), "", &error);
+  EXPECT_TRUE(dataset.apps.empty());
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_NE(error.reason.find("size limit"), std::string::npos);
+
+  // Same cap on the counts stream.
+  CsvParseError counts_error;
+  const Dataset counts_dataset =
+      Parse(ValidConfigs(), std::string(kMaxCsvLineBytes + 1, '1') + "\n",
+            &counts_error);
+  EXPECT_TRUE(counts_dataset.apps.empty());
+  ASSERT_FALSE(counts_error.ok());
+  EXPECT_EQ(counts_error.file, "counts");
+}
+
+TEST(CsvCorruptTest, CountRowIdMismatchIsRejected) {
+  CsvParseError error;
+  const Dataset dataset = Parse(ValidConfigs(), "a,1,2\nWRONG,3,4\n", &error);
+  EXPECT_TRUE(dataset.apps.empty());
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.file, "counts");
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.reason.find("WRONG"), std::string::npos);
+  EXPECT_NE(error.reason.find("does not match"), std::string::npos);
+}
+
+TEST(CsvCorruptTest, ExtraCountRowsAreRejected) {
+  CsvParseError error;
+  const Dataset dataset =
+      Parse(ValidConfigs(), "a,1,2\nb,3,4\nghost,5,6\n", &error);
+  EXPECT_TRUE(dataset.apps.empty());
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_NE(error.reason.find("more count rows"), std::string::npos);
+}
+
+TEST(CsvCorruptTest, PrematureCountsEndIsRejected) {
+  CsvParseError error;
+  const Dataset dataset = Parse(ValidConfigs(), "a,1,2\n", &error);
+  EXPECT_TRUE(dataset.apps.empty());
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.file, "counts");
+  EXPECT_NE(error.reason.find("expected 2"), std::string::npos) << error.ToString();
+}
+
+TEST(CsvCorruptTest, NullErrorPointerStillReturnsEmptyDataset) {
+  std::istringstream configs("# dataset=t duration_days=bad\n");
+  std::istringstream counts("");
+  const Dataset dataset = ReadDatasetCsv(configs, counts, nullptr);
+  EXPECT_TRUE(dataset.apps.empty());
+}
+
+TEST(CsvCorruptTest, RoundTripStillCleanAfterHardening) {
+  // The happy path is unchanged: write then read back, error stays ok().
+  Dataset dataset;
+  dataset.name = "rt";
+  dataset.duration_days = 1;
+  AppTrace app;
+  app.id = "rt-app";
+  app.mean_execution_ms = 12.5;
+  app.minute_counts = {1.0, 2.0, 3.0};
+  dataset.apps.push_back(app);
+  std::ostringstream configs_out;
+  std::ostringstream counts_out;
+  WriteDatasetCsv(dataset, configs_out, counts_out);
+  CsvParseError error;
+  const Dataset loaded = Parse(configs_out.str(), counts_out.str(), &error);
+  EXPECT_TRUE(error.ok()) << error.ToString();
+  ASSERT_EQ(loaded.apps.size(), 1u);
+  EXPECT_EQ(loaded.apps[0].id, "rt-app");
+  EXPECT_EQ(loaded.apps[0].minute_counts.size(), 3u);
+  EXPECT_EQ(error.ToString(), "ok");
+}
+
+}  // namespace
+}  // namespace femux
