@@ -1,0 +1,99 @@
+// Global operator new/delete replacement that counts allocations. See
+// alloc_hook.h for the gate protocol and why this lives outside any
+// library target. Every new form funnels through Counted(); every delete
+// form funnels through free() — the replacement must cover the whole
+// family or mixed new/delete pairs would corrupt the heap.
+#include "bench/alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* Counted(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAligned(std::size_t size, std::align_val_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t align = static_cast<std::size_t>(alignment);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded == 0 ? align : rounded);
+}
+
+}  // namespace
+
+namespace femux {
+
+std::uint64_t AllocHookCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace femux
+
+void* operator new(std::size_t size) {
+  void* p = Counted(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return Counted(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return Counted(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = CountedAligned(size, alignment);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return operator new(size, alignment);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return CountedAligned(size, alignment);
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return CountedAligned(size, alignment);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

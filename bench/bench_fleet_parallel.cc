@@ -357,7 +357,9 @@ int main(int argc, char** argv) {
     }
     out << "  },\n"
         << "  \"speedup_gate\": {\"skipped\": "
-        << (speedup_gate_skipped ? "true" : "false") << ", \"reason\": \""
+        << (speedup_gate_skipped ? "true" : "false")
+        << ", \"cores\": " << hardware
+        << ", \"configured_threads\": " << configured << ", \"reason\": \""
         << skip_reason << "\"},\n"
         << "  \"fleet\": {\"serial_seconds\": " << fleet_serial
         << ", \"parallel_seconds\": " << fleet_parallel

@@ -76,6 +76,14 @@ if [[ "$SKIP_BENCH" == "0" ]]; then
       --json="$ROOT/bench/out/fleet-scale-smoke.bench-scratch.json" || {
     echo "fleet-scale bench smoke FAILED (parity, memory gate, or runtime error)"; exit 1;
   }
+  # Real-scale smoke: 10^5 apps through the streaming sweep plus the
+  # allocation-count gate (exit is non-zero if the RSS ceiling or the
+  # zero-alloc hot-loop assert fails) — the tiny --smoke sizes above can't
+  # catch a memory-growth regression.
+  "$ROOT/build-release/bench/bench_fleet_scale" --scale-smoke \
+      --json="$ROOT/bench/out/fleet-scale-100k.bench-scratch.json" || {
+    echo "fleet-scale 10^5-app smoke FAILED (RSS ceiling or alloc gate)"; exit 1;
+  }
   cmake --build "$ROOT/build-release" --target bench_simd_kernels -j > /dev/null
   "$ROOT/build-release/bench/bench_simd_kernels" --smoke \
       --json="$ROOT/bench/out/simd-kernels-smoke.bench-scratch.json" || {

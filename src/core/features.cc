@@ -1,5 +1,6 @@
 #include "src/core/features.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/forecast/ar.h"
@@ -61,8 +62,18 @@ std::vector<Feature> DefaultFeatureSet() {
           Feature::kDensity};
 }
 
-FeatureExtractor::FeatureExtractor(std::vector<Feature> features)
-    : features_(std::move(features)) {}
+std::string FeatureModeName(FeatureMode mode) {
+  switch (mode) {
+    case FeatureMode::kExact:
+      return "exact";
+    case FeatureMode::kSketch:
+      return "sketch";
+  }
+  return "unknown";
+}
+
+FeatureExtractor::FeatureExtractor(std::vector<Feature> features, FeatureMode mode)
+    : features_(std::move(features)), mode_(mode) {}
 
 std::vector<double> FeatureExtractor::Extract(std::span<const double> block,
                                               double mean_execution_ms) const {
@@ -74,6 +85,16 @@ std::vector<double> FeatureExtractor::Extract(std::span<const double> block,
 void FeatureExtractor::ExtractInto(std::span<const double> block,
                                    double mean_execution_ms,
                                    Workspace* workspace) const {
+  if (mode_ == FeatureMode::kSketch) {
+    // Stream the block through a sketch and derive the row from it, so the
+    // training path computes exactly what a sketch-fed serving path would.
+    BlockSketch sketch;
+    for (double v : block) {
+      sketch.Add(v);
+    }
+    ExtractSketchInto(sketch, mean_execution_ms, workspace);
+    return;
+  }
   std::vector<double>& out = workspace->out;
   out.clear();
   out.reserve(features_.size());
@@ -103,6 +124,79 @@ void FeatureExtractor::ExtractInto(std::span<const double> block,
       case Feature::kHarmonics:
         out.push_back(SpectralConcentration(block, /*k=*/10));
         break;
+      case Feature::kDensity: {
+        double total = 0.0;
+        for (double v : block) {
+          total += v;
+        }
+        out.push_back(std::log10(1.0 + total));
+        break;
+      }
+      case Feature::kExecTime:
+        out.push_back(std::log10(1.0 + std::max(0.0, mean_execution_ms)));
+        break;
+    }
+  }
+}
+
+void FeatureExtractor::ExtractSketchInto(const BlockSketch& sketch,
+                                         double mean_execution_ms,
+                                         Workspace* workspace) const {
+  std::vector<double>& out = workspace->out;
+  out.clear();
+  out.reserve(features_.size());
+  for (Feature f : features_) {
+    switch (f) {
+      case Feature::kStationarity:
+        // Bounded like the clamped ADF stat; high persistence (trend/walk)
+        // maps high, bursty decorrelated series map near zero.
+        out.push_back(std::clamp(sketch.Lag1Autocorrelation(), -1.0, 1.0));
+        break;
+      case Feature::kLinearity:
+        // Dispersion stands in for nonlinearity; same clamp as |BDS|.
+        out.push_back(std::clamp(sketch.cv(), 0.0, 50.0));
+        break;
+      case Feature::kHarmonics:
+        // Periodic spikes concentrate mass in the upper quantiles.
+        out.push_back(std::log10(1.0 + std::max(0.0, sketch.Quantile90())));
+        break;
+      case Feature::kDensity:
+        // Identical to the exact feature: the sketch's running sum adds the
+        // block in the same forward order.
+        out.push_back(std::log10(1.0 + sketch.sum()));
+        break;
+      case Feature::kExecTime:
+        out.push_back(std::log10(1.0 + std::max(0.0, mean_execution_ms)));
+        break;
+    }
+  }
+}
+
+void FeatureExtractor::ExtractSketchReferenceInto(std::span<const double> block,
+                                                  double mean_execution_ms,
+                                                  Workspace* workspace) const {
+  // Exact versions of the sketch analogues (NOT the paper's exact features)
+  // — the oracle the sketch parity gates compare against.
+  std::vector<double>& out = workspace->out;
+  out.clear();
+  out.reserve(features_.size());
+  for (Feature f : features_) {
+    switch (f) {
+      case Feature::kStationarity:
+        out.push_back(std::clamp(Autocorrelation(block, 1), -1.0, 1.0));
+        break;
+      case Feature::kLinearity:
+        out.push_back(std::clamp(CoefficientOfVariation(block), 0.0, 50.0));
+        break;
+      case Feature::kHarmonics: {
+        workspace->sorted.assign(block.begin(), block.end());
+        std::sort(workspace->sorted.begin(), workspace->sorted.end());
+        const double p90 = workspace->sorted.empty()
+                               ? 0.0
+                               : QuantileSorted(workspace->sorted, 0.9);
+        out.push_back(std::log10(1.0 + std::max(0.0, p90)));
+        break;
+      }
       case Feature::kDensity: {
         double total = 0.0;
         for (double v : block) {

@@ -7,9 +7,12 @@ namespace femux {
 
 FemuxPolicy::FemuxPolicy(std::shared_ptr<const FemuxModel> model,
                          double mean_execution_ms, double margin)
-    : model_(std::move(model)), extractor_(model_->features),
+    : model_(std::move(model)),
+      extractor_(model_->features, model_->feature_mode),
       mean_execution_ms_(mean_execution_ms), margin_(margin) {
-  block_buffer_.reserve(model_->block_minutes);
+  if (model_->feature_mode == FeatureMode::kExact) {
+    block_buffer_.reserve(model_->block_minutes);
+  }
   current_index_ = model_->default_forecaster;
   forecaster_ = model_->MakeForecaster(current_index_);
   if (!model_->margins.empty()) {
@@ -36,8 +39,16 @@ std::span<const double> FemuxPolicy::RingWindow() const {
 }
 
 void FemuxPolicy::CompleteBlock() {
-  const std::vector<double> raw =
-      extractor_.Extract(block_buffer_, mean_execution_ms_);
+  std::vector<double> raw;
+  if (model_->feature_mode == FeatureMode::kSketch) {
+    FeatureExtractor::Workspace workspace;
+    extractor_.ExtractSketchInto(block_sketch_, mean_execution_ms_, &workspace);
+    raw = std::move(workspace.out);
+    block_sketch_.Reset();
+    block_samples_ = 0;
+  } else {
+    raw = extractor_.Extract(block_buffer_, mean_execution_ms_);
+  }
   const FemuxModel::Selection selected = model_->Select(raw);
   ++blocks_per_forecaster_[model_->forecaster_names[static_cast<std::size_t>(
       selected.forecaster)]];
@@ -75,9 +86,16 @@ double FemuxPolicy::TargetUnits(std::span<const double> demand_history) {
                        series_ring_.end() -
                            static_cast<std::ptrdiff_t>(ring_capacity_));
   }
-  block_buffer_.push_back(newest);
-  if (block_buffer_.size() >= model_->block_minutes) {
-    CompleteBlock();
+  if (model_->feature_mode == FeatureMode::kSketch) {
+    block_sketch_.Add(newest);
+    if (++block_samples_ >= model_->block_minutes) {
+      CompleteBlock();
+    }
+  } else {
+    block_buffer_.push_back(newest);
+    if (block_buffer_.size() >= model_->block_minutes) {
+      CompleteBlock();
+    }
   }
   return session_.ForecastStreamed(*forecaster_, RingWindow(), observed_,
                                    kDefaultHistoryMinutes) *

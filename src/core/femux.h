@@ -52,7 +52,12 @@ class FemuxPolicy final : public ScalingPolicy {
   FeatureExtractor extractor_;
   double mean_execution_ms_;
   double margin_;
+  // Exact mode buffers the current block resident (block_minutes doubles);
+  // sketch mode streams each sample into the O(1) sketch instead, so
+  // per-app block state is independent of the block length (DESIGN.md §14).
   std::vector<double> block_buffer_;
+  BlockSketch block_sketch_;
+  std::size_t block_samples_ = 0;  // Samples fed to the current sketch.
   std::unique_ptr<Forecaster> forecaster_;
   IncrementalSession session_;
   // Series ring: the policy keeps its own bounded copy of recent samples so

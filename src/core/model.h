@@ -25,6 +25,10 @@ struct FemuxModel {
   std::size_t refit_interval = 5;
 
   std::vector<Feature> features = DefaultFeatureSet();
+  // How block features were computed at training time; serving must use
+  // the same mode (the sketch analogues are different statistics, not
+  // approximations of the exact ones — see FeatureMode in features.h).
+  FeatureMode feature_mode = FeatureMode::kExact;
   std::size_t block_minutes = kDefaultBlockMinutes;
   Rum rum = Rum::Default();
 

@@ -73,6 +73,7 @@ void ConfigureModel(const Rum& rum, const TrainerOptions& options, FemuxModel* m
       options.forecaster_names.empty() ? DefaultNames() : options.forecaster_names;
   model->refit_interval = options.refit_interval;
   model->features = options.features;
+  model->feature_mode = options.feature_mode;
   model->block_minutes = options.block_minutes;
   model->rum = rum;
   model->classifier = options.classifier;
@@ -221,7 +222,7 @@ BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_i
   table.features.resize(num_apps);
 
   const bool exec_aware = IsExecAware(model);
-  const FeatureExtractor extractor(model.features);
+  const FeatureExtractor extractor(model.features, model.feature_mode);
 
   ParallelFor(
       num_apps,
@@ -356,7 +357,7 @@ StreamTrainResult TrainFemuxStream(const TraceSource& source, const Rum& rum,
   ConfigureModel(rum, options, &result.model);
   const FemuxModel& model = result.model;
   const bool exec_aware = IsExecAware(model);
-  const FeatureExtractor extractor(model.features);
+  const FeatureExtractor extractor(model.features, model.feature_mode);
 
   const std::size_t num_apps = source.app_count();
   const std::size_t chunk_apps = stream.chunk_apps == 0 ? 16 : stream.chunk_apps;
@@ -371,8 +372,14 @@ StreamTrainResult TrainFemuxStream(const TraceSource& source, const Rum& rum,
   std::size_t stride = 1;
 
   const auto sim_start = std::chrono::steady_clock::now();
-  result.peak_pending_chunks = ParallelOrderedChunks<std::vector<AppBlockRows>>(
-      num_chunks,
+  // Bounded ordered fold: one slow chunk cannot let fast workers pile up
+  // unbounded held-back row sets (each can be thousands of feature rows).
+  OrderedChunkOptions fold_options;
+  fold_options.threads = options.threads;
+  fold_options.max_pending_chunks =
+      2 * (options.threads > 0 ? options.threads : ConfiguredThreadCount()) + 2;
+  result.peak_pending_chunks = ParallelOrderedChunksBounded<std::vector<AppBlockRows>>(
+      num_chunks, fold_options,
       [&](std::size_t c) {
         const std::size_t begin = c * chunk_apps;
         const std::size_t end = std::min(num_apps, begin + chunk_apps);
@@ -420,8 +427,7 @@ StreamTrainResult TrainFemuxStream(const TraceSource& source, const Rum& rum,
             }
           }
         }
-      },
-      options.threads);
+      }).peak_pending_chunks;
   result.forecast_sim_seconds = SecondsSince(sim_start);
   result.rows_kept = rows.size();
   result.row_stride = stride;

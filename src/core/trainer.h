@@ -59,6 +59,9 @@ struct TrainerOptions {
   std::size_t clusters = 10;
   std::size_t refit_interval = 5;       // AR/SETAR coefficient-refit stride.
   std::vector<Feature> features = DefaultFeatureSet();
+  // kSketch trains on the O(1) streaming feature analogues; the mode is
+  // recorded in the model so serving extracts the same statistics.
+  FeatureMode feature_mode = FeatureMode::kExact;
   ClassifierKind classifier = ClassifierKind::kKMeans;
   SimOptions sim;                       // Epoch length, cold-start cost, ...
   std::size_t threads = 0;

@@ -4,6 +4,26 @@
 
 namespace femux {
 
+void ReactiveWindow::Begin(std::span<const double> history, std::size_t window) {
+  buffer_.assign(window == 0 ? 1 : window, 0.0);
+  start_ = 0;
+  count_ = std::min(buffer_.size(), history.size());
+  for (std::size_t i = 0; i < count_; ++i) {
+    buffer_[i] = history[history.size() - count_ + i];
+  }
+}
+
+void ReactiveWindow::Append(double value) {
+  if (buffer_.empty()) buffer_.assign(1, 0.0);
+  if (count_ < buffer_.size()) {
+    buffer_[(start_ + count_) % buffer_.size()] = value;
+    ++count_;
+  } else {
+    buffer_[start_] = value;
+    start_ = (start_ + 1) % buffer_.size();
+  }
+}
+
 MovingAverageForecaster::MovingAverageForecaster(std::size_t window)
     : window_(window == 0 ? 1 : window),
       name_("moving_average_" + std::to_string(window_)) {}
@@ -26,6 +46,26 @@ std::unique_ptr<Forecaster> MovingAverageForecaster::Clone() const {
   return std::make_unique<MovingAverageForecaster>(window_);
 }
 
+void MovingAverageForecaster::BeginWindow(std::span<const double> history,
+                                          std::size_t capacity) {
+  (void)capacity;  // The forecaster never looks past its own window.
+  recent_.Begin(history, window_);
+}
+
+void MovingAverageForecaster::ObserveAppend(double value) {
+  recent_.Append(value);
+}
+
+double MovingAverageForecaster::ForecastNext() {
+  double value = 0.0;
+  if (recent_.size() > 0) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < recent_.size(); ++i) sum += recent_.At(i);
+    value = sum / static_cast<double>(recent_.size());
+  }
+  return ClampPrediction(value);
+}
+
 KeepAliveForecaster::KeepAliveForecaster(std::size_t window_minutes)
     : window_(window_minutes == 0 ? 1 : window_minutes),
       name_("keep_alive_" + std::to_string(window_) + "min") {}
@@ -44,6 +84,22 @@ std::vector<double> KeepAliveForecaster::Forecast(std::span<const double> histor
 
 std::unique_ptr<Forecaster> KeepAliveForecaster::Clone() const {
   return std::make_unique<KeepAliveForecaster>(window_);
+}
+
+void KeepAliveForecaster::BeginWindow(std::span<const double> history,
+                                      std::size_t capacity) {
+  (void)capacity;
+  recent_.Begin(history, window_);
+}
+
+void KeepAliveForecaster::ObserveAppend(double value) { recent_.Append(value); }
+
+double KeepAliveForecaster::ForecastNext() {
+  double value = 0.0;
+  for (std::size_t i = 0; i < recent_.size(); ++i) {
+    value = std::max(value, recent_.At(i));
+  }
+  return ClampPrediction(value);
 }
 
 }  // namespace femux

@@ -67,6 +67,9 @@ void AccumulateCounters(DaemonCounters* total, const DaemonCounters& part) {
   total->forecast_faults += part.forecast_faults;
   total->stream_errors += part.stream_errors;
   total->quarantines += part.quarantines;
+  total->half_open_probes += part.half_open_probes;
+  total->quarantine_reopens += part.quarantine_reopens;
+  total->quarantine_releases += part.quarantine_releases;
   total->clock_skew_applied += part.clock_skew_applied;
   total->checkpoints += part.checkpoints;
   total->checkpoint_failures += part.checkpoint_failures;
@@ -110,6 +113,9 @@ std::string DaemonCounters::ToJson() const {
       << ", \"forecast_faults\": " << forecast_faults
       << ", \"stream_errors\": " << stream_errors
       << ", \"quarantines\": " << quarantines
+      << ", \"half_open_probes\": " << half_open_probes
+      << ", \"quarantine_reopens\": " << quarantine_reopens
+      << ", \"quarantine_releases\": " << quarantine_releases
       << ", \"clock_skew_applied\": " << clock_skew_applied
       << ", \"checkpoints\": " << checkpoints
       << ", \"checkpoint_failures\": " << checkpoint_failures
@@ -210,6 +216,12 @@ void ScalerDaemon::CompactRing(AppState& state) {
   }
 }
 
+const ScalerDaemon::AppState* ScalerDaemon::FindApp(const Shard& shard,
+                                                    const std::string& app) {
+  const auto it = shard.slots.find(app);
+  return it == shard.slots.end() ? nullptr : &shard.apps[it->second];
+}
+
 void ScalerDaemon::ApplyPush(Shard& shard, const MetricPush& push) {
   // Validation before registration: an app only exists once it has
   // delivered at least one well-formed sample.
@@ -217,8 +229,11 @@ void ScalerDaemon::ApplyPush(Shard& shard, const MetricPush& push) {
     ++shard.counters.corrupt_rejected;
     return;
   }
-  auto [it, created] = shard.apps.try_emplace(push.app);
-  AppState& state = it->second;
+  auto [it, created] = shard.slots.try_emplace(push.app, shard.apps.size());
+  if (created) {
+    shard.apps.emplace_back();
+  }
+  AppState& state = shard.apps[it->second];
   if (created) {
     state.id = push.app;
     state.forecaster = prototype_->Clone();
@@ -272,14 +287,24 @@ Decision ScalerDaemon::DecideApp(Shard& shard, AppState& state, std::uint64_t ti
   decision.app = state.id;
   decision.tick = tick;
 
-  // Quarantined tenants are served (never dropped), but only from the
-  // reactive rung — their forecaster has proven itself unhealthy.
-  if (state.quarantined_until > tick) {
-    decision.target = MovingAverageTarget(state);
-    decision.source = DecisionSource::kQuarantined;
-    ++shard.counters.quarantined_decisions;
-    state.last_target = decision.target;
-    return decision;
+  // Open breaker: the tenant is served (never dropped), but only from the
+  // reactive rung — its forecaster has proven itself unhealthy. When the
+  // open window lapses the breaker half-opens, and release becomes
+  // error-rate-driven: single-attempt probes below, not a timer event.
+  if (state.breaker == AppState::Breaker::kOpen) {
+    if (state.open_until > tick) {
+      decision.target = MovingAverageTarget(state);
+      decision.source = DecisionSource::kQuarantined;
+      ++shard.counters.quarantined_decisions;
+      state.last_target = decision.target;
+      return decision;
+    }
+    state.breaker = AppState::Breaker::kHalfOpen;
+    state.probe_successes = 0;
+  }
+  const bool probing = state.breaker == AppState::Breaker::kHalfOpen;
+  if (probing) {
+    ++shard.counters.half_open_probes;
   }
 
   const std::uint64_t stream = AppStream(state.id);
@@ -304,7 +329,9 @@ Decision ScalerDaemon::DecideApp(Shard& shard, AppState& state, std::uint64_t ti
 
   bool success = false;
   double value = 0.0;
-  const int max_attempts = std::max(options_.retry.max_attempts, 1);
+  // Half-open probes are single-attempt: one clean forecast is the signal;
+  // burning the retry budget on a still-broken forecaster is not.
+  const int max_attempts = probing ? 1 : std::max(options_.retry.max_attempts, 1);
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (elapsed_ms() > options_.decision_deadline_ms) {
       ++shard.counters.deadline_misses;
@@ -365,8 +392,14 @@ Decision ScalerDaemon::DecideApp(Shard& shard, AppState& state, std::uint64_t ti
     state.has_last_good = true;
     state.consecutive_faults = 0;
     ++shard.counters.forecast_ok;
+    if (probing &&
+        ++state.probe_successes >= options_.quarantine_probe_successes) {
+      state.breaker = AppState::Breaker::kClosed;
+      state.probe_successes = 0;
+      state.reopen_count = 0;
+      ++shard.counters.quarantine_releases;
+    }
   } else {
-    ++state.consecutive_faults;
     if (state.has_last_good) {
       decision.target = state.last_good;
       decision.source = DecisionSource::kLastGood;
@@ -378,14 +411,30 @@ Decision ScalerDaemon::DecideApp(Shard& shard, AppState& state, std::uint64_t ti
       ++shard.counters.degraded_moving_avg;
       ++state.health.degraded_moving_avg;
     }
-    if (state.consecutive_faults >= options_.quarantine_threshold) {
-      state.quarantined_until = tick + options_.quarantine_ticks;
+    if (probing) {
+      // Failed probe: re-open with exponential backoff on the window
+      // (doubled from the first failure), so a persistently broken tenant
+      // costs ever fewer probe attempts.
+      const std::uint32_t shift = std::min<std::uint32_t>(state.reopen_count + 1, 16);
+      const std::uint64_t window =
+          std::min(std::max<std::uint64_t>(options_.quarantine_ticks, 1) << shift,
+                   std::max<std::uint64_t>(options_.quarantine_max_backoff_ticks, 1));
+      state.breaker = AppState::Breaker::kOpen;
+      state.open_until = tick + window;
+      ++state.reopen_count;
       state.consecutive_faults = 0;
+      state.session.Invalidate();
+      ++shard.counters.quarantine_reopens;
+    } else if (++state.consecutive_faults >= options_.quarantine_threshold) {
+      state.breaker = AppState::Breaker::kOpen;
+      state.open_until = tick + std::max<std::uint64_t>(options_.quarantine_ticks, 1);
+      state.consecutive_faults = 0;
+      state.probe_successes = 0;
+      state.reopen_count = 0;
       // The forecaster's sliding state is suspect after repeated faults;
       // re-seed from the ring when the app comes back.
       state.session.Invalidate();
       ++shard.counters.quarantines;
-      shard.newly_quarantined.push_back(state.id);
     }
   }
   state.last_target = decision.target;
@@ -395,7 +444,8 @@ Decision ScalerDaemon::DecideApp(Shard& shard, AppState& state, std::uint64_t ti
 void ScalerDaemon::DecideShard(Shard& shard, std::uint64_t tick) {
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.latest.clear();
-  for (auto& [id, state] : shard.apps) {
+  for (const auto& [id, slot] : shard.slots) {
+    AppState& state = shard.apps[slot];
     const auto start = Clock::now();
     Decision decision = DecideApp(shard, state, tick);
     shard.latencies_us.push_back(ElapsedMs(start) * 1000.0);
@@ -433,30 +483,6 @@ void ScalerDaemon::TickOnce() {
     }
   }
 
-  // Quarantine releases ride the timer wheel: one event per entry, fired at
-  // the release tick (scheduling happens here, on the tick thread — the
-  // wheel is not touched from the parallel section).
-  for (std::size_t shard_index = 0; shard_index < shards_.size(); ++shard_index) {
-    Shard& shard = *shards_[shard_index];
-    std::vector<std::string> newly;
-    {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      newly.swap(shard.newly_quarantined);
-    }
-    for (std::string& app : newly) {
-      wheel_.Schedule(options_.quarantine_ticks,
-                      [this, shard_index, id = std::move(app)]() {
-                        Shard& s = *shards_[shard_index];
-                        std::lock_guard<std::mutex> lock(s.mu);
-                        auto it = s.apps.find(id);
-                        if (it != s.apps.end() &&
-                            it->second.quarantined_until <= tick_count()) {
-                          it->second.quarantined_until = 0;
-                        }
-                      });
-    }
-  }
-
   ++global_.ticks;
   if (checkpoint_due_) {
     checkpoint_due_ = false;
@@ -487,7 +513,8 @@ bool ScalerDaemon::CheckpointLocked() {
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& [id, state] : shard.apps) {
+    for (const auto& [id, slot] : shard.slots) {
+      const AppState& state = shard.apps[slot];
       DaemonAppCheckpoint app;
       app.id = id;
       app.forecaster = std::string(state.forecaster->name());
@@ -496,7 +523,13 @@ bool ScalerDaemon::CheckpointLocked() {
       app.has_epoch = state.has_epoch;
       app.has_last_good = state.has_last_good;
       app.last_good = state.last_good;
-      app.quarantined_until = state.quarantined_until;
+      // Checkpoint-format compatibility: the breaker persists through the
+      // legacy quarantined_until field — the open deadline when open, 0
+      // otherwise. A half-open breaker restores as closed; if the faults
+      // persist, the ladder simply re-opens it (probe/backoff progress is
+      // bookkeeping, not plan state, so losing it across a crash is safe).
+      app.quarantined_until =
+          state.breaker == AppState::Breaker::kOpen ? state.open_until : 0;
       app.consecutive_faults = state.consecutive_faults;
       const std::span<const double> window = RingWindow(state);
       app.ring.assign(window.begin(), window.end());
@@ -541,11 +574,12 @@ std::size_t ScalerDaemon::RestoreFromCheckpoint() {
   for (DaemonAppCheckpoint& app : checkpoint.apps) {
     Shard& shard = *shards_[ShardIndex(app.id)];
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto [it, created] = shard.apps.try_emplace(app.id);
+    auto [it, created] = shard.slots.try_emplace(app.id, shard.apps.size());
     if (!created) {
       continue;  // Live state wins over the snapshot.
     }
-    AppState& state = it->second;
+    shard.apps.emplace_back();
+    AppState& state = shard.apps[it->second];
     state.id = app.id;
     std::unique_ptr<Forecaster> forecaster = MakeForecasterByName(app.forecaster);
     state.forecaster = forecaster != nullptr ? std::move(forecaster)
@@ -567,18 +601,11 @@ std::size_t ScalerDaemon::RestoreFromCheckpoint() {
     state.session.SeedStreamed(*state.forecaster, RingWindow(state), state.observed,
                                options_.history_window);
     if (app.quarantined_until > tick_count()) {
-      state.quarantined_until = app.quarantined_until;
-      const std::size_t shard_index = ShardIndex(app.id);
-      wheel_.Schedule(app.quarantined_until - tick_count(),
-                      [this, shard_index, id = state.id]() {
-                        Shard& s = *shards_[shard_index];
-                        std::lock_guard<std::mutex> release_lock(s.mu);
-                        auto found = s.apps.find(id);
-                        if (found != s.apps.end() &&
-                            found->second.quarantined_until <= tick_count()) {
-                          found->second.quarantined_until = 0;
-                        }
-                      });
+      // An open breaker restores open with its persisted deadline; the
+      // half-open probe machinery then takes over lazily on the decision
+      // path (probe/backoff progress intentionally restarts from zero).
+      state.breaker = AppState::Breaker::kOpen;
+      state.open_until = app.quarantined_until;
     }
     ++restored;
   }
@@ -599,7 +626,7 @@ std::size_t ScalerDaemon::app_count() const {
   std::size_t count = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    count += shard->apps.size();
+    count += shard->slots.size();
   }
   return count;
 }
@@ -616,11 +643,11 @@ std::vector<Decision> ScalerDaemon::LatestDecisions() const {
 double ScalerDaemon::LatestTarget(const std::string& app) const {
   const Shard& shard = *shards_[ShardIndex(app)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.apps.find(app);
-  if (it == shard.apps.end()) {
+  const AppState* state = FindApp(shard, app);
+  if (state == nullptr) {
     return std::numeric_limits<double>::quiet_NaN();
   }
-  return it->second.last_target;
+  return state->last_target;
 }
 
 std::vector<double> ScalerDaemon::DrainDecisionLatenciesUs() {
@@ -636,13 +663,16 @@ std::vector<double> ScalerDaemon::DrainDecisionLatenciesUs() {
 ScalerDaemon::AppHealth ScalerDaemon::GetAppHealth(const std::string& app) const {
   const Shard& shard = *shards_[ShardIndex(app)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.apps.find(app);
-  if (it == shard.apps.end()) {
+  const AppState* state = FindApp(shard, app);
+  if (state == nullptr) {
     return AppHealth{};
   }
-  AppHealth health = it->second.health;
+  AppHealth health = state->health;
   health.known = true;
-  health.quarantined = it->second.quarantined_until > tick_count();
+  // Half-open is "recovering", not quarantined: probes are already being
+  // served from the real forecaster.
+  health.quarantined = state->breaker == AppState::Breaker::kOpen &&
+                       state->open_until > tick_count();
   return health;
 }
 

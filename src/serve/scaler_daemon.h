@@ -15,10 +15,15 @@
 //    backoff + jitter for transient faults) → last successfully forecast
 //    plan → Knative-style moving average of the ring. Each rung is
 //    counted per app and globally.
-//  - A watchdog quarantines apps whose forecaster faults repeatedly:
-//    quarantined apps are served from the moving-average rung (never
-//    dropped) until their release tick, so one poisoned tenant cannot
-//    take down the tick loop or starve its neighbors.
+//  - A watchdog opens a per-app circuit breaker when the forecaster
+//    faults repeatedly: while the breaker is open the app is served from
+//    the moving-average rung (never dropped), so one poisoned tenant
+//    cannot take down the tick loop or starve its neighbors. When the
+//    open window lapses the breaker half-opens and probes with
+//    single-attempt forecasts; `quarantine_probe_successes` consecutive
+//    clean probes close it, and a failed probe re-opens it with
+//    exponential backoff — release is error-rate-driven, not a fixed
+//    tick count.
 //  - Malformed ingestion (non-finite/negative values, duplicate or
 //    out-of-order epochs) is rejected per push with typed accounting; a
 //    forward epoch gap is accepted (the ring just misses samples) and
@@ -86,7 +91,12 @@ struct ScalerDaemonOptions {
   std::size_t fallback_window = 30;
   RetryPolicy retry;
   std::uint32_t quarantine_threshold = 3;  // Consecutive faulted decisions.
-  std::uint64_t quarantine_ticks = 8;      // Release after this many ticks.
+  std::uint64_t quarantine_ticks = 8;      // Initial breaker-open window.
+  // Half-open release: consecutive clean single-attempt probes needed to
+  // close the breaker, and the cap on the exponentially backed-off open
+  // window a failed probe re-arms (quarantine_ticks << reopens, capped).
+  std::uint32_t quarantine_probe_successes = 2;
+  std::uint64_t quarantine_max_backoff_ticks = 64;
   std::size_t checkpoint_every_ticks = 0;  // 0 = no periodic checkpoints.
   std::string checkpoint_path;
   FaultSpec faults;            // Deterministic injection; default: disabled.
@@ -134,7 +144,10 @@ struct DaemonCounters {
   std::uint64_t deadline_misses = 0;
   std::uint64_t forecast_faults = 0;   // Thrown/typed-error forecast attempts.
   std::uint64_t stream_errors = 0;     // Typed session errors specifically.
-  std::uint64_t quarantines = 0;       // Quarantine entries.
+  std::uint64_t quarantines = 0;       // Breaker-open entries (from closed).
+  std::uint64_t half_open_probes = 0;  // Single-attempt half-open decisions.
+  std::uint64_t quarantine_reopens = 0;   // Failed probes re-arming the breaker.
+  std::uint64_t quarantine_releases = 0;  // Breakers closed by clean probes.
   std::uint64_t clock_skew_applied = 0;
   // Checkpoints.
   std::uint64_t checkpoints = 0;
@@ -165,9 +178,10 @@ class ScalerDaemon {
   // before the queue, modelling a lossy queue-proxy → autoscaler path.
   bool Push(const MetricPush& push);
 
-  // One autoscaler tick: advances the timer wheel (periodic checkpoints,
-  // quarantine releases), drains every shard queue, then runs the decision
-  // ladder for every registered app. Deterministic given the same pushes,
+  // One autoscaler tick: advances the timer wheel (periodic checkpoints),
+  // drains every shard queue, then runs the decision ladder for every
+  // registered app (breaker open→half-open transitions happen lazily
+  // here, on the decision path). Deterministic given the same pushes,
   // options, and fault spec.
   void TickOnce();
 
@@ -223,6 +237,12 @@ class ScalerDaemon {
 
  private:
   struct AppState {
+    // Per-app circuit breaker: kClosed = normal ladder; kOpen = serve the
+    // moving-average rung until `open_until`; kHalfOpen = single-attempt
+    // probes until `quarantine_probe_successes` consecutive clean ones
+    // close it (a failed probe re-opens with exponential backoff).
+    enum class Breaker : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
     std::string id;
     std::unique_ptr<Forecaster> forecaster;
     IncrementalSession session;
@@ -233,7 +253,10 @@ class ScalerDaemon {
     double last_good = 0.0;
     bool has_last_good = false;
     std::uint32_t consecutive_faults = 0;
-    std::uint64_t quarantined_until = 0;  // Tick; 0 = not quarantined.
+    Breaker breaker = Breaker::kClosed;
+    std::uint64_t open_until = 0;       // Tick the open window lapses.
+    std::uint32_t probe_successes = 0;  // Consecutive clean half-open probes.
+    std::uint32_t reopen_count = 0;     // Failed probes; backoff exponent.
     double last_target = 0.0;
     AppHealth health;  // known/quarantined filled on read.
   };
@@ -242,15 +265,21 @@ class ScalerDaemon {
     mutable std::mutex mu;
     std::deque<MetricPush> queue;
     std::vector<MetricPush> delayed;  // Late-push fault: applied next tick.
-    std::map<std::string, AppState> apps;  // Ordered: deterministic walks.
+    // Dense app slab: per-app records live contiguously so the decision
+    // walk streams through memory instead of chasing map nodes at fleet
+    // scale. `slots` keeps the id-ordered view (deterministic walks,
+    // by-id lookup); slots are stable because apps are never dropped.
+    std::vector<AppState> apps;
+    std::map<std::string, std::size_t> slots;
     DaemonCounters counters;
     std::vector<double> latencies_us;
     std::vector<Decision> latest;
-    std::vector<std::string> newly_quarantined;  // Drained by the tick thread.
   };
 
   std::size_t ShardIndex(const std::string& app) const;
   static std::uint64_t AppStream(const std::string& app);
+  // By-id slab lookup; nullptr when unknown. Caller holds the shard lock.
+  static const AppState* FindApp(const Shard& shard, const std::string& app);
   void DrainShard(Shard& shard);
   void DecideShard(Shard& shard, std::uint64_t tick);
   void ApplyPush(Shard& shard, const MetricPush& push);

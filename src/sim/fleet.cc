@@ -10,39 +10,53 @@
 namespace femux {
 
 std::vector<double> DemandSeries(const AppTrace& app, double epoch_seconds) {
-  const std::vector<double> conc = AverageConcurrency(app);
+  SeriesWorkspace workspace;
+  std::vector<double> demand;
+  DemandSeriesInto(app, epoch_seconds, &workspace, &demand);
+  return demand;
+}
+
+std::vector<double> ArrivalSeries(const AppTrace& app, double epoch_seconds) {
+  std::vector<double> arrivals;
+  ArrivalSeriesInto(app, epoch_seconds, &arrivals);
+  return arrivals;
+}
+
+void DemandSeriesInto(const AppTrace& app, double epoch_seconds,
+                      SeriesWorkspace* workspace, std::vector<double>* out) {
+  AverageConcurrencyInto(app, &workspace->concurrency);
+  const std::vector<double>& conc = workspace->concurrency;
   const double limit = std::max(1, app.config.container_concurrency);
   // Sampling resolution of the trace itself (60 s for the Azure/IBM minute
   // grids, 1 s for the Huawei-like preset). The comparisons below are exact
   // for the minute grid, so the generalization is bit-identical there.
   const double sample_s =
       app.seconds_per_sample > 0 ? static_cast<double>(app.seconds_per_sample) : 60.0;
+  out->clear();
   if (epoch_seconds == sample_s) {
-    std::vector<double> demand(conc.size());
+    out->resize(conc.size());
     for (std::size_t m = 0; m < conc.size(); ++m) {
-      demand[m] = conc[m] / limit;
+      (*out)[m] = conc[m] / limit;
     }
-    return demand;
+    return;
   }
   if (epoch_seconds < sample_s) {
     // Uniform-within-sample assumption: each sub-epoch sees the sample's
     // average concurrency.
     const std::size_t per_sample =
         static_cast<std::size_t>(std::llround(sample_s / epoch_seconds));
-    std::vector<double> demand;
-    demand.reserve(conc.size() * per_sample);
+    out->reserve(conc.size() * per_sample);
     for (double c : conc) {
       for (std::size_t k = 0; k < per_sample; ++k) {
-        demand.push_back(c / limit);
+        out->push_back(c / limit);
       }
     }
-    return demand;
+    return;
   }
   // Coarser epochs: average the samples they cover.
   const std::size_t samples_per_epoch =
       static_cast<std::size_t>(std::llround(epoch_seconds / sample_s));
-  std::vector<double> demand;
-  demand.reserve(conc.size() / samples_per_epoch + 1);
+  out->reserve(conc.size() / samples_per_epoch + 1);
   for (std::size_t m = 0; m < conc.size(); m += samples_per_epoch) {
     double sum = 0.0;
     std::size_t n = 0;
@@ -50,42 +64,41 @@ std::vector<double> DemandSeries(const AppTrace& app, double epoch_seconds) {
       sum += conc[k];
       ++n;
     }
-    demand.push_back(n > 0 ? sum / static_cast<double>(n) / limit : 0.0);
+    out->push_back(n > 0 ? sum / static_cast<double>(n) / limit : 0.0);
   }
-  return demand;
 }
 
-std::vector<double> ArrivalSeries(const AppTrace& app, double epoch_seconds) {
+void ArrivalSeriesInto(const AppTrace& app, double epoch_seconds,
+                       std::vector<double>* out) {
   const std::vector<double>& counts = app.minute_counts;
   const double sample_s =
       app.seconds_per_sample > 0 ? static_cast<double>(app.seconds_per_sample) : 60.0;
+  out->clear();
   if (epoch_seconds == sample_s) {
-    return counts;
+    out->assign(counts.begin(), counts.end());
+    return;
   }
   if (epoch_seconds < sample_s) {
     const std::size_t per_sample =
         static_cast<std::size_t>(std::llround(sample_s / epoch_seconds));
-    std::vector<double> arrivals;
-    arrivals.reserve(counts.size() * per_sample);
+    out->reserve(counts.size() * per_sample);
     for (double c : counts) {
       for (std::size_t k = 0; k < per_sample; ++k) {
-        arrivals.push_back(c / static_cast<double>(per_sample));
+        out->push_back(c / static_cast<double>(per_sample));
       }
     }
-    return arrivals;
+    return;
   }
   const std::size_t samples_per_epoch =
       static_cast<std::size_t>(std::llround(epoch_seconds / sample_s));
-  std::vector<double> arrivals;
-  arrivals.reserve(counts.size() / samples_per_epoch + 1);
+  out->reserve(counts.size() / samples_per_epoch + 1);
   for (std::size_t m = 0; m < counts.size(); m += samples_per_epoch) {
     double sum = 0.0;
     for (std::size_t k = m; k < std::min(counts.size(), m + samples_per_epoch); ++k) {
       sum += counts[k];
     }
-    arrivals.push_back(sum);
+    out->push_back(sum);
   }
-  return arrivals;
 }
 
 namespace {

@@ -125,6 +125,20 @@ std::vector<double> DemandSeries(const AppTrace& app, double epoch_seconds);
 // Invocation arrivals per epoch on the same grid.
 std::vector<double> ArrivalSeries(const AppTrace& app, double epoch_seconds);
 
+// Reusable scratch for the arena forms below; one per worker thread in the
+// streaming fleet pipeline (DESIGN.md §14) so series expansion allocates
+// nothing once buffers reach steady-state capacity.
+struct SeriesWorkspace {
+  std::vector<double> concurrency;
+};
+
+// Arena forms of the series expansions: identical values in identical order
+// to the returning forms, written into reused buffers.
+void DemandSeriesInto(const AppTrace& app, double epoch_seconds,
+                      SeriesWorkspace* workspace, std::vector<double>* out);
+void ArrivalSeriesInto(const AppTrace& app, double epoch_seconds,
+                       std::vector<double>* out);
+
 }  // namespace femux
 
 #endif  // SRC_SIM_FLEET_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/sim/stream_fold.h"
+#include "src/sim/thread_pool.h"
 
 namespace femux {
 namespace {
@@ -15,6 +16,19 @@ namespace {
 struct ChunkMetrics {
   std::vector<SimMetrics> per_app;
   std::uint64_t epochs = 0;
+};
+
+// Per-worker reusable buffers for the no-cache path: the regenerated trace,
+// the series-expansion scratch, and the expanded demand/arrival series all
+// live in one thread-local arena, so once each buffer reaches the fleet's
+// steady-state size a worker simulates apps with no heap allocation beyond
+// the per-app policy clone and metrics row (verified by the allocation
+// hook in bench_fleet_scale).
+struct ChunkArena {
+  AppTrace app;
+  SeriesWorkspace series_workspace;
+  std::vector<double> demand;
+  std::vector<double> arrivals;
 };
 
 }  // namespace
@@ -29,40 +43,55 @@ FleetStreamResult SimulateFleetStream(const TraceSource& source,
   FleetStreamResult result;
   result.chunks = num_chunks;
 
-  result.peak_pending_chunks = ParallelOrderedChunks<ChunkMetrics>(
-      num_chunks,
+  OrderedChunkOptions fold_options;
+  fold_options.threads = options.threads;
+  if (options.max_pending_chunks > 0) {
+    fold_options.max_pending_chunks = options.max_pending_chunks;
+  } else {
+    const std::size_t participants =
+        options.threads > 0 ? options.threads : ConfiguredThreadCount();
+    fold_options.max_pending_chunks = 2 * participants + 2;
+  }
+
+  const OrderedChunkStats fold_stats = ParallelOrderedChunksBounded<ChunkMetrics>(
+      num_chunks, fold_options,
       [&](std::size_t c) {
         const std::size_t begin = c * chunk_apps;
         const std::size_t end = std::min(num_apps, begin + chunk_apps);
         ChunkMetrics chunk;
         chunk.per_app.reserve(end - begin);
+        thread_local ChunkArena arena;
         for (std::size_t i = begin; i < end; ++i) {
           // The app's traces, series, and policy live only for this
           // iteration; the metrics row is all that survives.
-          const AppTrace app = source.MakeApp(i);
+          source.MakeAppInto(i, &arena.app);
+          const AppTrace& app = arena.app;
           SimOptions app_options = options.sim;
           app_options.min_scale =
               options.respect_app_min_scale ? app.config.min_scale : 0;
           app_options.memory_gb_per_unit =
               app.consumed_memory_mb > 0.0 ? app.consumed_memory_mb / 1024.0
                                            : options.sim.memory_gb_per_unit;
-          std::shared_ptr<const std::vector<double>> demand;
-          std::shared_ptr<const std::vector<double>> arrivals;
+          std::unique_ptr<ScalingPolicy> policy = factory(static_cast<int>(i));
           if (options.series_cache != nullptr) {
+            // Multi-pass callers share series through the cache; shared
+            // ownership keeps evicted series valid for concurrent holders.
             SeriesCache::Series series = options.series_cache->GetOrCompute(
                 app, static_cast<int>(i), app_options.epoch_seconds);
-            demand = std::move(series.demand);
-            arrivals = std::move(series.arrivals);
+            chunk.per_app.push_back(
+                SimulateApp(*series.demand, *series.arrivals, *policy,
+                            app_options));
+            chunk.epochs += series.demand->size();
           } else {
-            demand = std::make_shared<const std::vector<double>>(
-                DemandSeries(app, app_options.epoch_seconds));
-            arrivals = std::make_shared<const std::vector<double>>(
-                ArrivalSeries(app, app_options.epoch_seconds));
+            // Single-pass: expand into the worker's arena and simulate from
+            // it directly — no shared_ptr, no per-app series allocation.
+            DemandSeriesInto(app, app_options.epoch_seconds,
+                             &arena.series_workspace, &arena.demand);
+            ArrivalSeriesInto(app, app_options.epoch_seconds, &arena.arrivals);
+            chunk.per_app.push_back(
+                SimulateApp(arena.demand, arena.arrivals, *policy, app_options));
+            chunk.epochs += arena.demand.size();
           }
-          std::unique_ptr<ScalingPolicy> policy = factory(static_cast<int>(i));
-          chunk.per_app.push_back(
-              SimulateApp(*demand, *arrivals, *policy, app_options));
-          chunk.epochs += demand->size();
         }
         return chunk;
       },
@@ -79,9 +108,10 @@ FleetStreamResult SimulateFleetStream(const TraceSource& source,
         }
         result.apps += chunk.per_app.size();
         result.epochs += chunk.epochs;
-      },
-      options.threads);
+      });
 
+  result.peak_pending_chunks = fold_stats.peak_pending_chunks;
+  result.backpressure_waits = fold_stats.backpressure_waits;
   return result;
 }
 

@@ -33,8 +33,19 @@ struct FleetStreamOptions {
   bool respect_app_min_scale = false;
   std::size_t threads = 0;     // 0 = FEMUX_THREADS / hardware concurrency.
   std::size_t chunk_apps = 64; // Apps generated + simulated per chunk (0 = 64).
-  // Optional bounded series cache (useful when the same source is swept by
-  // several policies); residency stays within the cache's byte budget.
+  // Backpressure bound on chunks admitted past the fold frontier. 0 = auto
+  // (2 x participants + 2: every worker can have one chunk in flight and
+  // one held back, plus slack). Bounds transient memory when one slow chunk
+  // stalls the frontier — without it, held-back results scale with
+  // thread-count skew instead of with the configured chunk size.
+  std::size_t max_pending_chunks = 0;
+  // Optional bounded series cache. Useful when the same source is swept
+  // MORE THAN ONCE (training pass + simulation pass, or several policies
+  // over one fleet): the second consumer hits series the first computed.
+  // A single-pass sweep visits each (app, epoch) key exactly once, so every
+  // lookup misses by construction — single-pass callers should pass null
+  // and take the zero-allocation arena path instead (DESIGN.md §14;
+  // pinned in tests/sim/fleet_stream_test.cc).
   SeriesCache* series_cache = nullptr;
   // Optional observer invoked once per app in strict app-index order — the
   // streaming replacement for FleetResult::per_app. Runs under the fold
@@ -48,8 +59,11 @@ struct FleetStreamResult {
   std::uint64_t epochs = 0;  // Demand epochs simulated across the fleet.
   std::size_t chunks = 0;
   // Peak number of completed chunks held back by the ordered fold; bounds
-  // the transient out-of-order memory.
+  // the transient out-of-order memory (<= the effective max_pending_chunks).
   std::size_t peak_pending_chunks = 0;
+  // Times a worker blocked on the backpressure bound waiting for the fold
+  // frontier to advance.
+  std::size_t backpressure_waits = 0;
 };
 
 FleetStreamResult SimulateFleetStream(const TraceSource& source,

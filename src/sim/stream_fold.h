@@ -9,52 +9,124 @@
 // order (0, 1, 2, ...), holding completed-but-not-yet-due results in a
 // pending map. The fold order — and therefore every accumulated bit — is
 // identical for any thread count and chunk size partition.
+//
+// Backpressure (DESIGN.md §14): an unbounded pending map lets a fast worker
+// race arbitrarily far ahead of the fold frontier, so transient memory
+// scales with thread-count skew instead of with the configured chunk size.
+// The bounded variant admits chunk c into compute only once c < next + W
+// (W = max_pending_chunks), capping held-back results at W. Deadlock-free
+// for any W >= 1 because the pool claims chunk indices in increasing order:
+// the worker holding the globally smallest unfolded chunk always satisfies
+// c == next and proceeds, and folding it advances the frontier that admits
+// everyone else.
 #ifndef SRC_SIM_STREAM_FOLD_H_
 #define SRC_SIM_STREAM_FOLD_H_
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "src/sim/parallel.h"
 
 namespace femux {
 
+struct OrderedChunkOptions {
+  std::size_t threads = 0;  // 0 = pool default (FEMUX_THREADS / hw).
+  // Upper bound on chunks admitted past the fold frontier (compute slots +
+  // held-back results). 0 = unbounded (the legacy behavior).
+  std::size_t max_pending_chunks = 0;
+};
+
+struct OrderedChunkStats {
+  // Peak completed-but-not-yet-due results held back; <= max_pending_chunks
+  // when a bound is set.
+  std::size_t peak_pending_chunks = 0;
+  // Times a worker blocked waiting for the fold frontier to advance.
+  std::size_t backpressure_waits = 0;
+};
+
 // Runs compute(c) for c in [0, num_chunks) on the process thread pool and
 // calls fold(c, std::move(result)) in strict chunk order. `fold` runs under
 // an internal mutex on whichever worker completes the due chunk; it must be
-// cheap and must not submit nested parallel work. Returns the peak number
-// of out-of-order chunk results held back (the transient memory the fold
-// needed beyond one chunk).
+// cheap and must not submit nested parallel work.
+template <typename ChunkResult>
+OrderedChunkStats ParallelOrderedChunksBounded(
+    std::size_t num_chunks, const OrderedChunkOptions& options,
+    const std::function<ChunkResult(std::size_t)>& compute,
+    const std::function<void(std::size_t, ChunkResult&&)>& fold) {
+  std::mutex mu;
+  std::condition_variable admitted;
+  std::map<std::size_t, ChunkResult> pending;
+  std::size_t next = 0;
+  bool failed = false;
+  OrderedChunkStats stats;
+  const std::size_t bound = options.max_pending_chunks;
+
+  ParallelFor(
+      num_chunks,
+      [&](std::size_t c) {
+        if (bound > 0) {
+          std::unique_lock<std::mutex> lock(mu);
+          if (!failed && c >= next + bound) {
+            ++stats.backpressure_waits;
+            admitted.wait(lock, [&] { return failed || c < next + bound; });
+          }
+          if (failed) return;  // A sibling chunk threw; don't start new work.
+        }
+        std::optional<ChunkResult> result;
+        try {
+          result.emplace(compute(c));
+        } catch (...) {
+          // ParallelFor cancels remaining chunks on exception but cannot
+          // wake waiters blocked on the admission cv — release them here so
+          // the pool can drain and rethrow the original exception.
+          std::lock_guard<std::mutex> lock(mu);
+          failed = true;
+          admitted.notify_all();
+          throw;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        if (failed) return;
+        pending.emplace(c, std::move(*result));
+        stats.peak_pending_chunks =
+            std::max(stats.peak_pending_chunks, pending.size());
+        bool advanced = false;
+        while (!pending.empty() && pending.begin()->first == next) {
+          auto it = pending.begin();
+          try {
+            fold(it->first, std::move(it->second));
+          } catch (...) {
+            failed = true;
+            admitted.notify_all();
+            throw;
+          }
+          pending.erase(it);
+          ++next;
+          advanced = true;
+        }
+        if (advanced && bound > 0) admitted.notify_all();
+      },
+      options.threads);
+  return stats;
+}
+
+// Legacy unbounded entry point; returns the peak number of out-of-order
+// chunk results held back (the transient memory beyond one chunk).
 template <typename ChunkResult>
 std::size_t ParallelOrderedChunks(
     std::size_t num_chunks, const std::function<ChunkResult(std::size_t)>& compute,
     const std::function<void(std::size_t, ChunkResult&&)>& fold,
     std::size_t threads = 0) {
-  std::mutex mu;
-  std::map<std::size_t, ChunkResult> pending;
-  std::size_t next = 0;
-  std::size_t peak_pending = 0;
-
-  ParallelFor(
-      num_chunks,
-      [&](std::size_t c) {
-        ChunkResult result = compute(c);
-        std::lock_guard<std::mutex> lock(mu);
-        pending.emplace(c, std::move(result));
-        peak_pending = std::max(peak_pending, pending.size());
-        while (!pending.empty() && pending.begin()->first == next) {
-          auto it = pending.begin();
-          fold(it->first, std::move(it->second));
-          pending.erase(it);
-          ++next;
-        }
-      },
-      threads);
-  return peak_pending;
+  OrderedChunkOptions options;
+  options.threads = threads;
+  return ParallelOrderedChunksBounded<ChunkResult>(num_chunks, options, compute,
+                                                   fold)
+      .peak_pending_chunks;
 }
 
 }  // namespace femux

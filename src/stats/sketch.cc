@@ -1,0 +1,152 @@
+#include "src/stats/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+
+namespace femux {
+namespace {
+
+double Sign(double d) { return d >= 0.0 ? 1.0 : -1.0; }
+
+}  // namespace
+
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {}
+
+void P2Quantile::Reset() {
+  count_ = 0;
+  heights_.fill(0.0);
+  positions_.fill(0.0);
+  desired_.fill(0.0);
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * q_;
+      desired_[2] = 1.0 + 4.0 * q_;
+      desired_[3] = 3.0 + 2.0 * q_;
+      desired_[4] = 5.0;
+    }
+    return;
+  }
+  ++count_;
+
+  // Locate the cell containing x, extending the extreme markers if needed.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  desired_[1] += q_ / 2.0;
+  desired_[2] += q_;
+  desired_[3] += (1.0 + q_) / 2.0;
+  desired_[4] += 1.0;
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i - 1] - positions_[i];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below < -1.0)) {
+      const double s = Sign(d);
+      // Piecewise-parabolic (P²) marker height update; fall back to linear
+      // when the parabola would break marker monotonicity.
+      const double span = positions_[i + 1] - positions_[i - 1];
+      const double candidate =
+          heights_[i] +
+          s / span *
+              ((positions_[i] - positions_[i - 1] + s) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - s) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::Estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ <= 5) {
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    return QuantileSorted(std::span<const double>(sorted.data(), count_), q_);
+  }
+  return heights_[2];
+}
+
+BlockSketch::BlockSketch() : p50_(0.5), p90_(0.9) {}
+
+void BlockSketch::Reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  sum_adjacent_ = 0.0;
+  first_ = 0.0;
+  last_ = 0.0;
+  p50_.Reset();
+  p90_.Reset();
+}
+
+void BlockSketch::Add(double x) {
+  if (count_ == 0) {
+    first_ = x;
+  } else {
+    sum_adjacent_ += last_ * x;
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  last_ = x;
+  p50_.Add(x);
+  p90_.Add(x);
+}
+
+double BlockSketch::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double BlockSketch::cv() const {
+  if (count_ == 0 || mean_ == 0.0) return 0.0;
+  return std::sqrt(variance()) / mean_;
+}
+
+double BlockSketch::Lag1Autocorrelation() const {
+  if (count_ < 3) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double mu = sum_ / n;
+  // Σ (x_t - mu)(x_{t+1} - mu) expanded so only streaming accumulators are
+  // needed: Σ x_t x_{t+1} - mu (S - x_0) - mu (S - x_{n-1}) + (n-1) mu².
+  const double numerator = sum_adjacent_ - mu * (sum_ - first_) -
+                           mu * (sum_ - last_) + (n - 1.0) * mu * mu;
+  const double denominator = m2_;  // Σ (x_i - mu)² via Welford.
+  if (denominator == 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+}  // namespace femux

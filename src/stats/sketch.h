@@ -1,0 +1,86 @@
+// Fixed-size streaming summaries for block features at per-second
+// resolution (DESIGN.md §14).
+//
+// At the Huawei preset's 1 s sampling a single 504-minute block is 30240
+// samples; buffering every app's current block makes the per-app state
+// linear in the sampling rate. These sketches replace the resident block
+// with O(1) state per app:
+//  * P2Quantile — Jain & Chlamtac's P² algorithm: five markers track one
+//    quantile of the stream. Exact (sorted, linear-interpolated, matching
+//    QuantileSorted) below six observations; a parabolic-update
+//    approximation beyond. Error is distribution-dependent; the randomized
+//    property suite (tests/stats/sketch_test.cc) pins the documented bound
+//    for the trace shapes we generate.
+//  * BlockSketch — the full per-block summary: Welford moments, running
+//    sum, p50/p90 P² markers, and the lag-1 autocorrelation accumulators
+//    (Σx, Σx², Σ x_t·x_{t+1}, first, last) whose closed form matches
+//    Autocorrelation(block, 1) up to floating-point reassociation.
+//
+// Determinism: a sketch consumes its block strictly in sample order on one
+// thread, so its state — and every feature derived from it — is
+// bit-identical for any thread count or chunk partition (the same argument
+// as the ordered fold, DESIGN.md §10).
+#ifndef SRC_STATS_SKETCH_H_
+#define SRC_STATS_SKETCH_H_
+
+#include <array>
+#include <cstddef>
+
+namespace femux {
+
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+  // Current quantile estimate. Exact for fewer than six observations;
+  // P² marker height beyond. Returns 0 for an empty stream.
+  double Estimate() const;
+  std::size_t count() const { return count_; }
+  void Reset();
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  // Marker heights q_i, positions n_i (1-based), and desired positions.
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+};
+
+class BlockSketch {
+ public:
+  BlockSketch();
+
+  void Add(double x);
+  void Reset();
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator), 0 below two observations.
+  double variance() const;
+  // Coefficient of variation sigma/mu; 0 when the mean is zero — the same
+  // convention as CoefficientOfVariation.
+  double cv() const;
+  double Median() const { return p50_.Estimate(); }
+  double Quantile90() const { return p90_.Estimate(); }
+  // Streaming closed form of Autocorrelation(block, 1): 0 below three
+  // observations or when the variance vanishes.
+  double Lag1Autocorrelation() const;
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford: Σ (x_i - mean_)² so far.
+  double sum_adjacent_ = 0.0;  // Σ x_t · x_{t+1}.
+  double first_ = 0.0;
+  double last_ = 0.0;
+  P2Quantile p50_;
+  P2Quantile p90_;
+};
+
+}  // namespace femux
+
+#endif  // SRC_STATS_SKETCH_H_

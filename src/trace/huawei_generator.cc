@@ -1,6 +1,7 @@
 #include "src/trace/huawei_generator.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <numbers>
 #include <string>
@@ -31,10 +32,12 @@ HuaweiPattern SamplePattern(Rng& rng) {
 }
 
 // Shape multipliers with approximately unit mean over one period;
-// counts[s] ~ Poisson(rate * shape[s] * diurnal).
-std::vector<double> MakeShape(HuaweiPattern pattern, int total_samples,
-                              double sample_seconds, Rng& rng) {
-  std::vector<double> s(static_cast<std::size_t>(total_samples), 1.0);
+// counts[s] ~ Poisson(rate * shape[s] * diurnal). Writes into `out` so
+// streaming callers reuse one scratch buffer across apps.
+void MakeShapeInto(HuaweiPattern pattern, int total_samples,
+                   double sample_seconds, Rng& rng, std::vector<double>* out) {
+  out->assign(static_cast<std::size_t>(total_samples), 1.0);
+  std::vector<double>& s = *out;
   switch (pattern) {
     case HuaweiPattern::kSpikeTrain: {
       // Timer periods concentrate at sub-minute values; a small tail of
@@ -93,7 +96,6 @@ std::vector<double> MakeShape(HuaweiPattern pattern, int total_samples,
       break;
     }
   }
-  return s;
 }
 
 // Mild diurnal envelope: at a 60-minute default horizon this is nearly flat,
@@ -108,6 +110,13 @@ double Diurnal(double t_seconds, double phase_seconds) {
 }  // namespace
 
 AppTrace MakeHuaweiApp(const HuaweiGeneratorOptions& options, int index) {
+  AppTrace app;
+  MakeHuaweiAppInto(options, index, &app);
+  return app;
+}
+
+void MakeHuaweiAppInto(const HuaweiGeneratorOptions& options, int index,
+                       AppTrace* out) {
   const double sample_seconds =
       options.seconds_per_sample > 0 ? static_cast<double>(options.seconds_per_sample)
                                      : 1.0;
@@ -118,8 +127,13 @@ AppTrace MakeHuaweiApp(const HuaweiGeneratorOptions& options, int index) {
   // lazy generation matches the materializing loop bit for bit.
   Rng rng = Rng(options.seed).Fork(static_cast<std::uint64_t>(index));
 
-  AppTrace app;
-  app.id = "huawei-app-" + std::to_string(index);
+  AppTrace& app = *out;
+  app.id.assign("huawei-app-");
+  char digits[16];
+  const auto conv = std::to_chars(digits, digits + sizeof(digits), index);
+  app.id.append(digits, conv.ptr);
+  app.config = AppConfig{};
+  app.invocations.clear();
   app.seconds_per_sample = options.seconds_per_sample;
   // FaaS schema: one execution per instance, scale-to-zero allowed.
   app.config.container_concurrency = 1;
@@ -140,8 +154,9 @@ AppTrace MakeHuaweiApp(const HuaweiGeneratorOptions& options, int index) {
 
   const HuaweiPattern pattern = SamplePattern(rng);
   const double phase_seconds = rng.Uniform(0.0, 86400.0);
-  const std::vector<double> shape =
-      MakeShape(pattern, total_samples, sample_seconds, rng);
+  thread_local std::vector<double> shape_scratch;
+  MakeShapeInto(pattern, total_samples, sample_seconds, rng, &shape_scratch);
+  const std::vector<double>& shape = shape_scratch;
 
   app.minute_counts.resize(static_cast<std::size_t>(total_samples));
   for (int t = 0; t < total_samples; ++t) {
@@ -153,7 +168,6 @@ AppTrace MakeHuaweiApp(const HuaweiGeneratorOptions& options, int index) {
                    : static_cast<double>(rng.Poisson(mean));
     app.minute_counts[t] = std::max(0.0, app.minute_counts[t]);
   }
-  return app;
 }
 
 Dataset GenerateHuaweiDataset(const HuaweiGeneratorOptions& options) {

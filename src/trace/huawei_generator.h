@@ -47,6 +47,13 @@ Dataset GenerateHuaweiDataset(const HuaweiGeneratorOptions& options);
 // HuaweiTraceSource (src/trace/stream.h).
 AppTrace MakeHuaweiApp(const HuaweiGeneratorOptions& options, int index);
 
+// Arena form: writes the trace into `out`, reusing its buffers (count
+// series, id, plus a thread-local shape scratch) so a streaming worker
+// regenerates apps with no steady-state allocation (DESIGN.md §14).
+// Bit-identical to MakeHuaweiApp — the RNG call sequence is unchanged.
+void MakeHuaweiAppInto(const HuaweiGeneratorOptions& options, int index,
+                       AppTrace* out);
+
 }  // namespace femux
 
 #endif  // SRC_TRACE_HUAWEI_GENERATOR_H_

@@ -39,6 +39,14 @@ class TraceSource {
   // index return bit-identical traces, from any thread.
   virtual AppTrace MakeApp(std::size_t index) const = 0;
 
+  // Arena form: writes app `index` into `out`, reusing its buffers where
+  // the source supports it (the zero-alloc streaming contract, DESIGN.md
+  // §14). Same purity/thread-safety/bit-identity contract as MakeApp; the
+  // default simply delegates.
+  virtual void MakeAppInto(std::size_t index, AppTrace* out) const {
+    *out = MakeApp(index);
+  }
+
   // Materializes the full fleet (small populations / parity tests only).
   Dataset Materialize() const;
 };
@@ -91,6 +99,9 @@ class HuaweiTraceSource final : public TraceSource {
   AppTrace MakeApp(std::size_t index) const override {
     return MakeHuaweiApp(options_, static_cast<int>(index));
   }
+  void MakeAppInto(std::size_t index, AppTrace* out) const override {
+    MakeHuaweiAppInto(options_, static_cast<int>(index), out);
+  }
 
  private:
   HuaweiGeneratorOptions options_;
@@ -106,6 +117,9 @@ class DatasetTraceSource final : public TraceSource {
   int duration_days() const override { return dataset_->duration_days; }
   AppTrace MakeApp(std::size_t index) const override {
     return dataset_->apps[index];
+  }
+  void MakeAppInto(std::size_t index, AppTrace* out) const override {
+    *out = dataset_->apps[index];  // Copy-assign reuses out's capacity.
   }
 
  private:

@@ -39,14 +39,19 @@ std::int64_t Dataset::TotalInvocations() const {
 }
 
 std::vector<double> AverageConcurrency(const AppTrace& app) {
-  std::vector<double> conc(app.minute_counts.size());
+  std::vector<double> conc;
+  AverageConcurrencyInto(app, &conc);
+  return conc;
+}
+
+void AverageConcurrencyInto(const AppTrace& app, std::vector<double>* out) {
+  out->resize(app.minute_counts.size());
   const double exec_s = app.mean_execution_ms / 1000.0;
   const double sample_s =
       app.seconds_per_sample > 0 ? static_cast<double>(app.seconds_per_sample) : 60.0;
   for (std::size_t m = 0; m < app.minute_counts.size(); ++m) {
-    conc[m] = app.minute_counts[m] * exec_s / sample_s;
+    (*out)[m] = app.minute_counts[m] * exec_s / sample_s;
   }
-  return conc;
 }
 
 std::vector<double> RequiredUnits(const AppTrace& app) {

@@ -96,6 +96,11 @@ struct Dataset {
 // concurrency[m] = count[m] * exec_seconds / seconds_per_sample.
 std::vector<double> AverageConcurrency(const AppTrace& app);
 
+// Arena form: writes into `out` (resized to the series length) so streaming
+// fleet consumers can reuse one buffer per worker across apps instead of
+// allocating per app (DESIGN.md §14).
+void AverageConcurrencyInto(const AppTrace& app, std::vector<double>* out);
+
 // Required compute units per minute at the app's container-concurrency
 // limit: ceil(concurrency / limit), with a floor of min_scale.
 std::vector<double> RequiredUnits(const AppTrace& app);

@@ -1,0 +1,222 @@
+// Circuit-breaker quarantine lifecycle: entry → open window → half-open
+// single-attempt probes → error-rate-driven release, failed-probe re-open
+// with capped exponential backoff, and checkpoint/restore of an open
+// breaker. Complements scaler_daemon_test's degradation-ladder coverage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/serve/scaler_daemon.h"
+
+namespace femux {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "femux_probe_" + name + "_" +
+         std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+         ".ckpt";
+}
+
+double Sample(std::uint64_t epoch) {
+  return 5.0 + 2.0 * std::sin(0.3 * static_cast<double>(epoch));
+}
+
+ScalerDaemonOptions BaseOptions() {
+  ScalerDaemonOptions options;
+  options.shards = 1;
+  options.forecaster = "holt";
+  options.history_window = 32;
+  options.fallback_window = 8;
+  options.decision_deadline_ms = 1e6;
+  options.parallel_shards = false;
+  return options;
+}
+
+FaultSpec AllThrow() {
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.forecast_throw = 1.0;
+  return spec;
+}
+
+// Pushes the next epoch sample and runs one tick.
+void Step(ScalerDaemon& daemon, std::uint64_t* epoch) {
+  ASSERT_TRUE(daemon.Push({"app-0", ++*epoch, Sample(*epoch)}));
+  daemon.TickOnce();
+}
+
+DecisionSource LatestSource(const ScalerDaemon& daemon) {
+  const std::vector<Decision> latest = daemon.LatestDecisions();
+  EXPECT_EQ(latest.size(), 1u);
+  return latest.empty() ? DecisionSource::kForecast : latest[0].source;
+}
+
+TEST(QuarantineProbeTest, LifecycleEntryProbeRelease) {
+  ScalerDaemonOptions options = BaseOptions();
+  options.quarantine_threshold = 2;
+  options.quarantine_ticks = 3;
+  options.quarantine_probe_successes = 2;
+  ScalerDaemon daemon(options);
+
+  std::uint64_t epoch = 0;
+  for (int tick = 0; tick < 5; ++tick) {
+    Step(daemon, &epoch);
+  }
+  ASSERT_EQ(LatestSource(daemon), DecisionSource::kForecast);
+
+  // Two consecutive faulted decisions open the breaker (ticks 6-7).
+  daemon.SetFaultsForTest(AllThrow());
+  Step(daemon, &epoch);
+  EXPECT_EQ(LatestSource(daemon), DecisionSource::kLastGood);
+  EXPECT_FALSE(daemon.GetAppHealth("app-0").quarantined);
+  Step(daemon, &epoch);
+  EXPECT_EQ(LatestSource(daemon), DecisionSource::kLastGood);
+  EXPECT_TRUE(daemon.GetAppHealth("app-0").quarantined);
+  EXPECT_EQ(daemon.counters().quarantines, 1u);
+
+  // Open window (quarantine_ticks - 1 = 2 ticks): reactive rung only.
+  for (int tick = 0; tick < 2; ++tick) {
+    Step(daemon, &epoch);
+    EXPECT_EQ(LatestSource(daemon), DecisionSource::kQuarantined);
+    EXPECT_TRUE(daemon.GetAppHealth("app-0").quarantined);
+  }
+  EXPECT_EQ(daemon.counters().quarantined_decisions, 2u);
+
+  // Faults clear; release takes two clean probes, not a timer event. After
+  // the first probe the breaker is half-open: serving real forecasts, no
+  // longer reported quarantined, but not yet released.
+  daemon.SetFaultsForTest(FaultSpec{});
+  Step(daemon, &epoch);
+  EXPECT_EQ(LatestSource(daemon), DecisionSource::kForecast);
+  EXPECT_FALSE(daemon.GetAppHealth("app-0").quarantined);
+  DaemonCounters counters = daemon.counters();
+  EXPECT_EQ(counters.half_open_probes, 1u);
+  EXPECT_EQ(counters.quarantine_releases, 0u);
+
+  Step(daemon, &epoch);
+  EXPECT_EQ(LatestSource(daemon), DecisionSource::kForecast);
+  counters = daemon.counters();
+  EXPECT_EQ(counters.half_open_probes, 2u);
+  EXPECT_EQ(counters.quarantine_releases, 1u);
+  EXPECT_EQ(counters.quarantine_reopens, 0u);
+
+  // Closed again: a single fault rides the ladder without probing and
+  // without re-entering quarantine (threshold is 2).
+  daemon.SetFaultsForTest(AllThrow());
+  Step(daemon, &epoch);
+  EXPECT_EQ(LatestSource(daemon), DecisionSource::kLastGood);
+  daemon.SetFaultsForTest(FaultSpec{});
+  Step(daemon, &epoch);
+  EXPECT_EQ(LatestSource(daemon), DecisionSource::kForecast);
+  counters = daemon.counters();
+  EXPECT_EQ(counters.quarantines, 1u);
+  EXPECT_EQ(counters.half_open_probes, 2u);
+}
+
+TEST(QuarantineProbeTest, FailedProbesReopenWithCappedBackoff) {
+  ScalerDaemonOptions options = BaseOptions();
+  options.quarantine_threshold = 2;
+  options.quarantine_ticks = 2;
+  options.quarantine_max_backoff_ticks = 4;
+  options.quarantine_probe_successes = 1;
+  ScalerDaemon daemon(options);
+
+  std::uint64_t epoch = 0;
+  for (int tick = 0; tick < 5; ++tick) {
+    Step(daemon, &epoch);
+  }
+  ASSERT_EQ(LatestSource(daemon), DecisionSource::kForecast);
+
+  // Ticks 6-7: breaker opens (open window = 2 ticks → probe at tick 9).
+  daemon.SetFaultsForTest(AllThrow());
+  Step(daemon, &epoch);
+  Step(daemon, &epoch);
+  ASSERT_EQ(daemon.counters().quarantines, 1u);
+
+  // Tick 8: quarantined. Tick 9: probe fails → re-open with backoff
+  // min(quarantine_ticks << 1, cap) = 4 ticks.
+  Step(daemon, &epoch);
+  EXPECT_EQ(LatestSource(daemon), DecisionSource::kQuarantined);
+  Step(daemon, &epoch);
+  EXPECT_EQ(LatestSource(daemon), DecisionSource::kLastGood);  // Failed probe.
+  DaemonCounters counters = daemon.counters();
+  EXPECT_EQ(counters.half_open_probes, 1u);
+  EXPECT_EQ(counters.quarantine_reopens, 1u);
+  EXPECT_EQ(counters.quarantines, 1u);  // Re-opens are not new entries.
+
+  // Ticks 10-12 quarantined, tick 13 probe fails again; the next window
+  // would be quarantine_ticks << 2 = 8 but stays capped at 4.
+  for (int tick = 0; tick < 3; ++tick) {
+    Step(daemon, &epoch);
+    EXPECT_EQ(LatestSource(daemon), DecisionSource::kQuarantined);
+  }
+  Step(daemon, &epoch);
+  EXPECT_EQ(LatestSource(daemon), DecisionSource::kLastGood);
+  EXPECT_EQ(daemon.counters().quarantine_reopens, 2u);
+
+  // Ticks 14-16 quarantined (capped window, still 3 served ticks), then the
+  // faults stop and the tick-17 probe releases immediately (1 required).
+  for (int tick = 0; tick < 3; ++tick) {
+    Step(daemon, &epoch);
+    EXPECT_EQ(LatestSource(daemon), DecisionSource::kQuarantined);
+  }
+  daemon.SetFaultsForTest(FaultSpec{});
+  Step(daemon, &epoch);
+  EXPECT_EQ(LatestSource(daemon), DecisionSource::kForecast);
+  counters = daemon.counters();
+  EXPECT_EQ(counters.half_open_probes, 3u);
+  EXPECT_EQ(counters.quarantine_reopens, 2u);
+  EXPECT_EQ(counters.quarantine_releases, 1u);
+  EXPECT_EQ(counters.quarantined_decisions, 1u + 3u + 3u);
+  EXPECT_FALSE(daemon.GetAppHealth("app-0").quarantined);
+}
+
+TEST(QuarantineProbeTest, OpenBreakerSurvivesCheckpointRestore) {
+  const std::string path = TempPath("open_breaker");
+  ScalerDaemonOptions options = BaseOptions();
+  options.quarantine_threshold = 2;
+  options.quarantine_ticks = 6;
+  options.quarantine_probe_successes = 2;
+  options.checkpoint_path = path;
+
+  std::uint64_t epoch = 0;
+  {
+    ScalerDaemon daemon(options);
+    for (int tick = 0; tick < 5; ++tick) {
+      Step(daemon, &epoch);
+    }
+    daemon.SetFaultsForTest(AllThrow());
+    Step(daemon, &epoch);
+    Step(daemon, &epoch);  // Breaker opens at tick 7; open until tick 13.
+    ASSERT_TRUE(daemon.GetAppHealth("app-0").quarantined);
+    Step(daemon, &epoch);  // Tick 8: one quarantined decision, then crash.
+    ASSERT_TRUE(daemon.Checkpoint());
+  }
+
+  ScalerDaemon restored(options);
+  ASSERT_EQ(restored.RestoreFromCheckpoint(), 1u);
+  EXPECT_TRUE(restored.GetAppHealth("app-0").quarantined);
+
+  // Restored tick counter resumes at 8: ticks 9-12 stay quarantined, ticks
+  // 13-14 are clean probes, and the second one releases.
+  for (int tick = 0; tick < 4; ++tick) {
+    Step(restored, &epoch);
+    EXPECT_EQ(LatestSource(restored), DecisionSource::kQuarantined);
+  }
+  Step(restored, &epoch);
+  EXPECT_EQ(LatestSource(restored), DecisionSource::kForecast);
+  EXPECT_FALSE(restored.GetAppHealth("app-0").quarantined);
+  EXPECT_EQ(restored.counters().quarantine_releases, 0u);
+  Step(restored, &epoch);
+  EXPECT_EQ(LatestSource(restored), DecisionSource::kForecast);
+  const DaemonCounters counters = restored.counters();
+  EXPECT_EQ(counters.half_open_probes, 2u);
+  EXPECT_EQ(counters.quarantine_releases, 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace femux

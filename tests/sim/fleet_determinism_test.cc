@@ -274,7 +274,8 @@ TEST(FleetDeterminismTest, FleetMetricsMatchCommittedGolden) {
 // chunk results in strict app-index order, so its total — and every row
 // observed through the ordered per_app_sink — is bit-identical to the
 // serial resident path (and hence to the committed golden) for any thread
-// count and chunk size.
+// count, chunk size, and backpressure bound (the bound only throttles
+// admission past the fold frontier; it must never reorder the fold).
 TEST(FleetDeterminismTest, StreamingMatchesResidentForAnyChunkingAndThreads) {
   const Dataset dataset = LoadSnapshotDataset();
   ASSERT_FALSE(dataset.apps.empty());
@@ -285,23 +286,31 @@ TEST(FleetDeterminismTest, StreamingMatchesResidentForAnyChunkingAndThreads) {
                              /*respect_app_min_scale=*/false, /*threads=*/1);
     for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
       for (const std::size_t threads : {std::size_t{1}, std::size_t{0}, std::size_t{3}}) {
-        FleetStreamOptions options;
-        options.chunk_apps = chunk;
-        options.threads = threads;
-        std::vector<SimMetrics> rows(dataset.apps.size());
-        options.per_app_sink = [&rows](std::size_t index, const SimMetrics& row) {
-          ASSERT_LT(index, rows.size());
-          rows[index] = row;
-        };
-        const FleetStreamResult streamed =
-            SimulateFleetStreamUniform(source, *sweep.prototype, options);
-        const std::string label = sweep.label + " (chunk=" + std::to_string(chunk) +
-                                  " threads=" + std::to_string(threads) + ")";
-        ASSERT_EQ(streamed.apps, serial.per_app.size()) << label;
-        ExpectBitIdentical(serial.total, streamed.total, label + " total");
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-          ExpectBitIdentical(serial.per_app[i], rows[i],
-                             RowKey(sweep.label, static_cast<int>(i)) + " streamed");
+        // 0 = auto bound; 1 = the tightest admission schedule possible.
+        for (const std::size_t pending : {std::size_t{0}, std::size_t{1}}) {
+          FleetStreamOptions options;
+          options.chunk_apps = chunk;
+          options.threads = threads;
+          options.max_pending_chunks = pending;
+          std::vector<SimMetrics> rows(dataset.apps.size());
+          options.per_app_sink = [&rows](std::size_t index, const SimMetrics& row) {
+            ASSERT_LT(index, rows.size());
+            rows[index] = row;
+          };
+          const FleetStreamResult streamed =
+              SimulateFleetStreamUniform(source, *sweep.prototype, options);
+          const std::string label = sweep.label + " (chunk=" + std::to_string(chunk) +
+                                    " threads=" + std::to_string(threads) +
+                                    " pending=" + std::to_string(pending) + ")";
+          ASSERT_EQ(streamed.apps, serial.per_app.size()) << label;
+          if (pending > 0) {
+            EXPECT_LE(streamed.peak_pending_chunks, pending) << label;
+          }
+          ExpectBitIdentical(serial.total, streamed.total, label + " total");
+          for (std::size_t i = 0; i < rows.size(); ++i) {
+            ExpectBitIdentical(serial.per_app[i], rows[i],
+                               RowKey(sweep.label, static_cast<int>(i)) + " streamed");
+          }
         }
       }
     }

@@ -271,5 +271,72 @@ TEST(FleetStreamTest, HuaweiSweepSmallScaleRunsUnderBudget) {
   EXPECT_LE(cache.stats().bytes, 32u << 10);
 }
 
+TEST(FleetStreamTest, BoundedBackpressureBitIdenticalAndCapped) {
+  // Tight pending bounds must change ONLY the admission schedule, never the
+  // result: the fold is strictly chunk-index-ordered, so any
+  // max_pending_chunks yields bits identical to the unbounded run — and the
+  // recorded peak must respect the bound.
+  ASSERT_TRUE(kEnvReady);
+  const Dataset dataset = TestDataset();
+  const DatasetTraceSource source(dataset);
+  const ForecasterPolicy prototype(MakeForecasterByName("exp_smoothing"));
+
+  FleetStreamOptions base;
+  base.chunk_apps = 2;  // 14 apps -> 7 chunks, enough to reorder.
+  base.threads = 0;     // FEMUX_THREADS=4 via kEnvReady.
+  const FleetStreamResult unbounded =
+      SimulateFleetStreamUniform(source, prototype, base);
+
+  for (const std::size_t bound : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("bound=" + std::to_string(bound));
+    FleetStreamOptions options = base;
+    options.max_pending_chunks = bound;
+    const FleetStreamResult bounded =
+        SimulateFleetStreamUniform(source, prototype, options);
+    EXPECT_EQ(bounded.apps, unbounded.apps);
+    EXPECT_EQ(bounded.chunks, unbounded.chunks);
+    ExpectBitIdentical(unbounded.total, bounded.total, "bounded total");
+    EXPECT_LE(bounded.peak_pending_chunks, bound);
+    EXPECT_GE(bounded.peak_pending_chunks, 1u);  // Some chunk completed.
+  }
+}
+
+TEST(FleetStreamTest, TwoPassSweepHitsCacheSinglePassBypasses) {
+  // Pins the DESIGN.md §14 cache decision: a single-pass sweep visits each
+  // (app, epoch) key once, so every lookup would miss — single-pass callers
+  // pass null and take the arena path. Multi-pass callers DO benefit: the
+  // second identical sweep over a generously budgeted cache must be all
+  // hits and still bit-identical to the cacheless run.
+  ASSERT_TRUE(kEnvReady);
+  HuaweiGeneratorOptions gen;
+  gen.num_apps = 20;
+  gen.duration_minutes = 5;
+  gen.seed = 12;
+  const HuaweiTraceSource source(gen);
+  const ForecasterPolicy prototype(MakeForecasterByName("moving_average_1"));
+  FleetStreamOptions stream;
+  stream.sim.epoch_seconds = 10.0;
+
+  const FleetStreamResult cacheless =
+      SimulateFleetStreamUniform(source, prototype, stream);
+
+  SeriesCache cache;
+  cache.SetBudget(64u << 20);
+  stream.series_cache = &cache;
+  const FleetStreamResult pass1 =
+      SimulateFleetStreamUniform(source, prototype, stream);
+  const std::uint64_t hits_after_pass1 = cache.stats().hits;
+  // Pass 1 IS a single-pass sweep: every lookup misses by construction.
+  EXPECT_EQ(hits_after_pass1, 0u);
+  EXPECT_EQ(cache.stats().misses, 20u);
+
+  const FleetStreamResult pass2 =
+      SimulateFleetStreamUniform(source, prototype, stream);
+  EXPECT_GT(cache.stats().hits, hits_after_pass1);  // All 20 apps hit.
+  EXPECT_EQ(cache.stats().hits, 20u);
+  ExpectBitIdentical(cacheless.total, pass1.total, "cached pass 1");
+  ExpectBitIdentical(cacheless.total, pass2.total, "cached pass 2");
+}
+
 }  // namespace
 }  // namespace femux

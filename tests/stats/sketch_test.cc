@@ -1,0 +1,273 @@
+// Randomized property suite for the streaming block sketches (DESIGN.md
+// §14): P² quantiles and Welford moments versus their exact batch
+// counterparts across the trace shapes the fleet actually generates
+// (bursty, periodic, sparse).
+//
+// Documented error bounds pinned here (and relied on by the sketch-parity
+// gate in bench_fleet_scale):
+//  * Moments (mean/variance/cv/lag-1 autocorrelation): identical up to
+//    floating-point reassociation — <= 1e-9 scale-relative.
+//  * P² p50/p90: exact below six observations; beyond that the error is
+//    distribution-dependent, measured as |est-exact| / max(1, |exact|).
+//    Continuous distributions (periodic): <= 0.1 on every block. Zero-
+//    inflated distributions (bursty, sparse): when the tracked quantile
+//    lands on the atom/tail discontinuity the parabolic marker update can
+//    miss by a fraction of the tail scale, so only the error DISTRIBUTION
+//    is bounded — median <= 0.05, p90 <= 0.35, max <= 5 (sanity ceiling).
+//    This is exactly why block features consume quantiles through
+//    log10(1+.) compression (where bench_fleet_scale gates p99 <= 0.1)
+//    and why FeatureMode::kExact remains the escape hatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/sketch.h"
+
+namespace femux {
+namespace {
+
+// Deterministic xorshift so the series are stable across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
+  double Uniform() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return static_cast<double>(state_ % 1000000) / 1000000.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// The serverless shapes from the characterization study: mostly-idle with
+// bursts, diurnal-style periodicity, and sparse one-off invocations.
+std::vector<double> BurstyBlock(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n, 0.0);
+  for (double& v : out) {
+    if (rng.Uniform() < 0.2) {
+      v = 20.0 + 80.0 * rng.Uniform();
+    }
+  }
+  return out;
+}
+
+std::vector<double> PeriodicBlock(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = 10.0 + 5.0 * std::sin(0.21 * static_cast<double>(i)) +
+             rng.Uniform();
+  }
+  return out;
+}
+
+std::vector<double> SparseBlock(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n, 0.0);
+  for (double& v : out) {
+    if (rng.Uniform() < 0.03) {
+      v = 1.0 + 4.0 * rng.Uniform();
+    }
+  }
+  return out;
+}
+
+struct Shape {
+  const char* label;
+  std::vector<double> (*make)(std::size_t, std::uint64_t);
+};
+
+constexpr Shape kShapes[] = {
+    {"bursty", BurstyBlock},
+    {"periodic", PeriodicBlock},
+    {"sparse", SparseBlock},
+};
+
+BlockSketch SketchOf(std::span<const double> block) {
+  BlockSketch sketch;
+  for (double v : block) {
+    sketch.Add(v);
+  }
+  return sketch;
+}
+
+double ExactQuantile(std::span<const double> block, double q) {
+  std::vector<double> sorted(block.begin(), block.end());
+  std::sort(sorted.begin(), sorted.end());
+  return QuantileSorted(sorted, q);
+}
+
+// Scale-relative error, the same normalization the parity gates use.
+double RelError(double estimate, double exact) {
+  return std::fabs(estimate - exact) / std::max(1.0, std::fabs(exact));
+}
+
+TEST(P2QuantileTest, ExactBelowSixObservations) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (std::size_t n = 1; n <= 5; ++n) {
+      Rng rng(seed * 100 + n);
+      std::vector<double> block(n);
+      for (double& v : block) {
+        v = 100.0 * rng.Uniform() - 50.0;
+      }
+      for (double q : {0.5, 0.9}) {
+        P2Quantile sketch(q);
+        for (double v : block) {
+          sketch.Add(v);
+        }
+        // Bit-exact, not a tolerance: below six observations the sketch
+        // keeps the raw samples and defers to QuantileSorted.
+        EXPECT_EQ(sketch.Estimate(), ExactQuantile(block, q))
+            << "seed=" << seed << " n=" << n << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(BlockSketchTest, MomentsMatchExactWithinReassociation) {
+  constexpr double kBound = 1e-9;
+  for (const Shape& shape : kShapes) {
+    SCOPED_TRACE(shape.label);
+    for (std::size_t n : {8u, 60u, 600u, 5000u}) {
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const std::vector<double> block = shape.make(n, seed);
+        const BlockSketch sketch = SketchOf(block);
+        ASSERT_EQ(sketch.count(), n);
+        EXPECT_LE(RelError(sketch.mean(), Mean(block)), kBound);
+        EXPECT_LE(RelError(sketch.variance(), Variance(block)), kBound);
+        EXPECT_LE(RelError(sketch.cv(), CoefficientOfVariation(block)),
+                  kBound);
+        EXPECT_LE(RelError(sketch.Lag1Autocorrelation(),
+                           Autocorrelation(block, 1)),
+                  kBound)
+            << "n=" << n << " seed=" << seed;
+      }
+    }
+  }
+}
+
+std::vector<double> QuantileErrors(const Shape& shape) {
+  std::vector<double> errors;
+  for (std::size_t n : {60u, 504u, 3000u}) {
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+      const std::vector<double> block = shape.make(n, seed);
+      const BlockSketch sketch = SketchOf(block);
+      errors.push_back(RelError(sketch.Median(), ExactQuantile(block, 0.5)));
+      errors.push_back(
+          RelError(sketch.Quantile90(), ExactQuantile(block, 0.9)));
+    }
+  }
+  std::sort(errors.begin(), errors.end());
+  return errors;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  return sorted[static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1))];
+}
+
+TEST(BlockSketchTest, QuantileTightOnContinuousShapes) {
+  // A continuous distribution has no atoms for markers to straddle: every
+  // block's p50/p90 error stays within 0.1 scale-relative (measured max
+  // 0.056 across 90 blocks x 2 quantiles).
+  const std::vector<double> errors = QuantileErrors(kShapes[1]);  // periodic
+  ASSERT_FALSE(errors.empty());
+  EXPECT_LE(errors.back(), 0.1)
+      << "max quantile error over " << errors.size() << " samples";
+}
+
+TEST(BlockSketchTest, QuantileDistributionBoundedOnZeroInflatedShapes) {
+  // Bursty and sparse blocks are zero-inflated: the exact p50 (bursty) or
+  // p90 (sparse) sits at the atom/tail discontinuity, where the P²
+  // parabolic update can land a marker a fraction of the tail scale away.
+  // The per-block error is therefore unbounded by any small constant —
+  // gate the DISTRIBUTION instead (the documented bound in the header):
+  // median <= 0.05, p90 <= 0.35, max <= 5 as a sanity ceiling. Features
+  // avoid the raw-scale outliers via log10(1+.), and FeatureMode::kExact
+  // is the escape hatch when raw quantiles must be exact.
+  for (const Shape* shape : {&kShapes[0], &kShapes[2]}) {  // bursty, sparse
+    SCOPED_TRACE(shape->label);
+    const std::vector<double> errors = QuantileErrors(*shape);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_LE(Percentile(errors, 0.5), 0.05);
+    EXPECT_LE(Percentile(errors, 0.9), 0.35);
+    EXPECT_LE(errors.back(), 5.0);
+  }
+}
+
+TEST(BlockSketchTest, ResetRestoresEmptyState) {
+  BlockSketch sketch = SketchOf(BurstyBlock(200, 3));
+  sketch.Reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.sum(), 0.0);
+  EXPECT_EQ(sketch.mean(), 0.0);
+  EXPECT_EQ(sketch.variance(), 0.0);
+  // A reset sketch replays a block to the same bits as a fresh one.
+  const std::vector<double> block = PeriodicBlock(504, 11);
+  for (double v : block) {
+    sketch.Add(v);
+  }
+  const BlockSketch fresh = SketchOf(block);
+  EXPECT_EQ(sketch.Median(), fresh.Median());
+  EXPECT_EQ(sketch.Quantile90(), fresh.Quantile90());
+  EXPECT_EQ(sketch.variance(), fresh.variance());
+  EXPECT_EQ(sketch.Lag1Autocorrelation(), fresh.Lag1Autocorrelation());
+}
+
+TEST(BlockSketchTest, DeterministicAcrossThreadPartitions) {
+  // The determinism claim from the header: each sketch consumes its block
+  // in sample order on one thread, so partitioning a fleet of blocks
+  // across ANY number of worker threads yields bit-identical results.
+  constexpr std::size_t kBlocks = 48;
+  std::vector<std::vector<double>> blocks;
+  blocks.reserve(kBlocks);
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    blocks.push_back(kShapes[i % 3].make(300 + 7 * i, 1000 + i));
+  }
+
+  struct Result {
+    double median, p90, mean, variance, autocorr;
+  };
+  auto run = [&blocks](std::size_t threads) {
+    std::vector<Result> results(blocks.size());
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&blocks, &results, t, threads] {
+        for (std::size_t i = t; i < blocks.size(); i += threads) {
+          const BlockSketch sketch = SketchOf(blocks[i]);
+          results[i] = {sketch.Median(), sketch.Quantile90(), sketch.mean(),
+                        sketch.variance(), sketch.Lag1Autocorrelation()};
+        }
+      });
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+    return results;
+  };
+
+  const std::vector<Result> baseline = run(1);
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    const std::vector<Result> parallel = run(threads);
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(baseline[i].median, parallel[i].median) << i;
+      EXPECT_EQ(baseline[i].p90, parallel[i].p90) << i;
+      EXPECT_EQ(baseline[i].mean, parallel[i].mean) << i;
+      EXPECT_EQ(baseline[i].variance, parallel[i].variance) << i;
+      EXPECT_EQ(baseline[i].autocorr, parallel[i].autocorr) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace femux
