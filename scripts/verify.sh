@@ -33,7 +33,9 @@ cmake --build "$ROOT/build" -j
 # FEMUX_SIMD=off. Bit-exact kernels make this pass identical in results to
 # the run above — a divergence here is a parity bug, not flakiness.
 echo "== scalar fallback: FEMUX_SIMD=off stats/forecast/core suites =="
-(cd "$ROOT/build" && FEMUX_SIMD=off ctest --output-on-failure -j \
+# NB: ctest's bare `-j` swallows a following option as its value, which
+# silently discards the -R filter — always give it an explicit width.
+(cd "$ROOT/build" && FEMUX_SIMD=off ctest --output-on-failure -j"$(nproc)" \
     -R '^(stats|forecast|core)_')
 
 # Chaos pass: replay the serve suite under external fault-seed matrices.
@@ -45,7 +47,18 @@ CHAOS_MATRIX='forecast_throw=0.05,forecast_delay_ms=1@0.05,corrupt_push=0.05,dup
 for seed in 11 42 1337; do
   echo "-- chaos seed $seed"
   (cd "$ROOT/build" && FEMUX_FAULTS="seed=${seed},${CHAOS_MATRIX}" \
-      ctest --output-on-failure -j -R '^serve_')
+      ctest --output-on-failure -j"$(nproc)" -R '^serve_')
+done
+
+# Learned-mux chaos pass: the same fault-seed matrix with the chaos daemon
+# serving the learned linear_state forecaster, so opaque trained state rides
+# through torn checkpoints, quarantines, and kill-restarts (DESIGN.md §15).
+echo "== chaos (learned): serve suite with FEMUX_CHAOS_FORECASTER=linear_state =="
+for seed in 11 42 1337; do
+  echo "-- learned chaos seed $seed"
+  (cd "$ROOT/build" && FEMUX_FAULTS="seed=${seed},${CHAOS_MATRIX}" \
+      FEMUX_CHAOS_FORECASTER=linear_state \
+      ctest --output-on-failure -j"$(nproc)" -R '^serve_')
 done
 
 if [[ "$SKIP_BENCH" == "0" ]]; then
@@ -93,6 +106,11 @@ if [[ "$SKIP_BENCH" == "0" ]]; then
   "$ROOT/build-release/bench/bench_scaler_daemon" --smoke \
       --json="$ROOT/bench/out/scaler-daemon-smoke.bench-scratch.json" || {
     echo "scaler-daemon bench smoke FAILED (resilience gate or runtime error)"; exit 1;
+  }
+  cmake --build "$ROOT/build-release" --target bench_forecaster_latency -j > /dev/null
+  "$ROOT/build-release/bench/bench_forecaster_latency" --smoke \
+      --json="$ROOT/bench/out/forecaster-latency-smoke.bench-scratch.json" || {
+    echo "forecaster-latency bench smoke FAILED (latency or parity gate)"; exit 1;
   }
 fi
 

@@ -54,7 +54,10 @@ void FemuxPolicy::CompleteBlock() {
       selected.forecaster)]];
   if (selected.forecaster != current_index_) {
     current_index_ = selected.forecaster;
-    forecaster_ = model_->MakeForecaster(selected.forecaster);
+    // Learned forecasters come pre-loaded with their cluster's trained
+    // state (no-op for the closed-form set).
+    forecaster_ = model_->MakeForecasterForCluster(selected.forecaster,
+                                                   selected.cluster);
     ++switch_count_;
     // Block-boundary warm handoff: seed the fresh forecaster's sliding
     // window from the series ring, so it starts with the same history a

@@ -25,6 +25,7 @@ FemuxModel::Selection FemuxModel::Select(const std::vector<double>& raw_features
       const std::size_t cluster = kmeans.Predict(scaled);
       if (cluster < cluster_to_forecaster.size()) {
         forecaster = cluster_to_forecaster[cluster];
+        selection.cluster = static_cast<int>(cluster);
       }
       if (cluster < cluster_to_margin.size()) {
         margin = cluster_to_margin[cluster];
@@ -49,6 +50,7 @@ FemuxModel::Selection FemuxModel::Select(const std::vector<double>& raw_features
       static_cast<std::size_t>(forecaster) >= forecaster_names.size()) {
     forecaster = default_forecaster;
     margin = default_margin;
+    selection.cluster = -1;
   }
   selection.forecaster = forecaster;
   if (!margins.empty() && margin >= 0 &&
@@ -74,6 +76,26 @@ std::unique_ptr<Forecaster> FemuxModel::MakeForecaster(int index) const {
     return std::make_unique<FftForecaster>(10, refit_interval);
   }
   return MakeForecasterByName(name);
+}
+
+std::unique_ptr<Forecaster> FemuxModel::MakeForecasterForCluster(
+    int index, int cluster) const {
+  std::unique_ptr<Forecaster> forecaster = MakeForecaster(index);
+  if (forecaster == nullptr || cluster < 0 ||
+      static_cast<std::size_t>(cluster) >= cluster_learned_state.size()) {
+    return forecaster;
+  }
+  const std::string& blob = cluster_learned_state[static_cast<std::size_t>(cluster)];
+  if (blob.empty() || !forecaster->HasOpaqueState()) {
+    return forecaster;
+  }
+  // Only hand a cluster's state to the forecaster it was trained for.
+  if (static_cast<std::size_t>(cluster) >= cluster_to_forecaster.size() ||
+      cluster_to_forecaster[static_cast<std::size_t>(cluster)] != index) {
+    return forecaster;
+  }
+  forecaster->LoadOpaqueState(blob);  // Fresh instance on failure.
+  return forecaster;
 }
 
 }  // namespace femux

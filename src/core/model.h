@@ -43,6 +43,12 @@ struct FemuxModel {
   // entries index into `margins`.
   std::vector<int> cluster_to_forecaster;
   std::vector<int> cluster_to_margin;
+  // Per-cluster opaque learned-forecaster state (DESIGN.md §15), parallel
+  // to cluster_to_forecaster. Non-empty only for clusters whose chosen
+  // forecaster implements the opaque-state API; the trainer fits one
+  // instance per such cluster on its member apps' series and stores the
+  // blob here so serving never trains online.
+  std::vector<std::string> cluster_learned_state;
   DecisionTree tree;  // Supervised paths label (forecaster, margin) pairs
   RandomForest forest;  // encoded as f * margins.size() + m.
   // Used before the first block completes, or when classification fails:
@@ -53,6 +59,10 @@ struct FemuxModel {
   struct Selection {
     int forecaster = 0;
     double margin = 1.0;
+    // K-means cluster the selection came from, -1 when the choice did not
+    // go through the cluster table (defaults, supervised classifiers).
+    // Lets callers fetch that cluster's learned state.
+    int cluster = -1;
   };
 
   // Maps a raw (unscaled) feature vector to a forecaster + margin.
@@ -65,6 +75,13 @@ struct FemuxModel {
 
   // Instantiates forecaster `index` (fresh state, model's refit stride).
   std::unique_ptr<Forecaster> MakeForecaster(int index) const;
+
+  // Like MakeForecaster, but additionally loads the cluster's trained
+  // opaque state into the instance when (a) `cluster` is a valid index,
+  // (b) that cluster's chosen forecaster is `index`, and (c) a non-empty
+  // blob was stored for it. Falls back to the fresh instance when the blob
+  // fails to load.
+  std::unique_ptr<Forecaster> MakeForecasterForCluster(int index, int cluster) const;
 };
 
 }  // namespace femux

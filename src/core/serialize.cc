@@ -60,6 +60,11 @@ bool ReadIntVector(std::istream& in, std::vector<int>* v) {
   return true;
 }
 
+// Defined in the daemon-checkpoint section below; shared with the model
+// format's learned-state tokens.
+std::string EncodeToken(const std::string& text);
+bool DecodeToken(std::string_view token, std::string* out);
+
 }  // namespace
 
 void SaveModel(const FemuxModel& model, std::ostream& out) {
@@ -89,6 +94,15 @@ void SaveModel(const FemuxModel& model, std::ostream& out) {
   }
   WriteIntVector(out, model.cluster_to_forecaster);
   WriteIntVector(out, model.cluster_to_margin);
+  // Optional trailing section (absent in models trained before learned
+  // forecasters existed; LoadModel tolerates that): per-cluster opaque
+  // learned state, one escaped token per line ("%e" = empty).
+  if (!model.cluster_learned_state.empty()) {
+    out << "learned " << model.cluster_learned_state.size() << '\n';
+    for (const std::string& blob : model.cluster_learned_state) {
+      out << EncodeToken(blob) << '\n';
+    }
+  }
 }
 
 bool LoadModel(std::istream& in, FemuxModel* model) {
@@ -149,6 +163,24 @@ bool LoadModel(std::istream& in, FemuxModel* model) {
   if (!ReadIntVector(in, &model->cluster_to_forecaster) ||
       !ReadIntVector(in, &model->cluster_to_margin)) {
     return false;
+  }
+  model->cluster_learned_state.clear();
+  std::string tag;
+  if (in >> tag) {
+    if (tag != "learned") {
+      return false;
+    }
+    std::size_t learned = 0;
+    if (!(in >> learned) || learned > 4096) {
+      return false;
+    }
+    model->cluster_learned_state.resize(learned);
+    for (std::string& blob : model->cluster_learned_state) {
+      std::string token;
+      if (!(in >> token) || !DecodeToken(token, &blob)) {
+        return false;
+      }
+    }
   }
   model->classifier = ClassifierKind::kKMeans;
   return true;
@@ -359,7 +391,9 @@ bool GetTerminatedLine(std::istream& in, std::string* line) {
 bool ParseDaemonAppRecord(std::string_view body, DaemonAppCheckpoint* app) {
   const std::vector<std::string_view> fields = SplitFields(body);
   // app id forecaster observed last_epoch has_epoch has_last_good last_good
-  // quarantined_until consecutive_faults ring_n ring...
+  // quarantined_until consecutive_faults ring_n ring... [forecaster_state]
+  // The trailing state token is optional (learned forecasters only), so
+  // records written before the field existed still parse.
   constexpr std::size_t kFixed = 11;
   if (fields.size() < kFixed || fields[0] != "app") {
     return false;
@@ -379,7 +413,7 @@ bool ParseDaemonAppRecord(std::string_view body, DaemonAppCheckpoint* app) {
   }
   if ((has_epoch != 0 && has_epoch != 1) || (has_last_good != 0 && has_last_good != 1) ||
       !std::isfinite(out.last_good) || ring_n > (1u << 26) ||
-      fields.size() != kFixed + ring_n) {
+      (fields.size() != kFixed + ring_n && fields.size() != kFixed + ring_n + 1)) {
     return false;
   }
   out.has_epoch = has_epoch == 1;
@@ -390,6 +424,10 @@ bool ParseDaemonAppRecord(std::string_view body, DaemonAppCheckpoint* app) {
         !std::isfinite(out.ring[i])) {
       return false;
     }
+  }
+  if (fields.size() == kFixed + ring_n + 1 &&
+      !DecodeToken(fields[kFixed + ring_n], &out.forecaster_state)) {
+    return false;
   }
   *app = std::move(out);
   return true;
@@ -413,6 +451,9 @@ void SaveDaemonCheckpoint(const DaemonCheckpoint& checkpoint, std::ostream& out)
          << app.ring.size();
     for (double v : app.ring) {
       line << ' ' << v;
+    }
+    if (!app.forecaster_state.empty()) {
+      line << ' ' << EncodeToken(app.forecaster_state);
     }
     WriteChecksummedLine(out, line.str());
   }

@@ -50,10 +50,17 @@ bool LoadBlockTableFile(const std::string& path, BlockTable* table);
 // state is NOT persisted; restore re-seeds it from the ring
 // (IncrementalSession::SeedStreamed), which the incremental protocol
 // guarantees agrees with the uninterrupted state within the documented
-// parity bound.
+// parity bound. Learned forecasters additionally carry their trained
+// parameters as an opaque blob (Forecaster::SaveOpaqueState, DESIGN.md
+// §15) — those are NOT reconstructible from the ring, so the record
+// persists them; restore loads the blob before re-seeding.
 struct DaemonAppCheckpoint {
   std::string id;
   std::string forecaster;
+  // Opaque trained state (empty for forecasters without one). Stored as
+  // one trailing escaped token per record; old checkpoints without the
+  // field load with it empty.
+  std::string forecaster_state;
   std::uint64_t observed = 0;    // Samples ever observed.
   std::uint64_t last_epoch = 0;  // Newest applied metric epoch.
   bool has_epoch = false;

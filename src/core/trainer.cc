@@ -331,6 +331,83 @@ void FitFromRows(const std::vector<std::vector<double>>& rows,
   }
 }
 
+void TrainClusterLearnedState(const BlockTable& table, const Dataset& dataset,
+                              const std::vector<int>& app_indices,
+                              const TrainerOptions& options, FemuxModel* model) {
+  model->cluster_learned_state.clear();
+  if (model->classifier != ClassifierKind::kKMeans) {
+    return;
+  }
+  const std::size_t k = model->cluster_to_forecaster.size();
+  if (k == 0 || !model->scaler.fitted()) {
+    return;
+  }
+  // Which clusters picked a forecaster with trainable opaque state? With
+  // the default (all closed-form) set this finds none and the pass costs a
+  // handful of factory calls.
+  std::vector<bool> needs(k, false);
+  bool any = false;
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::unique_ptr<Forecaster> probe =
+        model->MakeForecaster(model->cluster_to_forecaster[c]);
+    if (probe != nullptr && probe->HasOpaqueState()) {
+      needs[c] = true;
+      any = true;
+    }
+  }
+  if (!any) {
+    return;
+  }
+  model->cluster_learned_state.assign(k, std::string());
+
+  // Per-cluster block counts by app, replaying the fit's cluster
+  // assignment over the table.
+  const std::size_t num_apps = table.features.size();
+  std::vector<std::vector<std::size_t>> counts(
+      k, std::vector<std::size_t>(num_apps, 0));
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    for (const std::vector<double>& raw : table.features[a]) {
+      const std::size_t c = model->kmeans.Predict(model->scaler.Transform(raw));
+      if (c < k) {
+        ++counts[c][a];
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < k; ++c) {
+    if (!needs[c]) {
+      continue;
+    }
+    // Representative member: the app with the most blocks in the cluster
+    // (ties break to the lowest app index; empty clusters keep an empty
+    // blob and the serving instance trains from its own window instead).
+    std::size_t rep = num_apps;
+    std::size_t best = 0;
+    for (std::size_t a = 0; a < num_apps; ++a) {
+      if (counts[c][a] > best) {
+        best = counts[c][a];
+        rep = a;
+      }
+    }
+    if (rep >= num_apps || rep >= app_indices.size()) {
+      continue;
+    }
+    const AppTrace& app =
+        dataset.apps[static_cast<std::size_t>(app_indices[rep])];
+    const std::vector<double> demand = DemandSeries(app, options.sim.epoch_seconds);
+    std::unique_ptr<Forecaster> forecaster =
+        model->MakeForecaster(model->cluster_to_forecaster[c]);
+    if (forecaster == nullptr) {
+      continue;
+    }
+    // The one-shot training path every learned forecaster runs on its
+    // first batch call — triggered here offline, then frozen into the
+    // model as an opaque blob.
+    forecaster->Forecast(demand, 1);
+    model->cluster_learned_state[c] = forecaster->SaveOpaqueState();
+  }
+}
+
 void MergeBlockTables(BlockTable* base, const BlockTable& extra) {
   base->rum.insert(base->rum.end(), extra.rum.begin(), extra.rum.end());
   base->features.insert(base->features.end(), extra.features.begin(),
@@ -346,6 +423,8 @@ TrainResult TrainFemux(const Dataset& dataset, const std::vector<int>& app_indic
 
   const auto cluster_start = std::chrono::steady_clock::now();
   FitFromTable(result.table, options, &result.model, &result.cluster_sizes);
+  TrainClusterLearnedState(result.table, dataset, app_indices, options,
+                           &result.model);
   result.clustering_seconds = SecondsSince(cluster_start);
   return result;
 }
@@ -453,6 +532,10 @@ TrainResult RetrainWithNewApps(const TrainResult& previous, const Dataset& datas
 
   const auto cluster_start = std::chrono::steady_clock::now();
   FitFromTable(result.table, options, &result.model, &result.cluster_sizes);
+  // The refit may have reassigned clusters; inherited learned blobs would
+  // no longer match their clusters' forecasters, so drop them (callers can
+  // re-run TrainClusterLearnedState with full dataset context).
+  result.model.cluster_learned_state.clear();
   result.clustering_seconds = SecondsSince(cluster_start);
   return result;
 }

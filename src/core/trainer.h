@@ -113,6 +113,17 @@ BlockTable BuildBlockTable(const Dataset& dataset, const std::vector<int>& app_i
 void FitFromTable(const BlockTable& table, const TrainerOptions& options,
                   FemuxModel* model, std::vector<std::size_t>* cluster_sizes);
 
+// Post-pass over a fitted K-means model (DESIGN.md §15): for every cluster
+// whose chosen forecaster exposes opaque learned state, trains one instance
+// offline on the cluster's representative member app (the app with the most
+// blocks classified into the cluster) and stores the blob in
+// model->cluster_learned_state, so serving never trains online. No-op when
+// no candidate forecaster is learned — training with the default set is
+// unchanged. TrainFemux calls this automatically.
+void TrainClusterLearnedState(const BlockTable& table, const Dataset& dataset,
+                              const std::vector<int>& app_indices,
+                              const TrainerOptions& options, FemuxModel* model);
+
 // (Re)fits the classifier from already-flattened block rows (features and
 // per-candidate RUMs, parallel vectors). FitFromTable flattens and calls
 // this; the streaming trainer feeds it directly.

@@ -77,6 +77,35 @@ class Forecaster {
 
   // One-step forecast from the current window state.
   virtual double ForecastNext() { return 0.0; }
+
+  // ---- Opaque learned state (opt-in; DESIGN.md §15) ----
+  //
+  // The closed-form forecasters' incremental state is a fold of the window
+  // and is always reconstructible from the retained series ring, so nothing
+  // beyond the ring ever needs to persist. Learned forecasters widen that
+  // contract: their trained parameters are NOT derivable from the ring, so
+  // they expose them as an opaque serializable blob. The blob must be a
+  // single printable token — no whitespace, '%' only as produced by the
+  // forecaster itself — so it embeds directly in the daemon's checksummed
+  // checkpoint records and the model text format. Restoring the blob into a
+  // fresh instance and re-seeding the window from the ring must reproduce
+  // the original instance's decisions within the forecaster's documented
+  // incremental parity bound.
+
+  // True when Save/LoadOpaqueState are implemented.
+  virtual bool HasOpaqueState() const { return false; }
+
+  // Serializes trained parameters (never window state — that re-seeds from
+  // the ring). Must round-trip bit-exactly through LoadOpaqueState.
+  virtual std::string SaveOpaqueState() const { return {}; }
+
+  // Restores parameters saved by SaveOpaqueState on a compatibly configured
+  // instance. Returns false (leaving the instance unchanged) on a malformed
+  // or incompatible blob.
+  virtual bool LoadOpaqueState(std::string_view blob) {
+    (void)blob;
+    return false;
+  }
 };
 
 // Typed error for the checked streamed-session entry points below. The

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
+#include "src/forecast/opaque_state.h"
+#include "src/forecast/sliding.h"
 #include "src/stats/rng.h"
+#include "src/stats/simd.h"
 
 namespace femux {
 namespace {
@@ -56,6 +60,28 @@ struct LstmForecaster::Impl {
   bool trained = false;
   std::size_t adam_t = 0;
 
+  // Column-major serving copy of wh (whT[k * 4H + r] = wh.value[r * H + k])
+  // for the GemvColMajor forward pass; rebuilt lazily whenever the weights
+  // change. The z scratch holds the 4H pre-activations.
+  mutable std::vector<double> wh_colmajor;
+  mutable bool wh_colmajor_dirty = true;
+  mutable std::vector<double> z_scratch;
+
+  // Incremental serving ring of the last `window` raw samples.
+  WindowBuffer ring;
+
+  void EnsureWhColmajor() const {
+    const std::size_t rows = 4 * hidden;
+    if (!wh_colmajor_dirty && wh_colmajor.size() == rows * hidden) return;
+    wh_colmajor.resize(rows * hidden);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t k = 0; k < hidden; ++k) {
+        wh_colmajor[k * rows + r] = wh.value[r * hidden + k];
+      }
+    }
+    wh_colmajor_dirty = false;
+  }
+
   // Per-step activations cached for BPTT.
   struct Step {
     double x = 0.0;
@@ -88,22 +114,24 @@ struct LstmForecaster::Impl {
     step.o.resize(H);
     step.c.resize(H);
     step.h.resize(H);
+    // Pre-activations via the SIMD kernel: seed z[r] = wx[r]*x + b[r], then
+    // accumulate the recurrent term through the column-major weight copy.
+    // The kernel's accumulation runs per row in ascending k order, exactly
+    // the per-gate loop it replaces, so this is bit-identical to the scalar
+    // form on every ISA (parity-gated in tests/stats/simd_kernel_test.cc).
+    EnsureWhColmajor();
+    const std::size_t rows = 4 * H;
+    z_scratch.resize(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      z_scratch[r] = wx.value[r] * x + b.value[r];
+    }
+    simd::GemvColMajor(wh_colmajor.data(), rows, H, rows, h_prev.data(),
+                       z_scratch.data());
     for (std::size_t j = 0; j < H; ++j) {
-      double zi = wx.value[0 * H + j] * x + b.value[0 * H + j];
-      double zf = wx.value[1 * H + j] * x + b.value[1 * H + j];
-      double zg = wx.value[2 * H + j] * x + b.value[2 * H + j];
-      double zo = wx.value[3 * H + j] * x + b.value[3 * H + j];
-      for (std::size_t k = 0; k < H; ++k) {
-        const double hk = h_prev[k];
-        zi += wh.value[(0 * H + j) * H + k] * hk;
-        zf += wh.value[(1 * H + j) * H + k] * hk;
-        zg += wh.value[(2 * H + j) * H + k] * hk;
-        zo += wh.value[(3 * H + j) * H + k] * hk;
-      }
-      step.i[j] = Sigmoid(zi);
-      step.f[j] = Sigmoid(zf);
-      step.g[j] = std::tanh(zg);
-      step.o[j] = Sigmoid(zo);
+      step.i[j] = Sigmoid(z_scratch[0 * H + j]);
+      step.f[j] = Sigmoid(z_scratch[1 * H + j]);
+      step.g[j] = std::tanh(z_scratch[2 * H + j]);
+      step.o[j] = Sigmoid(z_scratch[3 * H + j]);
       step.c[j] = step.f[j] * c_prev[j] + step.i[j] * step.g[j];
       step.h[j] = step.o[j] * std::tanh(step.c[j]);
     }
@@ -196,6 +224,25 @@ struct LstmForecaster::Impl {
     b.AdamStep(lr, kBeta1, kBeta2, kEps, bias1, bias2);
     wy.AdamStep(lr, kBeta1, kBeta2, kEps, bias1, bias2);
     by.AdamStep(lr, kBeta1, kBeta2, kEps, bias1, bias2);
+    wh_colmajor_dirty = true;
+  }
+
+  // The batch Forecast's one-step computation, shared verbatim with the
+  // incremental path: normalize the window, left-pad with idle to `window`
+  // samples, run forward, denormalize and clamp.
+  double ForecastOneFromWindow(std::span<const double> window) const {
+    const std::size_t w = options.window;
+    std::vector<double> norm;
+    norm.reserve(w);
+    const std::size_t take = std::min(window.size(), w);
+    for (std::size_t i = window.size() - take; i < window.size(); ++i) {
+      norm.push_back(window[i] / scale);
+    }
+    while (norm.size() < w) {
+      norm.insert(norm.begin(), 0.0);
+    }
+    const double pred = ForwardWindow(norm, nullptr);
+    return ClampPrediction(pred * scale);
   }
 };
 
@@ -280,6 +327,90 @@ std::vector<double> LstmForecaster::Forecast(std::span<const double> history,
 
 std::unique_ptr<Forecaster> LstmForecaster::Clone() const {
   return std::make_unique<LstmForecaster>(LstmOptions(impl_->options));
+}
+
+void LstmForecaster::BeginWindow(std::span<const double> history,
+                                 std::size_t capacity) {
+  (void)capacity;  // The forecast window is the model's own `window`,
+                   // exactly as the batch path takes min(history, window).
+  Impl& net = *impl_;
+  if (!net.trained) {
+    TrainOnSeries(history);  // Mirrors the batch first-call training.
+  }
+  const std::size_t len = std::min(history.size(), net.options.window);
+  net.ring.Reset(history.last(len), net.options.window);
+}
+
+void LstmForecaster::ObserveAppend(double value) {
+  impl_->ring.Append(value, nullptr);
+}
+
+double LstmForecaster::ForecastNext() {
+  Impl& net = *impl_;
+  std::vector<double> window;
+  net.ring.CopyTo(&window);
+  if (!net.trained) {
+    TrainOnSeries(window);
+  }
+  return net.ForecastOneFromWindow(window);
+}
+
+std::string LstmForecaster::SaveOpaqueState() const {
+  const Impl& net = *impl_;
+  std::string blob;
+  opaque::AppendField(blob, "lstmv1");
+  opaque::AppendUint(blob, net.hidden);
+  opaque::AppendUint(blob, net.options.window);
+  opaque::AppendUint(blob, net.trained ? 1 : 0);
+  opaque::AppendDouble(blob, net.scale);
+  opaque::AppendDoubles(blob, net.wx.value);
+  opaque::AppendDoubles(blob, net.wh.value);
+  opaque::AppendDoubles(blob, net.b.value);
+  opaque::AppendDoubles(blob, net.wy.value);
+  opaque::AppendDoubles(blob, net.by.value);
+  return blob;
+}
+
+bool LstmForecaster::LoadOpaqueState(std::string_view blob) {
+  Impl& net = *impl_;
+  const std::size_t H = net.hidden;
+  opaque::Reader reader(blob);
+  std::string_view magic;
+  if (!reader.NextField(magic) || magic != "lstmv1") return false;
+  std::size_t hidden = 0;
+  std::size_t window = 0;
+  std::size_t trained_flag = 0;
+  double scale = 1.0;
+  std::vector<double> wx, wh, b, wy, by;
+  if (!reader.NextUint(hidden) || hidden != H) return false;
+  if (!reader.NextUint(window) || window != net.options.window) return false;
+  if (!reader.NextUint(trained_flag) || trained_flag > 1) return false;
+  if (!reader.NextDouble(scale) || !std::isfinite(scale) || scale <= 0.0) {
+    return false;
+  }
+  if (!reader.NextDoubles(wx, 4 * H)) return false;
+  if (!reader.NextDoubles(wh, 4 * H * H)) return false;
+  if (!reader.NextDoubles(b, 4 * H)) return false;
+  if (!reader.NextDoubles(wy, H)) return false;
+  if (!reader.NextDoubles(by, 1)) return false;
+  net.trained = trained_flag == 1;
+  net.scale = scale;
+  net.wx.value = std::move(wx);
+  net.wh.value = std::move(wh);
+  net.b.value = std::move(b);
+  net.wy.value = std::move(wy);
+  net.by.value = std::move(by);
+  // Restored instances restart the optimizer cold: moments and step count
+  // are serving-irrelevant and deliberately not serialized.
+  for (Param* p : {&net.wx, &net.wh, &net.b, &net.wy, &net.by}) {
+    const std::size_t n = p->value.size();
+    p->grad.assign(n, 0.0);
+    p->m.assign(n, 0.0);
+    p->v.assign(n, 0.0);
+  }
+  net.adam_t = 0;
+  net.wh_colmajor_dirty = true;
+  return true;
 }
 
 }  // namespace femux

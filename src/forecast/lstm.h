@@ -49,6 +49,25 @@ class LstmForecaster final : public Forecaster {
                                std::size_t horizon) override;
   std::unique_ptr<Forecaster> Clone() const override;
 
+  // Incremental serving (DESIGN.md §15). The sliding-window semantics run
+  // each forecast from the zero state over the last `window` samples, so
+  // the incremental path keeps a ring of those samples and replays the
+  // forward pass — O(window * hidden^2) per epoch independent of history
+  // length, with no re-training and bit-exact agreement with the batch
+  // path. The forward pass itself runs on the SIMD GemvColMajor kernel.
+  bool SupportsIncremental() const override { return true; }
+  void BeginWindow(std::span<const double> history, std::size_t capacity) override;
+  void ObserveAppend(double value) override;
+  double ForecastNext() override;
+
+  // Opaque learned state: all trained weights plus the normalization
+  // scale, round-tripped bit-exactly. Adam moments are serving-irrelevant
+  // and are not serialized (a restored instance restarts the optimizer
+  // cold if it is ever re-trained).
+  bool HasOpaqueState() const override { return true; }
+  std::string SaveOpaqueState() const override;
+  bool LoadOpaqueState(std::string_view blob) override;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

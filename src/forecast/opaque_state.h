@@ -1,0 +1,101 @@
+// Helpers for the Forecaster opaque-state blobs (DESIGN.md §15).
+//
+// A blob is a single printable token: ';'-separated fields with doubles
+// rendered as C99 hexfloats ("%a"), which round-trip bit-exactly through
+// strtod and contain no whitespace or '%' — safe to embed both as one
+// token in the model text format and inside the daemon's checksummed
+// checkpoint records (EncodeToken leaves it untouched).
+#ifndef SRC_FORECAST_OPAQUE_STATE_H_
+#define SRC_FORECAST_OPAQUE_STATE_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace femux {
+namespace opaque {
+
+inline void AppendField(std::string& blob, std::string_view field) {
+  if (!blob.empty()) blob.push_back(';');
+  blob.append(field);
+}
+
+inline void AppendUint(std::string& blob, std::size_t value) {
+  AppendField(blob, std::to_string(value));
+}
+
+inline void AppendDouble(std::string& blob, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  AppendField(blob, buf);
+}
+
+inline void AppendDoubles(std::string& blob, const std::vector<double>& values) {
+  for (double v : values) AppendDouble(blob, v);
+}
+
+// Sequential reader over a ';'-separated blob. Every accessor reports
+// failure instead of throwing, so LoadOpaqueState can reject malformed
+// blobs without touching the forecaster.
+class Reader {
+ public:
+  explicit Reader(std::string_view blob) : blob_(blob) {}
+
+  bool NextField(std::string_view& out) {
+    if (pos_ > blob_.size()) return false;
+    const std::size_t end = blob_.find(';', pos_);
+    if (end == std::string_view::npos) {
+      out = blob_.substr(pos_);
+      pos_ = blob_.size() + 1;
+    } else {
+      out = blob_.substr(pos_, end - pos_);
+      pos_ = end + 1;
+    }
+    return true;
+  }
+
+  bool NextUint(std::size_t& out) {
+    std::string_view field;
+    if (!NextField(field) || field.empty()) return false;
+    std::size_t value = 0;
+    for (char c : field) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    out = value;
+    return true;
+  }
+
+  bool NextDouble(double& out) {
+    std::string_view field;
+    if (!NextField(field) || field.empty()) return false;
+    // strtod needs a terminated buffer; fields are short.
+    std::string tmp(field);
+    char* end = nullptr;
+    const double value = std::strtod(tmp.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    out = value;
+    return true;
+  }
+
+  bool NextDoubles(std::vector<double>& out, std::size_t count) {
+    out.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!NextDouble(out[i])) return false;
+    }
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ >= blob_.size() + 1 || pos_ == blob_.size(); }
+
+ private:
+  std::string_view blob_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace opaque
+}  // namespace femux
+
+#endif  // SRC_FORECAST_OPAQUE_STATE_H_

@@ -6,6 +6,7 @@
 #include "src/forecast/ar.h"
 #include "src/forecast/arima.h"
 #include "src/forecast/fft_forecaster.h"
+#include "src/forecast/linear_state.h"
 #include "src/forecast/lstm.h"
 #include "src/forecast/markov.h"
 #include "src/forecast/simple.h"
@@ -52,6 +53,17 @@ std::vector<std::unique_ptr<Forecaster>> MakeFemuxForecasterSet(
   return set;
 }
 
+std::vector<std::unique_ptr<Forecaster>> MakeLearnedFemuxForecasterSet(
+    std::size_t refit_interval) {
+  // The default set plus the trained linear-recurrence forecaster. Kept as
+  // a separate opt-in factory so the committed model/decision goldens that
+  // pin the default set's forecaster indices stay valid.
+  std::vector<std::unique_ptr<Forecaster>> set =
+      MakeFemuxForecasterSet(refit_interval);
+  set.push_back(std::make_unique<LinearStateForecaster>());
+  return set;
+}
+
 std::unique_ptr<Forecaster> MakeForecasterByName(std::string_view name) {
   if (name == "ar") {
     return std::make_unique<ArForecaster>(10);
@@ -73,6 +85,9 @@ std::unique_ptr<Forecaster> MakeForecasterByName(std::string_view name) {
   }
   if (name == "lstm") {
     return std::make_unique<LstmForecaster>();
+  }
+  if (name == "linear_state") {
+    return std::make_unique<LinearStateForecaster>();
   }
   if (name == "arima") {
     return std::make_unique<ArimaForecaster>();

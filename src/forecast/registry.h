@@ -17,9 +17,16 @@ namespace femux {
 std::vector<std::unique_ptr<Forecaster>> MakeFemuxForecasterSet(
     std::size_t refit_interval = 1);
 
+// The default unit extended with the trained learned forecaster(s)
+// (currently "linear_state", DESIGN.md §15). Opt-in: the default set's
+// forecaster indices are pinned by committed model goldens, so learned
+// members are always appended after it.
+std::vector<std::unique_ptr<Forecaster>> MakeLearnedFemuxForecasterSet(
+    std::size_t refit_interval = 1);
+
 // Builds a forecaster by name: "ar", "setar", "fft", "exp_smoothing",
 // "holt", "markov_chain", "moving_average_<w>", "keep_alive_<w>min",
-// "lstm". Returns nullptr for unknown names.
+// "lstm", "linear_state". Returns nullptr for unknown names.
 std::unique_ptr<Forecaster> MakeForecasterByName(std::string_view name);
 
 }  // namespace femux

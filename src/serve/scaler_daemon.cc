@@ -533,6 +533,12 @@ bool ScalerDaemon::CheckpointLocked() {
       app.consecutive_faults = state.consecutive_faults;
       const std::span<const double> window = RingWindow(state);
       app.ring.assign(window.begin(), window.end());
+      // Learned forecasters persist their trained parameters (not
+      // reconstructible from the ring, DESIGN.md §15); closed-form
+      // forecasters keep the record format unchanged.
+      if (state.forecaster->HasOpaqueState()) {
+        app.forecaster_state = state.forecaster->SaveOpaqueState();
+      }
       checkpoint.apps.push_back(std::move(app));
     }
   }
@@ -596,6 +602,13 @@ std::size_t ScalerDaemon::RestoreFromCheckpoint() {
     state.has_last_good = app.has_last_good;
     state.consecutive_faults = app.consecutive_faults;
     state.health.observed = state.observed;
+    // Trained parameters load BEFORE the window re-seed so the seeded fold
+    // runs under the restored weights — that ordering is what gives
+    // kill-restart decision parity for learned forecasters (a failed load
+    // falls back to the fresh instance, which re-trains from its window).
+    if (!app.forecaster_state.empty() && state.forecaster->HasOpaqueState()) {
+      state.forecaster->LoadOpaqueState(app.forecaster_state);
+    }
     // Warm-resume the forecaster from the persisted ring; the next
     // ForecastStreamed recognizes the seeded state (DESIGN.md §11).
     state.session.SeedStreamed(*state.forecaster, RingWindow(state), state.observed,

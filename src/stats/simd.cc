@@ -164,6 +164,17 @@ void ScalarKmeansDistances(const double* point, std::size_t dims,
   }
 }
 
+void ScalarGemvColMajor(const double* m, std::size_t rows, std::size_t cols,
+                        std::size_t stride, const double* v, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = out[r];
+    for (std::size_t k = 0; k < cols; ++k) {
+      acc += m[k * stride + r] * v[k];
+    }
+    out[r] = acc;
+  }
+}
+
 void ScalarAxpy(double* y, double a, const double* x, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     y[i] += a * x[i];
@@ -192,6 +203,7 @@ KernelTable MakeScalarTable() {
   t.holt_sweep = &ScalarHoltSweep;
   t.bds_count_within = &ScalarBdsCountWithin;
   t.kmeans_distances = &ScalarKmeansDistances;
+  t.gemv_colmajor = &ScalarGemvColMajor;
   t.axpy = &ScalarAxpy;
   t.dot_unordered = &ScalarDotUnordered;
   return t;

@@ -95,6 +95,15 @@ struct KernelTable {
   void (*kmeans_distances)(const double* point, std::size_t dims,
                            const double* soa, std::size_t k, std::size_t stride,
                            double* out) = nullptr;
+  // Accumulating column-major GEMV: out[r] += sum_k m[k * stride + r] * v[k]
+  // for r in [0, rows), with the per-row accumulation running in ascending
+  // k order (lanes = output rows, matching the scalar loop). The caller
+  // pre-initializes `out` (bias + input terms), which is what lets the
+  // learned forecasters' recurrence steps reproduce the scalar reference
+  // operation for operation (DESIGN.md §15).
+  void (*gemv_colmajor)(const double* m, std::size_t rows, std::size_t cols,
+                        std::size_t stride, const double* v,
+                        double* out) = nullptr;
   // y[i] += a * x[i]
   void (*axpy)(double* y, double a, const double* x, std::size_t n) = nullptr;
   // Multi-accumulator dot product. NOT bit-exact against a left-to-right
@@ -157,6 +166,10 @@ inline void KmeansDistances(const double* point, std::size_t dims,
                             const double* soa, std::size_t k,
                             std::size_t stride, double* out) {
   ActiveTable().kmeans_distances(point, dims, soa, k, stride, out);
+}
+inline void GemvColMajor(const double* m, std::size_t rows, std::size_t cols,
+                         std::size_t stride, const double* v, double* out) {
+  ActiveTable().gemv_colmajor(m, rows, cols, stride, v, out);
 }
 inline void Axpy(double* y, double a, const double* x, std::size_t n) {
   ActiveTable().axpy(y, a, x, n);

@@ -45,6 +45,7 @@ const KernelTable* Sse2Table() {
     t.holt_sweep = &sse2_impl::HoltSweep;
     t.bds_count_within = &sse2_impl::BdsCountWithin;
     t.kmeans_distances = &sse2_impl::KmeansDistances;
+    t.gemv_colmajor = &sse2_impl::GemvColMajor;
     t.axpy = &sse2_impl::Axpy;
     t.dot_unordered = &sse2_impl::DotUnordered;
     return t;

@@ -58,6 +58,21 @@ DaemonCheckpoint MakeFixture() {
     app.last_good = rng.Uniform() * 50.0;
     app.quarantined_until = i % 5 == 0 ? 12350 : 0;
     app.consecutive_faults = static_cast<std::uint32_t>(i % 3);
+    // Learned-forecaster records carry an opaque state token; mix realistic
+    // hexfloat blobs, awkward content that leans on the token escaping, and
+    // the empty (absent-field) case so both record widths are exercised.
+    switch (i % 3) {
+      case 0:
+        app.forecaster_state =
+            "lsv1;16;120;1;0x1.8p+3;0x1p-2;-0x1.4p+1;0x0p+0";
+        break;
+      case 1:
+        app.forecaster_state = "blob with spaces\tand 100% escapes\n" +
+                               std::to_string(i);
+        break;
+      default:
+        break;  // No learned state: the record omits the trailing token.
+    }
     const int ring_n = 1 + i * 3;
     for (int j = 0; j < ring_n; ++j) {
       app.ring.push_back(rng.Uniform() * 20.0);
@@ -79,6 +94,7 @@ void ExpectAppEq(const DaemonAppCheckpoint& actual, const DaemonAppCheckpoint& e
   EXPECT_DOUBLE_EQ(actual.last_good, expected.last_good);
   EXPECT_EQ(actual.quarantined_until, expected.quarantined_until);
   EXPECT_EQ(actual.consecutive_faults, expected.consecutive_faults);
+  EXPECT_EQ(actual.forecaster_state, expected.forecaster_state);
   ASSERT_EQ(actual.ring.size(), expected.ring.size());
   for (std::size_t i = 0; i < actual.ring.size(); ++i) {
     EXPECT_DOUBLE_EQ(actual.ring[i], expected.ring[i]);

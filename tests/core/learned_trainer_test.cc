@@ -1,0 +1,112 @@
+// Trainer-side learned state (DESIGN.md §15): when a cluster's winning
+// forecaster has opaque learned state, TrainFemux's post-pass trains it
+// offline on the cluster's representative app and stores the blob in the
+// model, serving loads it at block boundaries, the blob survives the model
+// text format, and a refit clears inherited (possibly stale) blobs.
+#include <numeric>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/serialize.h"
+#include "src/core/trainer.h"
+#include "src/forecast/linear_state.h"
+#include "src/trace/azure_generator.h"
+
+namespace femux {
+namespace {
+
+Dataset TinyDataset() {
+  AzureGeneratorOptions options;
+  options.num_apps = 12;
+  options.duration_days = 2;
+  return GenerateAzureDataset(options);
+}
+
+std::vector<int> AllApps(const Dataset& data) {
+  std::vector<int> indices(data.apps.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  return indices;
+}
+
+// Forcing the candidate set to the learned forecaster alone makes every
+// cluster's winner learned, so the post-pass must fill every non-empty
+// cluster's slot.
+TrainerOptions LearnedOnlyOptions() {
+  TrainerOptions options;
+  options.clusters = 3;
+  options.refit_interval = 30;
+  options.forecaster_names = {"linear_state"};
+  return options;
+}
+
+TEST(LearnedTrainerTest, TrainFemuxFillsClusterLearnedState) {
+  const Dataset data = TinyDataset();
+  const TrainResult trained =
+      TrainFemux(data, AllApps(data), Rum::Default(), LearnedOnlyOptions());
+  ASSERT_EQ(trained.model.cluster_learned_state.size(),
+            trained.model.cluster_to_forecaster.size());
+
+  std::size_t populated = 0;
+  for (std::size_t c = 0; c < trained.model.cluster_learned_state.size(); ++c) {
+    const std::string& blob = trained.model.cluster_learned_state[c];
+    if (blob.empty()) {
+      continue;  // Cluster with no blocks assigned gets no trained state.
+    }
+    ++populated;
+    // Serving loads the blob into the block-boundary forecaster.
+    const auto forecaster = trained.model.MakeForecasterForCluster(
+        trained.model.cluster_to_forecaster[c], static_cast<int>(c));
+    ASSERT_NE(forecaster, nullptr);
+    auto* learned = dynamic_cast<LinearStateForecaster*>(forecaster.get());
+    ASSERT_NE(learned, nullptr);
+    EXPECT_TRUE(learned->trained());
+    EXPECT_EQ(learned->SaveOpaqueState(), blob);
+  }
+  EXPECT_GT(populated, 0u);
+}
+
+TEST(LearnedTrainerTest, DefaultSetTrainsWithNoLearnedState) {
+  const Dataset data = TinyDataset();
+  TrainerOptions options;
+  options.clusters = 3;
+  options.refit_interval = 30;
+  const TrainResult trained =
+      TrainFemux(data, AllApps(data), Rum::Default(), options);
+  for (const std::string& blob : trained.model.cluster_learned_state) {
+    EXPECT_TRUE(blob.empty());
+  }
+}
+
+TEST(LearnedTrainerTest, LearnedStateSurvivesModelSerialization) {
+  const Dataset data = TinyDataset();
+  const TrainResult trained =
+      TrainFemux(data, AllApps(data), Rum::Default(), LearnedOnlyOptions());
+  std::stringstream buffer;
+  SaveModel(trained.model, buffer);
+  FemuxModel loaded;
+  ASSERT_TRUE(LoadModel(buffer, &loaded));
+  EXPECT_EQ(loaded.cluster_learned_state, trained.model.cluster_learned_state);
+}
+
+TEST(LearnedTrainerTest, RetrainClearsInheritedBlobs) {
+  // A refit may reassign clusters, so blobs trained for the previous
+  // cluster geometry must not survive into the retrained model.
+  const Dataset data = TinyDataset();
+  const TrainerOptions options = LearnedOnlyOptions();
+  std::vector<int> first_half;
+  std::vector<int> second_half;
+  for (int i = 0; i < static_cast<int>(data.apps.size()); ++i) {
+    (i < 6 ? first_half : second_half).push_back(i);
+  }
+  const TrainResult initial =
+      TrainFemux(data, first_half, Rum::Default(), options);
+  const TrainResult retrained =
+      RetrainWithNewApps(initial, data, second_half, Rum::Default(), options);
+  for (const std::string& blob : retrained.model.cluster_learned_state) {
+    EXPECT_TRUE(blob.empty());
+  }
+}
+
+}  // namespace
+}  // namespace femux

@@ -50,6 +50,37 @@ TEST(SerializeTest, ModelRoundTripPreservesDecisions) {
   }
 }
 
+TEST(SerializeTest, ModelLearnedSectionRoundTrips) {
+  TrainResult trained = TrainTiny();
+  // Per-cluster opaque learned blobs, including empty slots (clusters whose
+  // winner is closed-form) and content that leans on the token escaping.
+  trained.model.cluster_learned_state = {
+      "lsv1;16;120;1;0x1.8p+3;0x1p-2;-0x1.4p+1",
+      "",
+      "blob with spaces\tand 100% escapes",
+  };
+  std::stringstream buffer;
+  SaveModel(trained.model, buffer);
+  FemuxModel loaded;
+  ASSERT_TRUE(LoadModel(buffer, &loaded));
+  EXPECT_EQ(loaded.cluster_learned_state, trained.model.cluster_learned_state);
+}
+
+TEST(SerializeTest, ModelWithoutLearnedSectionLoadsCompatibly) {
+  // Model files written before the learned section existed end right after
+  // the cluster table; they must still load, with no learned state.
+  TrainResult trained = TrainTiny();
+  trained.model.cluster_learned_state.clear();
+  std::stringstream buffer;
+  SaveModel(trained.model, buffer);
+  // The serialized text must not mention the learned section at all, so the
+  // bytes match the pre-extension format.
+  EXPECT_EQ(buffer.str().find("learned"), std::string::npos);
+  FemuxModel loaded;
+  ASSERT_TRUE(LoadModel(buffer, &loaded));
+  EXPECT_TRUE(loaded.cluster_learned_state.empty());
+}
+
 TEST(SerializeTest, BlockTableRoundTrip) {
   const TrainResult trained = TrainTiny();
   std::stringstream buffer;

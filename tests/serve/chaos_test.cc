@@ -80,11 +80,22 @@ std::vector<FaultSpec> FaultMatrix() {
   return {FullMatrix(101), FullMatrix(202), FullMatrix(303)};
 }
 
+// FEMUX_CHAOS_FORECASTER swaps the per-app forecaster under the same fault
+// matrix (the verify.sh learned pass runs the suite with linear_state, so
+// opaque learned state rides through torn checkpoints and kill-restarts).
+std::string ChaosForecaster() {
+  if (const char* env = std::getenv("FEMUX_CHAOS_FORECASTER");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "holt";
+}
+
 ScalerDaemonOptions ChaosOptions(const FaultSpec& spec, const std::string& ckpt) {
   ScalerDaemonOptions options;
   options.shards = 4;
   options.queue_capacity = 1 << 14;  // Chaos measures degradation, not drops.
-  options.forecaster = "holt";
+  options.forecaster = ChaosForecaster();
   options.history_window = 32;
   options.fallback_window = 8;
   options.decision_deadline_ms = 50.0;  // Injected skew/delay is ~1 ms.

@@ -268,6 +268,33 @@ TEST(SimdKernelTest, KmeansDistancesMatchesScalarBitwise) {
   }
 }
 
+TEST(SimdKernelTest, GemvColMajorMatchesScalarBitwise) {
+  const simd::KernelTable& scalar = simd::ScalarTable();
+  const std::size_t max_rows = 4 * static_cast<std::size_t>(MaxLanes()) + 3;
+  for (const simd::KernelTable* table : VectorTables()) {
+    Rng rng(0x6e3 + table->lanes);
+    for (std::size_t rows = 1; rows <= max_rows; ++rows) {
+      for (std::size_t cols : {1u, 2u, 5u, 16u}) {
+        // Stride > rows exercises the padded-layout case the LSTM's
+        // column-major weight copy uses.
+        for (std::size_t stride : {rows, rows + 3}) {
+          const auto m = RandomDoubles(stride * cols + 1, &rng);
+          const auto v = RandomDoubles(cols + 1, &rng);
+          const auto out0 = RandomDoubles(rows + 1, &rng);  // Accumulator seed.
+          auto out_a = out0;
+          auto out_b = out0;
+          scalar.gemv_colmajor(m.data() + 1, rows, cols, stride, v.data() + 1,
+                               out_a.data() + 1);
+          table->gemv_colmajor(m.data() + 1, rows, cols, stride, v.data() + 1,
+                               out_b.data() + 1);
+          ExpectBitEqual(out_a.data(), out_b.data(), rows + 1, table->isa,
+                         rows * 1000 + cols * 10 + (stride == rows ? 0 : 1));
+        }
+      }
+    }
+  }
+}
+
 TEST(SimdKernelTest, AxpyMatchesScalarBitwise) {
   const simd::KernelTable& scalar = simd::ScalarTable();
   const std::size_t max_n = 4 * static_cast<std::size_t>(MaxLanes()) + 3;
